@@ -1,0 +1,87 @@
+// Minimal flag parser shared by the epgc command-line tools.
+//
+// Flags are `--name value` pairs (or bare `--name` for booleans); anything
+// else is a positional argument. Unknown flags abort with the tool's usage
+// text so typos never silently fall through to defaults.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace epg::cli {
+
+class Args {
+ public:
+  /// `bool_flags` lists the flags that take no value.
+  Args(int argc, char** argv, std::set<std::string> bool_flags,
+       std::string usage)
+      : usage_(std::move(usage)) {
+    for (int i = 1; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(token));
+        continue;
+      }
+      token.erase(0, 2);
+      if (token == "help") fail("");
+      if (bool_flags.count(token) > 0) {
+        values_[token] = "1";
+        continue;
+      }
+      if (i + 1 >= argc) fail("flag --" + token + " needs a value");
+      values_[token] = argv[++i];
+      known_.insert(token);
+    }
+    known_ = std::move(bool_flags);
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string get(const std::string& name, std::string fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stoull(it->second);
+    } catch (const std::exception&) {
+      fail("flag --" + name + " needs an integer, got '" + it->second + "'");
+    }
+    return fallback;
+  }
+
+  double get_double(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      fail("flag --" + name + " needs a number, got '" + it->second + "'");
+    }
+    return fallback;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+    std::cerr << usage_ << std::flush;
+    std::exit(message.empty() ? 0 : 2);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::set<std::string> known_;
+  std::string usage_;
+};
+
+}  // namespace epg::cli

@@ -1,0 +1,138 @@
+// epgc-compile: GraphState-to-Circuit compiler driver.
+//
+// Reads a target graph state (edge list or graph6), compiles it with the
+// partition+LC framework (or the Li/GraphiQ-class baseline), verifies the
+// result on the stabilizer simulator and reports the hardware metrics. The
+// circuit can be exported as OpenQASM 3, the native epgc text format, or an
+// ASCII schedule rendering.
+#include <fstream>
+#include <iostream>
+
+#include "cli_common.hpp"
+#include "circuit/render.hpp"
+#include "circuit/serialize.hpp"
+#include "compile/baseline_compiler.hpp"
+#include "compile/framework.hpp"
+#include "io/graph_io.hpp"
+#include "io/qasm_export.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: epgc_compile [options] <graph-file>
+
+Compile a photonic graph state into a deterministic emitter-based
+generation circuit (DAC'25 partition+LC framework).
+
+input:
+  <graph-file>            edge list, or graph6 when the name ends in .g6
+
+options:
+  --compiler NAME         framework (default) | baseline
+  --hw NAME               quantum_dot (default) | nv | siv | rydberg
+  --gmax N                max subgraph size (default 7, paper Sec. V.A)
+  --lc N                  max local complementations (default 15)
+  --ne-factor X           Ne_limit = ceil(X * Ne_min)   (default 1.5)
+  --ne N                  override Ne_limit with an absolute count
+  --seed N                search seed (default 1)
+  --budget-ms X           partition search budget (default 800)
+  --no-verify             skip the stabilizer end-to-end verification
+  --qasm FILE             write the circuit as OpenQASM 3
+  --epgc FILE             write the circuit in the native text format
+  --render                print the ASCII schedule to stdout
+  --quiet                 metrics only (suppress the banner)
+)";
+
+epg::HardwareModel hardware_by_name(const epg::cli::Args& args) {
+  const std::string name = args.get("hw", "quantum_dot");
+  if (name == "quantum_dot" || name == "qd")
+    return epg::HardwareModel::quantum_dot();
+  if (name == "nv") return epg::HardwareModel::nv_center();
+  if (name == "siv") return epg::HardwareModel::siv_center();
+  if (name == "rydberg") return epg::HardwareModel::rydberg();
+  args.fail("unknown hardware model '" + name + "'");
+}
+
+void print_stats(const epg::CircuitStats& s, std::size_t ne_limit) {
+  std::cout << "ee-CNOTs        " << s.ee_cnot_count << '\n';
+  std::cout << "emissions       " << s.emission_count << '\n';
+  std::cout << "duration        " << s.duration_tau << " tau_QD\n";
+  std::cout << "T_loss          " << s.t_loss_tau << " tau_QD\n";
+  std::cout << "state survival  " << s.loss.state_survival << '\n';
+  std::cout << "emitters        " << s.emitters_used << " (cap " << ne_limit
+            << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace epg;
+  cli::Args args(argc, argv, {"no-verify", "render", "quiet"}, kUsage);
+  if (args.positional().size() != 1) args.fail("exactly one graph file");
+
+  Graph target(0);
+  try {
+    target = load_graph_file(args.positional()[0]);
+  } catch (const std::exception& e) {
+    args.fail(e.what());
+  }
+  if (!args.has("quiet"))
+    std::cout << "target: " << target.vertex_count() << " photons, "
+              << target.edge_count() << " entanglement bonds\n";
+
+  const std::string compiler = args.get("compiler", "framework");
+  Circuit circuit(0, 0);
+  try {
+    if (compiler == "framework") {
+      FrameworkConfig cfg;
+      cfg.hw = hardware_by_name(args);
+      cfg.subgraph.hw = cfg.hw;
+      cfg.partition.g_max = args.get_u64("gmax", 7);
+      cfg.partition.max_lc_ops = args.get_u64("lc", 15);
+      cfg.partition.time_budget_ms = args.get_double("budget-ms", 800.0);
+      cfg.ne_limit_factor = args.get_double("ne-factor", 1.5);
+      cfg.ne_limit_override =
+          static_cast<std::uint32_t>(args.get_u64("ne", 0));
+      cfg.seed = args.get_u64("seed", 1);
+      cfg.verify_seeds = args.has("no-verify") ? 0 : 2;
+      const FrameworkResult r = compile_framework(target, cfg);
+      if (!args.has("quiet"))
+        std::cout << "partition: " << r.partition.parts.size()
+                  << " subgraphs, " << r.stem_count << " stems, LC depth "
+                  << r.partition.lc_sequence.size() << '\n';
+      print_stats(r.stats(), r.ne_limit);
+      std::cout << "verified        " << (r.verified ? "yes" : "skipped")
+                << '\n';
+      circuit = r.schedule.circuit;
+    } else if (compiler == "baseline") {
+      BaselineConfig cfg;
+      cfg.hw = hardware_by_name(args);
+      cfg.seed = args.get_u64("seed", 1);
+      cfg.num_emitters = args.get_u64("ne", 0);
+      cfg.verify = !args.has("no-verify");
+      const BaselineResult r = compile_baseline(target, cfg);
+      if (!r.success) {
+        std::cerr << "baseline compilation failed\n";
+        return 1;
+      }
+      print_stats(r.stats, cfg.num_emitters ? cfg.num_emitters : r.ne_min);
+      circuit = r.circuit;
+    } else {
+      args.fail("unknown compiler '" + compiler + "'");
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "compilation failed: " << e.what() << '\n';
+    return 1;
+  }
+
+  if (args.has("qasm")) {
+    std::ofstream out(args.get("qasm", ""));
+    out << export_qasm3(circuit);
+  }
+  if (args.has("epgc")) {
+    std::ofstream out(args.get("epgc", ""));
+    out << serialize_circuit(circuit);
+  }
+  if (args.has("render"))
+    std::cout << render_schedule(circuit, hardware_by_name(args));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// epgc-graphgen: benchmark workload generator.
+//
+// Emits the paper's graph-state families (2D lattices for MBQC, bounded-
+// degree random trees for QRAM routers / tree codes, Waxman random graphs
+// for network topologies, plus the textbook families) in either of the
+// formats epgc_compile reads.
+#include <iostream>
+
+#include "cli_common.hpp"
+#include "graph/generators.hpp"
+#include "io/graph_io.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: epgc_graphgen [options] <family>
+
+families:
+  lattice   --rows R --cols C
+  tree      --n N [--max-degree D]       bounded-degree random tree
+  btree     --branch B --depth D         balanced tree
+  waxman    --n N                        Waxman random graph
+  linear    --n N                        linear cluster state
+  ring      --n N
+  star      --n N
+  complete  --n N
+  rgs       --m M                        repeater graph state RGS(m)
+
+options:
+  --seed N                random seed (default 1)
+  --shuffle               randomly permute vertex labels (benchmark default)
+  --out FILE              write to FILE (.g6 = graph6); default stdout
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace epg;
+  cli::Args args(argc, argv, {"shuffle"}, kUsage);
+  if (args.positional().size() != 1) args.fail("exactly one family name");
+  const std::string family = args.positional()[0];
+  const std::uint64_t seed = args.get_u64("seed", 1);
+
+  Graph g(0);
+  if (family == "lattice") {
+    g = make_lattice(args.get_u64("rows", 4), args.get_u64("cols", 5));
+  } else if (family == "tree") {
+    g = make_random_tree(args.get_u64("n", 15), seed,
+                         args.get_u64("max-degree", 3));
+  } else if (family == "btree") {
+    g = make_balanced_tree(args.get_u64("branch", 2),
+                           args.get_u64("depth", 3));
+  } else if (family == "waxman") {
+    g = make_waxman(args.get_u64("n", 20), seed);
+  } else if (family == "linear") {
+    g = make_linear_cluster(args.get_u64("n", 10));
+  } else if (family == "ring") {
+    g = make_ring(args.get_u64("n", 8));
+  } else if (family == "star") {
+    g = make_star(args.get_u64("n", 8));
+  } else if (family == "complete") {
+    g = make_complete(args.get_u64("n", 6));
+  } else if (family == "rgs") {
+    g = make_repeater_graph_state(args.get_u64("m", 3));
+  } else {
+    args.fail("unknown family '" + family + "'");
+  }
+  if (args.has("shuffle")) g = shuffle_labels(g, seed * 977 + 3);
+
+  if (args.has("out"))
+    save_graph_file(g, args.get("out", ""));
+  else
+    std::cout << write_edge_list(g);
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Ablation: subgraph size cap g_max (the paper fixes g_max = 7; this sweep
+// shows the trade-off between stem overhead and per-subgraph optimality).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace epg;
+  using namespace epg::bench;
+  Table table({"g_max", "stems", "ee-CNOT", "duration(tau)", "loss"});
+  const Graph g = waxman_instance(25, 6);
+  for (std::size_t gmax : {4, 5, 7, 9, 12}) {
+    FrameworkConfig cfg = framework_config(1.5, 25);
+    cfg.partition.g_max = gmax;
+    const FrameworkResult r = compile_framework(g, cfg);
+    table.add_row({Table::num(gmax), Table::num(r.stem_count),
+                   Table::num(r.stats().ee_cnot_count),
+                   Table::num(r.stats().duration_tau, 2),
+                   Table::num(r.stats().loss.state_loss, 4)});
+  }
+  emit(table, "Ablation: subgraph size cap g_max (waxman n=25)");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Ablation: LC sequence depth l in the partition co-search (paper uses
+// l = 15; Fig. 11b compares l=15 vs l=0).
+#include "bench_common.hpp"
+
+#include "partition/lc_partition_search.hpp"
+
+int main() {
+  using namespace epg;
+  using namespace epg::bench;
+  Table table({"l", "stems(avg)", "ee-CNOT(avg)"});
+  for (std::size_t l : {0, 3, 6, 10, 15, 20}) {
+    double stems = 0, cnots = 0;
+    const int instances = 3;
+    for (int i = 0; i < instances; ++i) {
+      const Graph g = waxman_instance(22, 40 + i);
+      FrameworkConfig cfg = framework_config(1.5, 40 + i);
+      cfg.partition.max_lc_ops = l;
+      const FrameworkResult r = compile_framework(g, cfg);
+      stems += static_cast<double>(r.stem_count);
+      cnots += static_cast<double>(r.stats().ee_cnot_count);
+    }
+    table.add_row({Table::num(l), Table::num(stems / instances, 1),
+                   Table::num(cnots / instances, 1)});
+  }
+  emit(table, "Ablation: LC search depth l (waxman n=22)");
+  return 0;
+}

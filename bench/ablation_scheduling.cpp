@@ -1,0 +1,58 @@
+// Ablation: the Tetris/ALAP scheduler vs plain sequential recombination
+// (paper Fig. 5 motivation + Section IV.C). Also prints the emitter-usage
+// curve of a scheduled circuit, the quantity Fig. 5 plots over time.
+#include "bench_common.hpp"
+
+#include <iomanip>
+
+int main() {
+  using namespace epg;
+  using namespace epg::bench;
+  Table table({"graph", "#qubit", "sequential(tau)", "tetris(tau)",
+               "speedup(%)", "peak(seq)", "peak(tetris)"});
+  for (std::size_t n : {15, 20, 25, 30}) {
+    const Graph g = waxman_instance(n, n);
+    FrameworkConfig tetris = framework_config(1.5, n);
+    FrameworkConfig sequential = tetris;
+    sequential.alap_tetris = false;
+    const FrameworkResult fast = compile_framework(g, tetris);
+    const FrameworkResult slow = compile_framework(g, sequential);
+    table.add_row(
+        {"waxman", Table::num(n), Table::num(slow.stats().duration_tau, 2),
+         Table::num(fast.stats().duration_tau, 2),
+         Table::num(reduction_pct(slow.stats().duration_tau,
+                                  fast.stats().duration_tau),
+                    1),
+         Table::num(std::size_t{slow.schedule.peak_usage}),
+         Table::num(std::size_t{fast.schedule.peak_usage})});
+  }
+  emit(table, "Ablation: ALAP-Tetris scheduling vs sequential recombination");
+
+  // Emitter-usage-over-time curve (Fig. 5 style), one bucket per tau_QD.
+  const Graph g = waxman_instance(25, 4);
+  const FrameworkResult r = compile_framework(g, framework_config(1.5, 4));
+  const HardwareModel hw;
+  std::cout << "emitter usage over time (waxman n=25, per tau_QD):\n";
+  std::vector<std::uint32_t> per_tick(r.schedule.makespan, 0);
+  // Reconstruct the curve from gate intervals on emitters.
+  for (std::size_t i = 0; i < r.schedule.circuit.size(); ++i) {
+    const Gate& gate = r.schedule.circuit.gates()[i];
+    auto mark = [&](QubitId q) {
+      if (q.kind != QubitKind::emitter) return;
+      for (Tick t = r.schedule.gate_start[i];
+           t < r.schedule.gate_end[i] && t < per_tick.size(); ++t)
+        ++per_tick[t];
+    };
+    mark(gate.a);
+    if (gate.is_two_qubit()) mark(gate.b);
+  }
+  for (Tick t = 0; t < per_tick.size(); t += hw.tau_ticks) {
+    std::uint32_t busy = 0;
+    for (Tick u = t; u < std::min<Tick>(t + hw.tau_ticks, per_tick.size());
+         ++u)
+      busy = std::max(busy, per_tick[u]);
+    std::cout << "t=" << std::setw(4) << hw.ticks_to_tau(t) << " tau |"
+              << std::string(busy, '#') << " (" << busy << " active gates)\n";
+  }
+  return 0;
+}

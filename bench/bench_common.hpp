@@ -1,0 +1,119 @@
+// Shared scaffolding for the paper-reproduction benchmarks.
+//
+// Instances follow Section V.A: 2D lattices (MBQC), random trees with router
+// degree caps (QRAM / tree codes), and Waxman random graphs (distributed QC
+// topologies), with vertex labels randomly permuted — a compiler must not
+// receive a secretly optimal emission order from the generator. Both
+// compilers share the quantum-dot hardware model and the same emitter
+// budget Ne_limit = factor * Ne_min.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "compile/baseline_compiler.hpp"
+#include "compile/framework.hpp"
+#include "graph/generators.hpp"
+#include "metrics/report.hpp"
+
+namespace epg::bench {
+
+inline Graph lattice_instance(std::size_t n, std::uint64_t seed) {
+  // Factor n into the most square rows x cols lattice.
+  std::size_t rows = 1;
+  for (std::size_t r = 2; r * r <= n; ++r)
+    if (n % r == 0) rows = r;
+  return shuffle_labels(make_lattice(rows, n / rows), seed);
+}
+
+inline Graph tree_instance(std::size_t n, std::uint64_t seed) {
+  return shuffle_labels(make_random_tree(n, seed * 13 + 1, 3), seed);
+}
+
+inline Graph waxman_instance(std::size_t n, std::uint64_t seed) {
+  return shuffle_labels(make_waxman(n, seed * 17 + 3), seed);
+}
+
+inline FrameworkConfig framework_config(double ne_factor, std::uint64_t seed) {
+  FrameworkConfig cfg;
+  cfg.partition.g_max = 7;        // paper: g_max = 7
+  cfg.partition.max_lc_ops = 15;  // paper: l = 15
+  cfg.partition.time_budget_ms = 800;
+  cfg.subgraph.node_budget = 20000;
+  cfg.subgraph.time_budget_ms = 120;
+  cfg.ne_limit_factor = ne_factor;
+  cfg.verify_seeds = 1;  // every instance is still checked end-to-end
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline BaselineConfig baseline_config(std::uint64_t seed) {
+  BaselineConfig cfg;
+  cfg.order_restarts = 3;  // GraphiQ-style budgeted exploration
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// GraphiQ-faithful baseline: the paper's comparator runs GraphiQ's
+/// AlternateTargetSolver under a 30-minute timeout, which at these sizes
+/// cannot explore alternative targets/orders and effectively compiles the
+/// default (shuffled) emission order once. Our `baseline_config` above adds
+/// budgeted random-order restarts — a *stronger* baseline than the paper
+/// ever faced; the figures report both.
+inline BaselineConfig faithful_baseline_config(std::uint64_t seed) {
+  BaselineConfig cfg;
+  cfg.order_restarts = 0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct ThreeWayRow {
+  CircuitStats ours;
+  CircuitStats faithful;  ///< GraphiQ-faithful baseline
+  CircuitStats strong;    ///< restart-enhanced baseline
+  std::size_t stem_count = 0;
+};
+
+/// Framework vs both baseline strengths under a shared emitter budget.
+inline ThreeWayRow run_three_way(const Graph& g, double ne_factor,
+                                 std::uint64_t seed) {
+  ThreeWayRow row;
+  const FrameworkResult ours =
+      compile_framework(g, framework_config(ne_factor, seed));
+  row.ours = ours.stats();
+  row.stem_count = ours.stem_count;
+  BaselineConfig faithful = faithful_baseline_config(seed);
+  faithful.num_emitters = ours.ne_limit;
+  row.faithful = compile_baseline(g, faithful).stats;
+  BaselineConfig strong = baseline_config(seed);
+  strong.num_emitters = ours.ne_limit;
+  row.strong = compile_baseline(g, strong).stats;
+  return row;
+}
+
+inline ComparisonRow run_comparison(const std::string& label, const Graph& g,
+                                    double ne_factor, std::uint64_t seed) {
+  return compare_compilers(label, g, framework_config(ne_factor, seed),
+                           baseline_config(seed));
+}
+
+/// Same comparison against the GraphiQ-faithful (budget-starved) baseline —
+/// the comparator the paper's figures actually plot.
+inline ComparisonRow run_comparison_faithful(const std::string& label,
+                                             const Graph& g, double ne_factor,
+                                             std::uint64_t seed) {
+  return compare_compilers(label, g, framework_config(ne_factor, seed),
+                           faithful_baseline_config(seed));
+}
+
+inline void emit(const Table& table, const std::string& title) {
+  std::cout << "== " << title << " ==\n";
+  table.print(std::cout);
+  std::cout << "\n-- csv --\n";
+  table.print_csv(std::cout);
+  std::cout << std::endl;
+}
+
+}  // namespace epg::bench

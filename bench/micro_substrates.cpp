@@ -1,0 +1,115 @@
+// Microbenchmarks of the substrates (google-benchmark): tableau gate
+// throughput, measurement, local complementation (dense graph vs GraphSim),
+// cut-rank, and partition refinement.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/local_complement.hpp"
+#include "graph/metrics.hpp"
+#include "graph/lc_orbit.hpp"
+#include "io/graph_io.hpp"
+#include "noise/monte_carlo.hpp"
+#include "solver/partition_refine.hpp"
+#include "stab/graphsim.hpp"
+#include "stab/tableau.hpp"
+
+namespace {
+
+using namespace epg;
+
+void BM_TableauCnot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Tableau t(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    t.cnot(i % n, (i + 1) % n);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TableauCnot)->Arg(32)->Arg(128);
+
+void BM_TableauMeasure(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Tableau t = Tableau::graph_state(make_ring(n));
+    state.ResumeTiming();
+    t.measure_z(0, rng);
+  }
+}
+BENCHMARK(BM_TableauMeasure)->Arg(32)->Arg(128);
+
+void BM_GraphLocalComplement(benchmark::State& state) {
+  Graph g = make_complete(static_cast<std::size_t>(state.range(0)));
+  Vertex v = 0;
+  for (auto _ : state) {
+    local_complement(g, v);
+    v = (v + 1) % g.vertex_count();
+  }
+}
+BENCHMARK(BM_GraphLocalComplement)->Arg(16)->Arg(64);
+
+void BM_GraphSimCz(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  GraphSim sim(n);
+  for (std::size_t q = 0; q < n; ++q) sim.h(q);
+  Rng rng(3);
+  for (auto _ : state) {
+    const std::size_t a = rng.below(n);
+    const std::size_t b = rng.below(n);
+    if (a != b) sim.cz(a, b);
+  }
+}
+BENCHMARK(BM_GraphSimCz)->Arg(32)->Arg(128);
+
+void BM_CutRank(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = make_waxman(n, 5);
+  std::vector<Vertex> half;
+  for (Vertex v = 0; v < n / 2; ++v) half.push_back(v);
+  for (auto _ : state) benchmark::DoNotOptimize(cut_rank(g, half));
+}
+BENCHMARK(BM_CutRank)->Arg(32)->Arg(64);
+
+void BM_PartitionRefine(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = make_waxman(n, 7);
+  PartitionConfig cfg;
+  cfg.max_part_size = 7;
+  cfg.restarts = 2;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(partition_min_cut(g, cfg));
+}
+BENCHMARK(BM_PartitionRefine)->Arg(30)->Arg(60);
+
+void BM_Graph6RoundTrip(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = make_waxman(n, 11);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(read_graph6(write_graph6(g)));
+}
+BENCHMARK(BM_Graph6RoundTrip)->Arg(30)->Arg(120);
+
+void BM_LcOrbitEnumeration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = make_ring(n);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(explore_lc_orbit(g));
+}
+BENCHMARK(BM_LcOrbitEnumeration)->Arg(6)->Arg(8);
+
+void BM_PhotonLossMc(benchmark::State& state) {
+  const HardwareModel hw = HardwareModel::quantum_dot();
+  const std::vector<Tick> alive(
+      static_cast<std::size_t>(state.range(0)), 80);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sample_photon_loss(hw, alive, 1000, 3));
+}
+BENCHMARK(BM_PhotonLossMc)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+#include "circuit/circuit.hpp"
+
+#include "common/assert.hpp"
+
+namespace epg {
+
+Circuit::Circuit(std::size_t num_photons, std::size_t num_emitters)
+    : num_photons_(num_photons), num_emitters_(num_emitters) {}
+
+void Circuit::check_operand(QubitId q) const {
+  if (q.kind == QubitKind::photon)
+    EPG_REQUIRE(q.index < num_photons_, "photon operand out of range");
+  else
+    EPG_REQUIRE(q.index < num_emitters_, "emitter operand out of range");
+}
+
+void Circuit::append(Gate g) {
+  check_operand(g.a);
+  if (g.is_two_qubit()) check_operand(g.b);
+  for (const auto& corr : g.if_one) check_operand(corr.target);
+  gates_.push_back(std::move(g));
+}
+
+void Circuit::append_circuit(const Circuit& other,
+                             std::uint32_t emitter_offset) {
+  auto relocate = [emitter_offset](QubitId q) {
+    if (q.kind == QubitKind::emitter) q.index += emitter_offset;
+    return q;
+  };
+  for (Gate g : other.gates()) {
+    g.a = relocate(g.a);
+    g.b = relocate(g.b);
+    for (auto& corr : g.if_one) corr.target = relocate(corr.target);
+    append(std::move(g));
+  }
+}
+
+void Circuit::emission(std::uint32_t emitter, std::uint32_t photon) {
+  append(Gate::make_emission(emitter, photon));
+}
+void Circuit::ee_cz(std::uint32_t e1, std::uint32_t e2) {
+  append(Gate::make_ee_cz(e1, e2));
+}
+void Circuit::ee_cnot(std::uint32_t control, std::uint32_t target) {
+  append(Gate::make_ee_cnot(control, target));
+}
+void Circuit::local(QubitId q, Clifford1 c) {
+  if (c.is_identity()) return;
+  append(Gate::make_local(q, c));
+}
+void Circuit::measure_reset(std::uint32_t emitter,
+                            std::vector<PauliCorrection> if_one) {
+  append(Gate::make_measure_reset(emitter, std::move(if_one)));
+}
+
+void Circuit::check_well_formed() const {
+  std::vector<bool> emitted(num_photons_, false);
+  for (const Gate& g : gates_) {
+    switch (g.kind) {
+      case GateKind::emission: {
+        EPG_CHECK(g.a.kind == QubitKind::emitter &&
+                      g.b.kind == QubitKind::photon,
+                  "emission must be emitter->photon");
+        EPG_CHECK(!emitted[g.b.index], "photon emitted twice");
+        emitted[g.b.index] = true;
+        break;
+      }
+      case GateKind::ee_cz:
+      case GateKind::ee_cnot:
+        EPG_CHECK(g.a.kind == QubitKind::emitter &&
+                      g.b.kind == QubitKind::emitter,
+                  "entangling gates are emitter-emitter only");
+        break;
+      case GateKind::local:
+        if (g.a.kind == QubitKind::photon)
+          EPG_CHECK(emitted[g.a.index],
+                    "photon gate before its emission");
+        break;
+      case GateKind::measure_reset:
+        EPG_CHECK(g.a.kind == QubitKind::emitter,
+                  "only emitters are measured");
+        for (const auto& corr : g.if_one)
+          if (corr.target.kind == QubitKind::photon)
+            EPG_CHECK(emitted[corr.target.index],
+                      "correction targets unemitted photon");
+        break;
+    }
+  }
+}
+
+std::vector<std::ptrdiff_t> Circuit::emission_gate_of_photon() const {
+  std::vector<std::ptrdiff_t> out(num_photons_, -1);
+  for (std::size_t i = 0; i < gates_.size(); ++i)
+    if (gates_[i].kind == GateKind::emission)
+      out[gates_[i].b.index] = static_cast<std::ptrdiff_t>(i);
+  return out;
+}
+
+}  // namespace epg

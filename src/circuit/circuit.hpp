@@ -1,0 +1,53 @@
+// Circuit container: a chronological gate list over a fixed photon/emitter
+// register. Gates are appended by the compilers in logical (dependency)
+// order; actual start times come from the timing analysis (timing.hpp),
+// which packs independent gates in parallel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace epg {
+
+class Circuit {
+ public:
+  Circuit(std::size_t num_photons, std::size_t num_emitters);
+
+  std::size_t num_photons() const { return num_photons_; }
+  std::size_t num_emitters() const { return num_emitters_; }
+
+  const std::vector<Gate>& gates() const { return gates_; }
+  std::size_t size() const { return gates_.size(); }
+
+  void append(Gate g);
+  /// Append another circuit's gates (registers must match or be smaller;
+  /// `emitter_offset` relocates its emitters).
+  void append_circuit(const Circuit& other, std::uint32_t emitter_offset = 0);
+
+  // Convenience appenders.
+  void emission(std::uint32_t emitter, std::uint32_t photon);
+  void ee_cz(std::uint32_t e1, std::uint32_t e2);
+  void ee_cnot(std::uint32_t control, std::uint32_t target);
+  void local(QubitId q, Clifford1 c);
+  void measure_reset(std::uint32_t emitter,
+                     std::vector<PauliCorrection> if_one);
+
+  /// Validates the deterministic-generation constraints: the first gate on
+  /// every photon is its (unique) emission, no photon-photon interactions,
+  /// all operands in range. Throws on violation.
+  void check_well_formed() const;
+
+  /// Index of each photon's emission gate (-1 if absent).
+  std::vector<std::ptrdiff_t> emission_gate_of_photon() const;
+
+ private:
+  std::size_t num_photons_;
+  std::size_t num_emitters_;
+  std::vector<Gate> gates_;
+
+  void check_operand(QubitId q) const;
+};
+
+}  // namespace epg

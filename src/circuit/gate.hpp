@@ -1,0 +1,77 @@
+// Gate IR for emitter-photonic generation circuits.
+//
+// The instruction set is exactly the paper's legal operation set (Fig. 1a):
+//   - emission        : CNOT from an emitter onto a fresh photon (the first
+//                       and only multi-qubit gate a photon ever sees),
+//   - ee_cz / ee_cnot : emitter-emitter entangling gates (the expensive,
+//                       loss-dominating resource the compiler minimizes),
+//   - local           : a single-qubit Clifford on either species,
+//   - measure_reset   : Z measurement of an emitter with classically
+//                       conditioned Pauli corrections (the forward image of
+//                       a time-reversed "swap" op), followed by reset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hardware/hardware_model.hpp"
+#include "stab/clifford1q.hpp"
+#include "stab/pauli.hpp"
+
+namespace epg {
+
+enum class QubitKind : std::uint8_t { photon, emitter };
+
+struct QubitId {
+  QubitKind kind = QubitKind::photon;
+  std::uint32_t index = 0;
+
+  static QubitId photon(std::uint32_t i) { return {QubitKind::photon, i}; }
+  static QubitId emitter(std::uint32_t i) { return {QubitKind::emitter, i}; }
+
+  bool operator==(const QubitId&) const = default;
+};
+
+enum class GateKind : std::uint8_t {
+  emission,
+  ee_cz,
+  ee_cnot,
+  local,
+  measure_reset,
+};
+
+struct PauliCorrection {
+  QubitId target;
+  PauliOp op = PauliOp::I;
+};
+
+struct Gate {
+  GateKind kind = GateKind::local;
+  QubitId a;  ///< emitter for emission/measure; first operand otherwise
+  QubitId b;  ///< photon for emission; second emitter for ee gates
+  Clifford1 local = Clifford1::identity();  ///< for GateKind::local
+  /// Applied iff the measurement outcome is 1 (measure_reset only).
+  std::vector<PauliCorrection> if_one;
+
+  static Gate make_emission(std::uint32_t emitter, std::uint32_t photon);
+  static Gate make_ee_cz(std::uint32_t e1, std::uint32_t e2);
+  static Gate make_ee_cnot(std::uint32_t control, std::uint32_t target);
+  static Gate make_local(QubitId q, Clifford1 c);
+  static Gate make_measure_reset(std::uint32_t emitter,
+                                 std::vector<PauliCorrection> if_one);
+
+  bool is_two_qubit() const {
+    return kind == GateKind::emission || kind == GateKind::ee_cz ||
+           kind == GateKind::ee_cnot;
+  }
+
+  /// Duration in ticks under the hardware model.
+  Tick duration(const HardwareModel& hw) const;
+
+  std::string str() const;
+};
+
+std::string to_string(QubitId q);
+
+}  // namespace epg

@@ -1,0 +1,52 @@
+#include "circuit/render.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "circuit/timing.hpp"
+
+namespace epg {
+
+std::string render_schedule(const Circuit& c, const HardwareModel& hw) {
+  const CircuitTiming t = analyze_timing(c, hw);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    os << '[' << std::setw(6) << t.gate_start[i] << ".." << std::setw(6)
+       << t.gate_end[i] << ") " << c.gates()[i].str() << '\n';
+  }
+  os << "makespan: " << t.makespan << " ticks ("
+     << hw.ticks_to_tau(t.makespan) << " tau)\n";
+  return os.str();
+}
+
+std::string render_tracks(const Circuit& c) {
+  const std::size_t rows = c.num_photons() + c.num_emitters();
+  const std::size_t cols = c.size();
+  std::vector<std::string> track(rows, std::string(cols, '-'));
+  auto row_of = [&](QubitId q) {
+    return q.kind == QubitKind::photon ? q.index
+                                       : c.num_photons() + q.index;
+  };
+  for (std::size_t i = 0; i < cols; ++i) {
+    const Gate& g = c.gates()[i];
+    char glyph = '?';
+    switch (g.kind) {
+      case GateKind::emission: glyph = 'E'; break;
+      case GateKind::ee_cz: glyph = 'Z'; break;
+      case GateKind::ee_cnot: glyph = 'C'; break;
+      case GateKind::local: glyph = 'L'; break;
+      case GateKind::measure_reset: glyph = 'M'; break;
+    }
+    track[row_of(g.a)][i] = glyph;
+    if (g.is_two_qubit()) track[row_of(g.b)][i] = glyph == 'E' ? '*' : glyph;
+  }
+  std::ostringstream os;
+  for (std::size_t p = 0; p < c.num_photons(); ++p)
+    os << 'p' << std::left << std::setw(3) << p << ' ' << track[p] << '\n';
+  for (std::size_t e = 0; e < c.num_emitters(); ++e)
+    os << 'e' << std::left << std::setw(3) << e << ' '
+       << track[c.num_photons() + e] << '\n';
+  return os.str();
+}
+
+}  // namespace epg

@@ -1,0 +1,19 @@
+// Human-readable circuit renderings: a chronological op listing with start
+// ticks, and a per-qubit track view. Used by the examples and for debugging
+// compiled circuits.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "hardware/hardware_model.hpp"
+
+namespace epg {
+
+/// One line per gate: "[start..end) gate".
+std::string render_schedule(const Circuit& c, const HardwareModel& hw);
+
+/// ASCII tracks, one row per qubit, one column per gate slot.
+std::string render_tracks(const Circuit& c);
+
+}  // namespace epg

@@ -1,0 +1,30 @@
+// Plain-text circuit serialization (an OpenQASM-flavored line format).
+//
+//   epgc 1
+//   photons 4
+//   emitters 2
+//   local e0 H
+//   emit e0 p1
+//   cz e0 e1
+//   local p1 HS
+//   measure e0 ifone Zp2 Xp3
+//
+// One op per line; `local` carries the H/S decomposition string of the
+// Clifford; `measure` lists the classically-conditioned corrections.
+// Exists so compiled circuits can be stored, diffed, and handed to other
+// tooling; `parse_circuit(serialize_circuit(c))` is the identity (up to
+// composed-equal local Cliffords).
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace epg {
+
+std::string serialize_circuit(const Circuit& c);
+
+/// Throws std::invalid_argument on malformed input.
+Circuit parse_circuit(const std::string& text);
+
+}  // namespace epg

@@ -1,0 +1,51 @@
+#include "circuit/simulate.hpp"
+
+#include "common/assert.hpp"
+
+namespace epg {
+
+SimulationResult simulate(const Circuit& c, Rng& rng) {
+  const std::size_t n = c.num_photons() + c.num_emitters();
+  EPG_REQUIRE(n > 0, "cannot simulate an empty register");
+  SimulationResult result{Tableau(n), {}};
+  Tableau& t = result.state;
+  auto wire = [&](QubitId q) -> std::size_t {
+    return q.kind == QubitKind::photon ? q.index
+                                       : c.num_photons() + q.index;
+  };
+  for (const Gate& g : c.gates()) {
+    switch (g.kind) {
+      case GateKind::emission:
+        t.cnot(wire(g.a), wire(g.b));
+        break;
+      case GateKind::ee_cz:
+        t.cz(wire(g.a), wire(g.b));
+        break;
+      case GateKind::ee_cnot:
+        t.cnot(wire(g.a), wire(g.b));
+        break;
+      case GateKind::local:
+        t.apply(wire(g.a), g.local);
+        break;
+      case GateKind::measure_reset: {
+        const MeasureResult m = t.measure_z(wire(g.a), rng);
+        result.measurement_outcomes.push_back(m.outcome);
+        if (m.outcome) {
+          t.x(wire(g.a));  // reset the collapsed emitter back to |0>
+          for (const auto& corr : g.if_one) {
+            switch (corr.op) {
+              case PauliOp::X: t.x(wire(corr.target)); break;
+              case PauliOp::Y: t.y(wire(corr.target)); break;
+              case PauliOp::Z: t.z(wire(corr.target)); break;
+              case PauliOp::I: break;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace epg

@@ -1,0 +1,22 @@
+// Circuit execution on the tableau simulator.
+//
+// Qubit layout: photons 0..np-1, emitters np..np+ne-1; everything starts in
+// |0>. Measurement outcomes are sampled from the supplied RNG and the
+// recorded classically-conditioned corrections (plus the emitter reset) are
+// applied, exactly as the hardware's feed-forward would.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "stab/tableau.hpp"
+
+namespace epg {
+
+struct SimulationResult {
+  Tableau state;
+  std::vector<bool> measurement_outcomes;  ///< in gate order
+};
+
+SimulationResult simulate(const Circuit& c, Rng& rng);
+
+}  // namespace epg

@@ -1,0 +1,45 @@
+// Lightweight contract checking for the EPGC library.
+//
+// EPG_REQUIRE checks a precondition and throws std::invalid_argument so that
+// misuse of the public API is reported to callers. EPG_CHECK verifies an
+// internal invariant and throws std::logic_error; a failure indicates a bug
+// inside the library, never bad user input. Both stay enabled in release
+// builds: compilation results are only trusted because every step is checked.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace epg::detail {
+
+[[noreturn]] inline void throw_requirement(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: (" << expr << ") at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace epg::detail
+
+#define EPG_REQUIRE(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::epg::detail::throw_requirement(#cond, __FILE__, __LINE__, (msg));  \
+  } while (false)
+
+#define EPG_CHECK(cond, msg)                                               \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::epg::detail::throw_invariant(#cond, __FILE__, __LINE__, (msg));    \
+  } while (false)

@@ -1,0 +1,133 @@
+#include "common/bitmat.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace epg {
+
+BitMat::BitMat(std::size_t rows, std::size_t cols)
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_((cols + 63) / 64),
+      bits_(rows * words_per_row_, 0) {}
+
+bool BitMat::get(std::size_t r, std::size_t c) const {
+  EPG_REQUIRE(r < rows_ && c < cols_, "BitMat::get out of range");
+  return (bits_[word_index(r, c)] >> (c % 64)) & 1ULL;
+}
+
+void BitMat::set(std::size_t r, std::size_t c, bool v) {
+  EPG_REQUIRE(r < rows_ && c < cols_, "BitMat::set out of range");
+  const std::uint64_t mask = 1ULL << (c % 64);
+  if (v)
+    bits_[word_index(r, c)] |= mask;
+  else
+    bits_[word_index(r, c)] &= ~mask;
+}
+
+void BitMat::flip(std::size_t r, std::size_t c) {
+  EPG_REQUIRE(r < rows_ && c < cols_, "BitMat::flip out of range");
+  bits_[word_index(r, c)] ^= 1ULL << (c % 64);
+}
+
+void BitMat::xor_rows(std::size_t r, std::size_t s) {
+  EPG_REQUIRE(r < rows_ && s < rows_, "BitMat::xor_rows out of range");
+  auto* dst = &bits_[r * words_per_row_];
+  const auto* src = &bits_[s * words_per_row_];
+  for (std::size_t w = 0; w < words_per_row_; ++w) dst[w] ^= src[w];
+}
+
+void BitMat::swap_rows(std::size_t r, std::size_t s) {
+  EPG_REQUIRE(r < rows_ && s < rows_, "BitMat::swap_rows out of range");
+  if (r == s) return;
+  auto* a = &bits_[r * words_per_row_];
+  auto* b = &bits_[s * words_per_row_];
+  for (std::size_t w = 0; w < words_per_row_; ++w) std::swap(a[w], b[w]);
+}
+
+void BitMat::xor_row_words(std::size_t r, const std::uint64_t* words) {
+  EPG_REQUIRE(r < rows_, "BitMat::xor_row_words out of range");
+  auto* dst = &bits_[r * words_per_row_];
+  for (std::size_t w = 0; w < words_per_row_; ++w) dst[w] ^= words[w];
+}
+
+const std::uint64_t* BitMat::row_words(std::size_t r) const {
+  EPG_REQUIRE(r < rows_, "BitMat::row_words out of range");
+  return &bits_[r * words_per_row_];
+}
+
+bool BitMat::row_is_zero(std::size_t r) const {
+  const auto* w = row_words(r);
+  for (std::size_t i = 0; i < words_per_row_; ++i)
+    if (w[i] != 0) return false;
+  return true;
+}
+
+std::size_t BitMat::rank() const {
+  BitMat copy = *this;
+  return copy.row_reduce().size();
+}
+
+std::vector<std::size_t> BitMat::row_reduce() {
+  std::vector<std::size_t> pivots;
+  std::size_t pivot_row = 0;
+  for (std::size_t c = 0; c < cols_ && pivot_row < rows_; ++c) {
+    std::size_t r = pivot_row;
+    while (r < rows_ && !get(r, c)) ++r;
+    if (r == rows_) continue;
+    swap_rows(pivot_row, r);
+    for (std::size_t k = 0; k < rows_; ++k)
+      if (k != pivot_row && get(k, c)) xor_rows(k, pivot_row);
+    pivots.push_back(c);
+    ++pivot_row;
+  }
+  return pivots;
+}
+
+std::optional<std::vector<bool>> BitMat::solve(
+    const std::vector<bool>& b) const {
+  EPG_REQUIRE(b.size() == rows_, "BitMat::solve rhs size mismatch");
+  // Augmented elimination on a copy.
+  BitMat aug(rows_, cols_ + 1);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      const std::uint64_t word = row_words(r)[w];
+      if (word == 0) continue;
+      for (std::size_t bit = 0; bit < 64; ++bit) {
+        const std::size_t c = w * 64 + bit;
+        if (c < cols_ && ((word >> bit) & 1ULL)) aug.set(r, c, true);
+      }
+    }
+    if (b[r]) aug.set(r, cols_, true);
+  }
+  std::size_t pivot_row = 0;
+  std::vector<std::size_t> pivot_col_of_row;
+  for (std::size_t c = 0; c < cols_ && pivot_row < rows_; ++c) {
+    std::size_t r = pivot_row;
+    while (r < rows_ && !aug.get(r, c)) ++r;
+    if (r == rows_) continue;
+    aug.swap_rows(pivot_row, r);
+    for (std::size_t k = 0; k < rows_; ++k)
+      if (k != pivot_row && aug.get(k, c)) aug.xor_rows(k, pivot_row);
+    pivot_col_of_row.push_back(c);
+    ++pivot_row;
+  }
+  // Inconsistent if a zero row has rhs 1.
+  for (std::size_t r = pivot_row; r < rows_; ++r) {
+    bool zero = true;
+    for (std::size_t c = 0; c < cols_ && zero; ++c)
+      if (aug.get(r, c)) zero = false;
+    if (zero && aug.get(r, cols_)) return std::nullopt;
+  }
+  std::vector<bool> x(cols_, false);
+  for (std::size_t r = 0; r < pivot_col_of_row.size(); ++r)
+    x[pivot_col_of_row[r]] = aug.get(r, cols_);
+  return x;
+}
+
+bool BitMat::operator==(const BitMat& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && bits_ == other.bits_;
+}
+
+}  // namespace epg

@@ -1,0 +1,61 @@
+// Dense GF(2) bit-matrix with the linear algebra the compiler relies on:
+// rank (cut-rank / entanglement entropy, minimal emitter counts), row
+// reduction (stabilizer canonical forms, group-membership tests) and linear
+// solving. Rows are packed into 64-bit words; all arithmetic is XOR-based.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace epg {
+
+class BitMat {
+ public:
+  BitMat() = default;
+  BitMat(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  bool get(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, bool v);
+  void flip(std::size_t r, std::size_t c);
+
+  /// row r ^= row s (r may equal s only if you intend to zero it).
+  void xor_rows(std::size_t r, std::size_t s);
+  void swap_rows(std::size_t r, std::size_t s);
+
+  /// XOR an externally packed row into row r. words must hold word_count()
+  /// entries.
+  void xor_row_words(std::size_t r, const std::uint64_t* words);
+
+  std::size_t word_count() const { return words_per_row_; }
+  const std::uint64_t* row_words(std::size_t r) const;
+
+  bool row_is_zero(std::size_t r) const;
+
+  /// Rank over GF(2); the matrix is left untouched (works on a copy).
+  std::size_t rank() const;
+
+  /// In-place reduction to row echelon form; returns the pivot columns.
+  std::vector<std::size_t> row_reduce();
+
+  /// Solve A x = b over GF(2) (A = *this, untouched). Returns one solution
+  /// or nullopt when the system is inconsistent.
+  std::optional<std::vector<bool>> solve(const std::vector<bool>& b) const;
+
+  bool operator==(const BitMat& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> bits_;
+
+  std::size_t word_index(std::size_t r, std::size_t c) const {
+    return r * words_per_row_ + c / 64;
+  }
+};
+
+}  // namespace epg

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic pieces of the compiler (graph generators, annealing,
+// measurement sampling in the verifier) draw from this xoshiro256** engine so
+// that every experiment is reproducible from a single seed. The engine
+// satisfies std::uniform_random_bit_generator and can be handed to <random>
+// distributions, but the helpers below cover every use in this project.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace epg {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick a uniformly random element index of a non-empty container.
+  template <typename T>
+  std::size_t pick_index(const std::vector<T>& v) {
+    return static_cast<std::size_t>(below(v.size()));
+  }
+
+  /// Derive an independent child generator (for parallel / per-instance use).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace epg

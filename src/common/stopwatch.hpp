@@ -1,0 +1,28 @@
+// Wall-clock stopwatch used to enforce the time budgets of the anytime
+// searches (partition/LC search, subgraph candidate enumeration), mirroring
+// the solver timeouts the paper configures for Gurobi and GraphiQ.
+#pragma once
+
+#include <chrono>
+
+namespace epg {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_)
+        .count();
+  }
+
+  bool expired(double budget_ms) const { return elapsed_ms() >= budget_ms; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace epg

@@ -1,0 +1,39 @@
+// Plain-text result tables for the benchmark harness.
+//
+// Every bench binary prints one aligned human-readable table (the rows of
+// the corresponding paper figure) followed by a machine-readable CSV block,
+// so results can be inspected on a terminal and parsed by plotting scripts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace epg {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; cells are stringified by the caller.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::size_t v);
+  static std::string num(int v);
+
+  /// Aligned ASCII rendering.
+  void print(std::ostream& os) const;
+
+  /// CSV rendering (no quoting needed for our numeric content).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace epg

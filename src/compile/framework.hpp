@@ -1,0 +1,53 @@
+// The full compilation framework (paper Fig. 6):
+//   1. partition the target graph state into subgraphs, co-optimizing a
+//      depth-limited local-complementation sequence (Section IV.A);
+//   2. compile every subgraph under flexible emitter limits
+//      ne in {ne_min, ne_min+1, ne_min+2} (Section IV.B);
+//   3. recombine: stem edges become anchor-anchor CZs, subcircuits are
+//      Tetris-scheduled under the global emitter cap Ne_limit, and the
+//      flexible-ne variants are swapped in when they shrink the makespan
+//      (Section IV.C);
+//   4. append the photon-local Cliffords that map the LC-transformed graph
+//      state back to the exact requested |G>;
+//   5. verify the result end-to-end on the stabilizer simulator.
+#pragma once
+
+#include "compile/scheduler.hpp"
+#include "compile/subgraph_compiler.hpp"
+#include "compile/verify.hpp"
+#include "partition/lc_partition_search.hpp"
+
+namespace epg {
+
+struct FrameworkConfig {
+  HardwareModel hw = HardwareModel::quantum_dot();
+  LcPartitionConfig partition;
+  SubgraphCompileConfig subgraph;
+  /// Ne_limit = ceil(factor * Ne_min) unless overridden (paper uses 1.5/2).
+  double ne_limit_factor = 1.5;
+  std::uint32_t ne_limit_override = 0;
+  bool alap_tetris = true;   ///< ablation: Tetris scheduling on/off
+  bool flexible_ne = true;   ///< ablation: flexible resource constraint
+  int verify_seeds = 2;      ///< 0 disables the final verification
+  std::uint64_t seed = 1;
+};
+
+struct FrameworkResult {
+  GlobalSchedule schedule;
+  PartitionOutcome partition;
+  std::size_t ne_min = 0;       ///< global height-function minimum
+  std::uint32_t ne_limit = 0;   ///< emitter cap handed to the scheduler
+  std::size_t stem_count = 0;
+  std::size_t subgraph_nodes = 0;  ///< total DFS nodes across subgraphs
+  /// Dangler-host stem windows deadlocked and the parts were recompiled in
+  /// the anchor-only mode (diagnostic; the output is still verified).
+  bool dangler_fallback = false;
+  bool verified = false;
+
+  const CircuitStats& stats() const { return schedule.stats; }
+};
+
+FrameworkResult compile_framework(const Graph& target,
+                                  const FrameworkConfig& cfg);
+
+}  // namespace epg

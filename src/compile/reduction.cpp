@@ -1,0 +1,263 @@
+#include "compile/reduction.hpp"
+
+#include "common/assert.hpp"
+#include "graph/local_complement.hpp"
+
+namespace epg {
+
+ReductionState::ReductionState(const SubgraphSpec& spec,
+                               std::uint32_t ne_limit, DanglerPolicy policy)
+    : g_(spec.graph),
+      boundary_(spec.boundary),
+      role_(spec.graph.vertex_count(), Role::photon),
+      slot_(spec.graph.vertex_count(), -1),
+      ne_limit_(ne_limit),
+      policy_(policy),
+      stem_key_(spec.stem_key),
+      photons_left_(spec.graph.vertex_count()) {
+  EPG_REQUIRE(ne_limit >= 1, "need at least one emitter");
+  EPG_REQUIRE(boundary_.size() == g_.vertex_count(),
+              "boundary flag per vertex required");
+  EPG_REQUIRE(stem_key_.size() == g_.vertex_count(),
+              "stem key per vertex required");
+}
+
+std::uint32_t ReductionState::slot_of(Vertex v) const {
+  EPG_REQUIRE(role_[v] == Role::emitter, "slot_of needs an emitter vertex");
+  return static_cast<std::uint32_t>(slot_[v]);
+}
+
+bool ReductionState::reduced() const {
+  if (photons_left_ != 0) return false;
+  for (Vertex v = 0; v < g_.vertex_count(); ++v) {
+    if (role_[v] != Role::emitter) continue;
+    // Only isolated anchors may remain.
+    if (!boundary_[v] || !g_.is_isolated(v)) return false;
+  }
+  return true;
+}
+
+bool ReductionState::can_swap(Vertex p) const {
+  return role_[p] == Role::photon && active_ < ne_limit_;
+}
+
+// Anchors may perform any absorption: legality is evaluated on the local
+// graph (without stem edges), which matches the global reverse order because
+// the scheduler disconnects an anchor's stems before (in reverse time) any
+// of its internal operations — i.e. places stem CZs after all internal
+// anchor gates in the forward circuit.
+
+bool ReductionState::can_absorb_leaf(Vertex e, Vertex p) const {
+  // (b): p's single neighborhood edge goes to e. Boundary photons must keep
+  // their identity until their swap.
+  return role_[e] == Role::emitter && role_[p] == Role::photon &&
+         !boundary_[p] && g_.degree(p) == 1 && g_.has_edge(e, p);
+}
+
+bool ReductionState::can_absorb_dangler(Vertex e, Vertex p) const {
+  // (c): e inherits p's edges. Unlike leaf/twin absorption, the forward
+  // emission hands the host's *entire* neighborhood to the photon, so a
+  // boundary photon may leave this way too: its stem CZs are applied to the
+  // host in the window right before the emission and ride onto the photon.
+  if (role_[e] != Role::emitter || role_[p] != Role::photon) return false;
+  if (boundary_[p]) {
+    // A window may host any number of stem CZs in free form; the key-
+    // ordered policy needs one stem per window (unique keys) and strictly
+    // decreasing keys along the reverse sequence for its acyclicity proof.
+    if (policy_.key_order) {
+      const std::uint32_t key = stem_key_[p];
+      if (key == SubgraphSpec::must_swap) return false;
+      if (static_cast<std::int64_t>(key) >= last_dangler_key_) return false;
+    }
+    const auto slot = static_cast<std::size_t>(slot_[e]);
+    const std::uint32_t used =
+        slot < dangler_windows_.size() ? dangler_windows_[slot] : 0;
+    if (used >= policy_.cap) return false;
+  }
+  return g_.degree(e) == 1 && g_.has_edge(e, p);
+}
+
+bool ReductionState::can_absorb_twin(Vertex e, Vertex p) const {
+  // (d): same neighborhood modulo each other.
+  return role_[e] == Role::emitter && role_[p] == Role::photon &&
+         !boundary_[p] && g_.same_neighborhood(e, p);
+}
+
+bool ReductionState::can_disconnect(Vertex e1, Vertex e2) const {
+  return e1 != e2 && role_[e1] == Role::emitter &&
+         role_[e2] == Role::emitter && g_.has_edge(e1, e2);
+}
+
+bool ReductionState::can_local_comp(Vertex v) const {
+  // LC toggles edges among N(v); anchors would leak the change onto their
+  // external stem edges, and the forward unitary on v is not Z-diagonal.
+  return role_[v] != Role::done && !boundary_[v] && g_.degree(v) >= 2;
+}
+
+void ReductionState::maybe_retire(Vertex v) {
+  if (role_[v] != Role::emitter || boundary_[v] || !g_.is_isolated(v)) return;
+  ReduceOp op;
+  op.kind = ReduceOpKind::retire_emitter;
+  op.e = v;
+  op.slot_e = static_cast<std::uint32_t>(slot_[v]);
+  op.anchor = false;
+  ops_.push_back(op);
+  free_slots_.push_back(static_cast<std::uint32_t>(slot_[v]));
+  slot_[v] = -1;
+  role_[v] = Role::done;
+  --active_;
+}
+
+void ReductionState::remove_photon(Vertex p) {
+  role_[p] = Role::done;
+  --photons_left_;
+}
+
+void ReductionState::swap_photon(Vertex p) {
+  EPG_REQUIRE(can_swap(p), "illegal swap");
+  const bool anchor = boundary_[p];
+  std::uint32_t slot;
+  if (!anchor && !free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    // Anchors always take a dedicated fresh slot: their forward emission
+    // tail may be delayed by the scheduler and must not collide with a
+    // reused slot.
+    slot = slots_used_++;
+  }
+  ReduceOp op;
+  op.kind = ReduceOpKind::swap_photon;
+  op.p = p;
+  op.slot_p = slot;
+  op.anchor = anchor;
+  ops_.push_back(op);
+
+  role_[p] = Role::emitter;
+  slot_[p] = static_cast<std::int32_t>(slot);
+  --photons_left_;
+  ++active_;
+  ++swaps_;
+  maybe_retire(p);  // a degree-0 photon swaps into an instantly-free emitter
+}
+
+void ReductionState::absorb_leaf(Vertex e, Vertex p) {
+  EPG_REQUIRE(can_absorb_leaf(e, p), "illegal absorb_leaf");
+  ReduceOp op;
+  op.kind = ReduceOpKind::absorb_leaf;
+  op.p = p;
+  op.e = e;
+  op.slot_e = static_cast<std::uint32_t>(slot_[e]);
+  op.anchor = boundary_[e];
+  ops_.push_back(op);
+  g_.remove_edge(e, p);
+  remove_photon(p);
+  maybe_retire(e);
+}
+
+void ReductionState::absorb_dangler(Vertex e, Vertex p) {
+  EPG_REQUIRE(can_absorb_dangler(e, p), "illegal absorb_dangler");
+  ReduceOp op;
+  op.kind = ReduceOpKind::absorb_dangler;
+  op.p = p;
+  op.e = e;
+  op.slot_e = static_cast<std::uint32_t>(slot_[e]);
+  op.anchor = boundary_[p];  // stem-carrying emission: host window needed
+  if (op.anchor) {
+    const auto slot = static_cast<std::size_t>(slot_[e]);
+    if (dangler_windows_.size() <= slot) dangler_windows_.resize(slot + 1, 0);
+    ++dangler_windows_[slot];
+    last_dangler_key_ = static_cast<std::int64_t>(stem_key_[p]);
+  }
+  ops_.push_back(op);
+  g_.remove_edge(e, p);
+  for (Vertex u : g_.neighbors(p)) {
+    g_.remove_edge(p, u);
+    g_.add_edge(e, u);
+  }
+  remove_photon(p);
+  maybe_retire(e);
+}
+
+void ReductionState::absorb_twin(Vertex e, Vertex p) {
+  EPG_REQUIRE(can_absorb_twin(e, p), "illegal absorb_twin");
+  ReduceOp op;
+  op.kind = ReduceOpKind::absorb_twin;
+  op.p = p;
+  op.e = e;
+  op.slot_e = static_cast<std::uint32_t>(slot_[e]);
+  op.twin_adjacent = g_.has_edge(e, p);
+  ops_.push_back(op);
+  g_.isolate(p);
+  remove_photon(p);
+  maybe_retire(e);
+}
+
+void ReductionState::disconnect(Vertex e1, Vertex e2) {
+  EPG_REQUIRE(can_disconnect(e1, e2), "illegal disconnect");
+  ReduceOp op;
+  op.kind = ReduceOpKind::disconnect;
+  op.e = e1;
+  op.p = e2;
+  op.slot_e = static_cast<std::uint32_t>(slot_[e1]);
+  op.slot_p = static_cast<std::uint32_t>(slot_[e2]);
+  ops_.push_back(op);
+  g_.remove_edge(e1, e2);
+  ++disconnects_;
+  maybe_retire(e1);
+  maybe_retire(e2);
+}
+
+void ReductionState::local_comp(Vertex v) {
+  EPG_REQUIRE(can_local_comp(v), "illegal local complementation");
+  ReduceOp op;
+  op.kind = ReduceOpKind::local_comp;
+  op.p = v;
+  op.lc_on_emitter = role_[v] == Role::emitter;
+  if (op.lc_on_emitter) op.lc_slot = static_cast<std::uint32_t>(slot_[v]);
+  for (Vertex u : g_.neighbors(v)) {
+    if (role_[u] == Role::emitter)
+      op.lc_emitter_neighbors.emplace_back(
+          u, static_cast<std::uint32_t>(slot_[u]));
+    else
+      op.lc_photon_neighbors.push_back(u);
+  }
+  ops_.push_back(std::move(op));
+  epg::local_complement(g_, v);
+  ++lcs_;
+}
+
+void ReductionState::finalize() {
+  EPG_REQUIRE(reduced(), "finalize requires a fully reduced state");
+  for (Vertex v = 0; v < g_.vertex_count(); ++v) {
+    if (role_[v] != Role::emitter) continue;
+    EPG_CHECK(boundary_[v], "only anchors survive reduction");
+    ReduceOp op;
+    op.kind = ReduceOpKind::retire_emitter;
+    op.e = v;
+    op.slot_e = static_cast<std::uint32_t>(slot_[v]);
+    op.anchor = true;
+    ops_.push_back(op);
+    slot_[v] = -1;
+    role_[v] = Role::done;
+    --active_;
+  }
+}
+
+std::uint64_t ReductionState::state_hash() const {
+  std::uint64_t h = g_.fingerprint();
+  for (Vertex v = 0; v < g_.vertex_count(); ++v) {
+    h = h * 0x100000001b3ULL ^ static_cast<std::uint64_t>(role_[v]);
+  }
+  h = h * 0x100000001b3ULL ^ lcs_;
+  // Remaining dangler-window budget / key watermark gate future boundary
+  // absorbs, so they are part of the memoized state where active.
+  if (policy_.cap != DanglerPolicy::unlimited)
+    for (std::uint32_t w : dangler_windows_)
+      h = h * 0x100000001b3ULL ^ w;
+  if (policy_.key_order)
+    h = h * 0x100000001b3ULL ^ static_cast<std::uint64_t>(last_dangler_key_);
+  return h;
+}
+
+}  // namespace epg

@@ -1,0 +1,208 @@
+// Time-reversed graph reduction (paper Section II.C, Fig. 2/3).
+//
+// The compiler searches for a sequence of *reverse* operations that reduces
+// the target graph state to the vacuum; replaying the inverses in reverse
+// order yields the forward generation circuit. The state during reduction is
+// always a pure graph state over the subgraph's vertices; a vertex's role
+// says how its wire is currently interpreted:
+//   photon  : not yet absorbed (in forward time: already emitted),
+//   emitter : taken over by an emitter (via the swap op),
+//   done    : absorbed photon, or a freed emitter.
+//
+// Reverse operations and their forward images:
+//   swap_photon       (a) photon p is replaced by a fresh/free emitter;
+//                         forward: emission CNOT + H + measure + cond. Z —
+//                         the emission of p with measurement-based transfer.
+//   absorb_leaf       (b) an emitter absorbs a photon whose only neighbor
+//                         it is; forward: emission CNOT + H(photon).
+//   absorb_dangler    (c) a dangling emitter (deg 1) absorbs its photon
+//                         neighbor and inherits that photon's edges;
+//                         forward: emission CNOT + H(emitter).
+//   absorb_twin       (d) an emitter absorbs a photon with the same
+//                         neighborhood (adjacent or not); forward: emission
+//                         CNOT + fixed local Cliffords.
+//   disconnect        (e) removes an emitter-emitter edge; forward: CZ —
+//                         the expensive op whose count the search minimizes.
+//   local_comp        LC at a live vertex; forward: sqrt(X) on it and
+//                         S^dag on its neighbors.
+//   retire_emitter    an isolated emitter leaves the graph (|+> -H-> |0>);
+//                         forward: the H that initializes the emitter.
+//
+// Boundary vertices (endpoints of inter-subgraph stem edges) may only leave
+// via swap_photon; their emitter ("anchor") keeps a dedicated slot and stays
+// until the end of the reduction, carrying the stem edges. Anchor-internal
+// ops are legal against the *local* graph because the top-level scheduler
+// places every stem CZ after all internal anchor gates (equivalently, the
+// global reverse order disconnects the stems first); only local
+// complementation at an anchor stays forbidden, as it would rewire the
+// anchor's external neighborhood.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace epg {
+
+enum class Role : std::uint8_t { photon, emitter, done };
+
+struct SubgraphSpec {
+  /// stem_key value for boundary vertices that carry more than one stem
+  /// edge: they must leave via swap (a dangler window hosts exactly one
+  /// stem CZ — see stem_key below).
+  static constexpr std::uint32_t must_swap = ~0u;
+
+  Graph graph;                 ///< local vertex ids 0..n-1
+  std::vector<bool> boundary;  ///< true for stem-edge endpoints
+  /// Global rank of each boundary vertex's unique stem edge (or must_swap).
+  /// Within a part, dangler-hosted boundary photons must be emitted in
+  /// increasing key order; because both endpoints of a stem share its key,
+  /// every window-precedence edge then goes from a smaller key to a larger
+  /// one and the cross-part stem-CZ constraint graph is provably acyclic.
+  std::vector<std::uint32_t> stem_key;
+
+  explicit SubgraphSpec(Graph g)
+      : graph(std::move(g)), boundary(graph.vertex_count(), false) {
+    default_keys();
+  }
+  SubgraphSpec(Graph g, std::vector<bool> b)
+      : graph(std::move(g)), boundary(std::move(b)) {
+    default_keys();
+  }
+  SubgraphSpec(Graph g, std::vector<bool> b, std::vector<std::uint32_t> keys)
+      : graph(std::move(g)),
+        boundary(std::move(b)),
+        stem_key(std::move(keys)) {}
+
+ private:
+  void default_keys() {
+    stem_key.resize(graph.vertex_count());
+    for (Vertex v = 0; v < graph.vertex_count(); ++v) stem_key[v] = v;
+  }
+};
+
+enum class ReduceOpKind : std::uint8_t {
+  swap_photon,
+  absorb_leaf,
+  absorb_dangler,
+  absorb_twin,
+  disconnect,
+  local_comp,
+  retire_emitter,
+};
+
+struct ReduceOp {
+  ReduceOpKind kind = ReduceOpKind::swap_photon;
+  Vertex p = 0;  ///< photon operand; LC vertex; second emitter (disconnect)
+  Vertex e = 0;  ///< emitter operand; first emitter (disconnect)
+  std::uint32_t slot_p = 0;  ///< emitter slot bound by swap / retired slot
+  std::uint32_t slot_e = 0;  ///< slot of the absorbing/first emitter
+  bool twin_adjacent = false;     ///< absorb_twin flavor
+  bool anchor = false;            ///< swap created / retire released an anchor
+  /// local_comp context captured at op time.
+  bool lc_on_emitter = false;
+  std::uint32_t lc_slot = 0;
+  std::vector<std::pair<Vertex, std::uint32_t>> lc_emitter_neighbors;
+  std::vector<Vertex> lc_photon_neighbors;
+};
+
+/// How freely boundary photons may leave via absorb_dangler hosts. The
+/// forward emission transfers the host emitter's entire neighborhood to the
+/// photon, so a stem CZ applied to the host right before the emission rides
+/// onto the photon; the scheduler places stem CZs in exactly that window.
+/// Windows from different parts can form precedence cycles at
+/// recombination; the framework ladders offending parts through stricter
+/// policies until the schedule closes (anchor-only never deadlocks).
+struct DanglerPolicy {
+  /// No limit on boundary-dangler windows per emitter slot.
+  static constexpr std::uint32_t unlimited = ~0u;
+
+  /// Boundary photons each emitter slot may emit via absorb_dangler over
+  /// its lifetime; 0 = anchor-only mode.
+  std::uint32_t cap = unlimited;
+  /// Require dangler-hosted boundary photons to be emitted in increasing
+  /// stem-key order within the part (strictly decreasing along the reverse
+  /// sequence). This removes most cross-part window cycles.
+  bool key_order = false;
+
+  static DanglerPolicy free_form() { return {unlimited, false}; }
+  static DanglerPolicy key_ordered() { return {unlimited, true}; }
+  static DanglerPolicy anchors_only() { return {0, false}; }
+};
+
+/// Copyable search state for the subgraph compiler's DFS.
+class ReductionState {
+ public:
+  ReductionState(const SubgraphSpec& spec, std::uint32_t ne_limit,
+                 DanglerPolicy policy = DanglerPolicy{});
+
+  const Graph& graph() const { return g_; }
+  Role role(Vertex v) const { return role_[v]; }
+  bool is_boundary(Vertex v) const { return boundary_[v]; }
+  std::uint32_t slot_of(Vertex v) const;
+
+  std::uint32_t ne_limit() const { return ne_limit_; }
+  std::uint32_t active_emitters() const { return active_; }
+  std::uint32_t slots_used() const { return slots_used_; }
+  bool has_free_capacity() const { return active_ < ne_limit_; }
+
+  std::size_t photons_left() const { return photons_left_; }
+  /// Terminal: every photon emitted, every non-anchor emitter retired, and
+  /// anchors isolated. finalize() must still be called to retire anchors.
+  bool reduced() const;
+
+  // Legality checks (pure graph conditions).
+  bool can_swap(Vertex p) const;
+  bool can_absorb_leaf(Vertex e, Vertex p) const;
+  bool can_absorb_dangler(Vertex e, Vertex p) const;
+  bool can_absorb_twin(Vertex e, Vertex p) const;
+  bool can_disconnect(Vertex e1, Vertex e2) const;
+  bool can_local_comp(Vertex v) const;
+
+  // Mutations (require the corresponding can_*; record ops and auto-retire
+  // emitters that become isolated).
+  void swap_photon(Vertex p);
+  void absorb_leaf(Vertex e, Vertex p);
+  void absorb_dangler(Vertex e, Vertex p);
+  void absorb_twin(Vertex e, Vertex p);
+  void disconnect(Vertex e1, Vertex e2);
+  void local_comp(Vertex v);
+
+  /// Retire the anchors once reduced(); afterwards the op list is complete.
+  void finalize();
+
+  const std::vector<ReduceOp>& ops() const { return ops_; }
+
+  // Search bookkeeping.
+  std::uint32_t disconnect_count() const { return disconnects_; }
+  std::uint32_t swap_count() const { return swaps_; }
+  std::uint32_t lc_count() const { return lcs_; }
+  std::uint64_t state_hash() const;
+
+ private:
+  Graph g_;
+  std::vector<bool> boundary_;
+  std::vector<Role> role_;
+  std::vector<std::int32_t> slot_;  // -1 when not an emitter
+  std::uint32_t ne_limit_ = 0;
+  DanglerPolicy policy_;
+  std::vector<std::uint32_t> dangler_windows_;  ///< per-slot, lifetime count
+  std::vector<std::uint32_t> stem_key_;
+  /// Key watermark for policy_.key_order: keys of dangler-hosted boundary
+  /// photons must strictly decrease along the reverse sequence — i.e.
+  /// increase along forward emission time on every wire chain.
+  std::int64_t last_dangler_key_ = std::numeric_limits<std::int64_t>::max();
+  std::uint32_t active_ = 0;
+  std::uint32_t slots_used_ = 0;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t photons_left_ = 0;
+  std::uint32_t disconnects_ = 0, swaps_ = 0, lcs_ = 0;
+  std::vector<ReduceOp> ops_;
+
+  void maybe_retire(Vertex v);
+  void remove_photon(Vertex p);
+};
+
+}  // namespace epg

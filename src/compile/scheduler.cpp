@@ -1,0 +1,555 @@
+#include "compile/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "circuit/timing.hpp"
+#include "common/assert.hpp"
+
+namespace epg {
+namespace {
+
+struct PartLayout {
+  CircuitTiming timing;
+  double priority = 0.0;
+  Tick offset = 0;
+  std::vector<std::uint32_t> usage;  // local usage curve
+};
+
+/// Key for an emitter slot owned by one part.
+struct SlotKey {
+  std::uint32_t part;
+  std::uint32_t slot;
+  bool operator<(const SlotKey& o) const {
+    return std::tie(part, slot) < std::tie(o.part, o.slot);
+  }
+};
+
+struct MergedGate {
+  Tick release = 0;
+  std::uint32_t part = 0;      ///< parts.size() marks a stem CZ
+  std::uint32_t index = 0;     ///< local gate index / stem index
+};
+
+}  // namespace
+
+namespace {
+
+/// One full plan->legalize pass with the given packing headroom.
+GlobalSchedule schedule_once(const std::vector<CompiledPart>& parts,
+                             const std::vector<Edge>& stem_edges,
+                             std::size_t num_global_photons,
+                             const ScheduleConfig& cfg,
+                             std::uint32_t packing_limit) {
+  EPG_REQUIRE(!parts.empty(), "nothing to schedule");
+  const Tick ee_dur = cfg.hw.ee_cnot_ticks;
+
+  // ---- 1. local analysis -------------------------------------------------
+  std::vector<PartLayout> layout(parts.size());
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    CircuitTiming& timing = layout[p].timing;
+    timing = analyze_timing(parts[p].circuit.circuit, cfg.hw);
+    // An anchor idles in |0>/|+> until its first real operation; push its
+    // init H right up against that op so the slot is not reserved earlier.
+    const Circuit& c = parts[p].circuit.circuit;
+    for (const AnchorInfo& a : parts[p].circuit.anchors) {
+      if (!a.via_swap) continue;  // dangler hosts have no idle init to push
+      Tick next = timing.makespan;
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        if (i == a.init_gate) continue;
+        const Gate& g = c.gates()[i];
+        const bool touches =
+            (g.a.kind == QubitKind::emitter && g.a.index == a.slot) ||
+            (g.is_two_qubit() && g.b.kind == QubitKind::emitter &&
+             g.b.index == a.slot);
+        if (touches) next = std::min(next, timing.gate_start[i]);
+      }
+      const Tick dur =
+          timing.gate_end[a.init_gate] - timing.gate_start[a.init_gate];
+      if (next >= dur && timing.gate_end[a.init_gate] < next) {
+        timing.gate_start[a.init_gate] = next - dur;
+        timing.gate_end[a.init_gate] = next;
+        timing.emitter_busy[a.slot].begin = next - dur;
+      }
+    }
+    const double dur =
+        std::max<double>(1.0, static_cast<double>(timing.makespan));
+    layout[p].priority =
+        static_cast<double>(parts[p].circuit.circuit.num_photons()) / dur;
+    layout[p].usage = timing.usage_curve();
+  }
+
+  // ---- 2. placement ------------------------------------------------------
+  std::vector<std::uint32_t> order(parts.size());
+  for (std::uint32_t p = 0; p < parts.size(); ++p) order[p] = p;
+  // Stem partners: parts joined by a stem edge want temporal overlap, or
+  // their anchors wait (occupying emitters) for the partner to start.
+  std::vector<std::vector<std::uint32_t>> partners(parts.size());
+  {
+    std::vector<std::uint32_t> owner;
+    for (std::uint32_t p = 0; p < parts.size(); ++p)
+      for (Vertex v : parts[p].to_global) {
+        if (owner.size() <= v) owner.resize(v + 1, 0);
+        owner[v] = p;
+      }
+    for (const auto& [u, v] : stem_edges) {
+      partners[owner[u]].push_back(owner[v]);
+      partners[owner[v]].push_back(owner[u]);
+    }
+  }
+
+  if (cfg.alap_tetris) {
+    // Highest priority first = placed latest (smallest reversed offset).
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (layout[a].priority != layout[b].priority)
+                  return layout[a].priority > layout[b].priority;
+                return a < b;
+              });
+    std::vector<std::uint32_t> global_usage;  // reversed time
+    std::vector<Tick> rev_offset(parts.size(), 0);
+    std::vector<bool> placed(parts.size(), false);
+    for (std::uint32_t p : order) {
+      const auto& u = layout[p].usage;
+      const std::size_t t_len = u.size();
+      // A part whose own curve tops the cap (anchor slots stack on top of
+      // its worker emitters) must still land somewhere: relax the cap to
+      // its own peak so the drop search below always terminates. The
+      // realized peak is reported honestly via limit_respected.
+      std::uint32_t cap = packing_limit;
+      for (std::uint32_t x : u) cap = std::max(cap, x);
+      auto fits = [&](std::size_t r) {
+        for (std::size_t t = 0; t < t_len; ++t) {
+          const std::size_t g = r + t;
+          const std::uint32_t cur =
+              g < global_usage.size() ? global_usage[g] : 0;
+          // Reversed-time usage of the part at reversed tick t.
+          if (cur + u[t_len - 1 - t] > cap) return false;
+        }
+        return true;
+      };
+      auto overlap_score = [&](std::size_t r) {
+        Tick score = 0;
+        for (std::uint32_t q : partners[p]) {
+          if (!placed[q]) continue;
+          const Tick lo = std::max<Tick>(r, rev_offset[q]);
+          const Tick hi = std::min<Tick>(r + t_len,
+                                         rev_offset[q] +
+                                             layout[q].timing.makespan);
+          if (hi > lo) score += hi - lo;
+        }
+        return score;
+      };
+      std::size_t r = 0;
+      while (!fits(r)) ++r;
+      // Scan a bounded window of later drops for better partner overlap.
+      std::size_t best_r = r;
+      Tick best_score = overlap_score(r);
+      for (std::size_t probe = r + 1; probe <= r + 2 * t_len; ++probe) {
+        if (!fits(probe)) continue;
+        const Tick score = overlap_score(probe);
+        if (score > best_score) {
+          best_score = score;
+          best_r = probe;
+        }
+      }
+      r = best_r;
+      rev_offset[p] = r;
+      placed[p] = true;
+      if (global_usage.size() < r + t_len) global_usage.resize(r + t_len, 0);
+      for (std::size_t t = 0; t < t_len; ++t)
+        global_usage[r + t] += u[t_len - 1 - t];
+    }
+    Tick total = 0;
+    for (std::uint32_t p = 0; p < parts.size(); ++p)
+      total = std::max(total, rev_offset[p] + layout[p].timing.makespan);
+    for (std::uint32_t p = 0; p < parts.size(); ++p)
+      layout[p].offset = total - rev_offset[p] - layout[p].timing.makespan;
+  } else {
+    // Sequential ablation: lowest priority earliest.
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (layout[a].priority != layout[b].priority)
+                  return layout[a].priority < layout[b].priority;
+                return a < b;
+              });
+    Tick cursor = 0;
+    for (std::uint32_t p : order) {
+      layout[p].offset = cursor;
+      cursor += layout[p].timing.makespan;
+    }
+  }
+
+  // ---- 3. releases, host windows and stem CZs -----------------------------
+  std::vector<std::vector<Tick>> release(parts.size());
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    release[p].resize(parts[p].circuit.circuit.size());
+    for (std::size_t i = 0; i < release[p].size(); ++i)
+      release[p][i] = layout[p].offset + layout[p].timing.gate_start[i];
+  }
+
+  // Host lookup: global boundary vertex -> (part, AnchorInfo) plus the slot
+  // gates preceding its window, needed both for the initial readiness and
+  // for the window-order fixpoint below.
+  struct HostRef {
+    std::uint32_t part = 0;
+    const AnchorInfo* info = nullptr;
+    std::vector<std::size_t> prev_gates;  ///< slot gates before tail_begin
+  };
+  std::map<Vertex, HostRef> host_of_global;
+  for (std::uint32_t p = 0; p < parts.size(); ++p) {
+    const Circuit& c = parts[p].circuit.circuit;
+    for (const AnchorInfo& a : parts[p].circuit.anchors) {
+      HostRef ref;
+      ref.part = p;
+      ref.info = &a;
+      for (std::size_t i = 0; i < a.tail_begin; ++i) {
+        const Gate& g = c.gates()[i];
+        const bool touches =
+            (g.a.kind == QubitKind::emitter && g.a.index == a.slot) ||
+            (g.is_two_qubit() && g.b.kind == QubitKind::emitter &&
+             g.b.index == a.slot);
+        if (touches) ref.prev_gates.push_back(i);
+      }
+      host_of_global[parts[p].to_global[a.vertex]] = std::move(ref);
+    }
+  }
+
+  // Per-host readiness: right after the slot's last gate before the window.
+  std::map<Vertex, Tick> host_ready;
+  for (const auto& [v, ref] : host_of_global) {
+    Tick ready = 0;
+    for (std::size_t i : ref.prev_gates)
+      ready = std::max(ready, layout[ref.part].offset +
+                                  layout[ref.part].timing.gate_end[i]);
+    host_ready[v] = ready;
+  }
+
+  struct StemCz {
+    SlotKey a, b;
+    Vertex u = 0, v = 0;  ///< global boundary endpoints (hosts)
+    Tick release = 0;
+  };
+  std::vector<StemCz> stems;
+  stems.reserve(stem_edges.size());
+  {
+    // Process stem edges by the earliest feasible time for fairness.
+    std::vector<std::size_t> stem_order(stem_edges.size());
+    for (std::size_t i = 0; i < stem_order.size(); ++i) stem_order[i] = i;
+    auto ready_of = [&](std::size_t i) {
+      const auto& [u, v] = stem_edges[i];
+      return std::max(host_ready.at(u), host_ready.at(v));
+    };
+    std::sort(stem_order.begin(), stem_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return ready_of(a) < ready_of(b);
+              });
+    for (std::size_t i : stem_order) {
+      const auto& [u, v] = stem_edges[i];
+      const HostRef& ra = host_of_global.at(u);
+      const HostRef& rb = host_of_global.at(v);
+      const Tick t = std::max(host_ready.at(u), host_ready.at(v));
+      stems.push_back({{ra.part, ra.info->slot},
+                       {rb.part, rb.info->slot},
+                       u,
+                       v,
+                       t});
+      host_ready[u] = host_ready[v] = t + ee_dur;
+    }
+  }
+
+  // Delay each host's window gate (emission tail / dangler cluster) past its
+  // last stem CZ; the cascade to later gates on the same wires follows.
+  for (const auto& [v, ref] : host_of_global) {
+    Tick& r = release[ref.part][ref.info->tail_begin];
+    r = std::max(r, host_ready.at(v));
+  }
+
+  // Cascade: releases must be monotone along every qubit's gate chain.
+  auto run_cascade = [&]() {
+    for (std::uint32_t p = 0; p < parts.size(); ++p) {
+      const Circuit& c = parts[p].circuit.circuit;
+      std::map<std::pair<int, std::uint32_t>, Tick> chain;
+      auto key = [](QubitId q) {
+        return std::make_pair(static_cast<int>(q.kind), q.index);
+      };
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        const Gate& g = c.gates()[i];
+        Tick r = release[p][i];
+        r = std::max(r, chain[key(g.a)]);
+        if (g.is_two_qubit()) r = std::max(r, chain[key(g.b)]);
+        release[p][i] = r;
+        chain[key(g.a)] = r;
+        if (g.is_two_qubit()) chain[key(g.b)] = r;
+        for (const auto& corr : g.if_one)
+          chain[key(corr.target)] = std::max(chain[key(corr.target)], r);
+      }
+    }
+  };
+  run_cascade();
+
+  // Window-order fixpoint. A slot may host several boundary windows (a
+  // worker emitter dangler-absorbing photon after photon); a later window's
+  // CZ must never be legalized before an earlier window's (delayed) gates.
+  // Raise every CZ above the slot gates preceding its window and re-cascade
+  // until stable. Crossing stems between multi-window slots can form a
+  // positive precedence cycle, in which case no placement exists: report
+  // deadlock so the framework recompiles in the anchor-only mode.
+  bool deadlocked = false;
+  std::vector<std::uint32_t> deadlock_parts;
+  if (!stems.empty()) {
+    // Legitimate convergence can need one iteration per level of the
+    // window-precedence DAG (up to a few per window); only true cycles keep
+    // raising forever, so a generous cap cleanly separates the two.
+    const std::size_t cap =
+        4 * (stems.size() + host_of_global.size()) + 16;
+    bool changed = true;
+    std::size_t iter = 0;
+    while (changed && iter++ < cap) {
+      changed = false;
+      for (StemCz& s : stems) {
+        Tick floor = s.release;
+        for (const Vertex end : {s.u, s.v}) {
+          const HostRef& ref = host_of_global.at(end);
+          for (std::size_t i : ref.prev_gates)
+            floor = std::max(floor, release[ref.part][i]);
+        }
+        bool raised = false;
+        if (floor > s.release) {
+          s.release = floor;
+          changed = raised = true;
+        }
+        for (const Vertex end : {s.u, s.v}) {
+          const HostRef& ref = host_of_global.at(end);
+          Tick& r = release[ref.part][ref.info->tail_begin];
+          if (r < s.release + ee_dur) {
+            r = s.release + ee_dur;
+            changed = raised = true;
+          }
+        }
+        if (raised && iter + 1 >= cap) {
+          deadlock_parts.push_back(s.a.part);
+          deadlock_parts.push_back(s.b.part);
+        }
+      }
+      if (changed) run_cascade();
+    }
+    deadlocked = changed;
+  }
+  if (deadlocked) {
+    GlobalSchedule out;
+    out.deadlocked = true;
+    out.deadlock_parts = std::move(deadlock_parts);
+    out.limit_respected = false;
+    out.peak_usage = ~0u;
+    return out;
+  }
+
+  // ---- 4. merge and legalize ---------------------------------------------
+  std::vector<MergedGate> merged;
+  for (std::uint32_t p = 0; p < parts.size(); ++p)
+    for (std::uint32_t i = 0; i < release[p].size(); ++i)
+      merged.push_back({release[p][i], p, i});
+  for (std::uint32_t s = 0; s < stems.size(); ++s)
+    merged.push_back(
+        {stems[s].release, static_cast<std::uint32_t>(parts.size()), s});
+  std::sort(merged.begin(), merged.end(),
+            [](const MergedGate& a, const MergedGate& b) {
+              return std::tie(a.release, a.part, a.index) <
+                     std::tie(b.release, b.part, b.index);
+            });
+
+  // Emitter slot entities get legalized busy windows; photons are global.
+  std::map<SlotKey, Tick> slot_free;
+  std::map<SlotKey, std::pair<Tick, Tick>> slot_interval;
+  std::vector<Tick> photon_free(num_global_photons, 0);
+
+  auto touch_slot = [&](const SlotKey& k, Tick begin, Tick end) {
+    auto [it, fresh] = slot_interval.try_emplace(k, begin, end);
+    if (!fresh) {
+      it->second.first = std::min(it->second.first, begin);
+      it->second.second = std::max(it->second.second, end);
+    }
+  };
+
+  GlobalSchedule out;
+  out.photon_emit.assign(num_global_photons, 0);
+  struct PlacedGate {
+    Gate gate;  // with *global photon* ids; emitter ids patched later
+    Tick start, end;
+    SlotKey slot_a{~0u, 0}, slot_b{~0u, 0};  // emitter operands if any
+  };
+  std::vector<PlacedGate> placed;
+  placed.reserve(merged.size());
+
+  for (const MergedGate& m : merged) {
+    if (m.part == parts.size()) {
+      const StemCz& s = stems[m.index];
+      Tick start = std::max({m.release, slot_free[s.a], slot_free[s.b]});
+      const Tick end = start + ee_dur;
+      slot_free[s.a] = slot_free[s.b] = end;
+      touch_slot(s.a, start, end);
+      touch_slot(s.b, start, end);
+      PlacedGate pg;
+      pg.gate = Gate::make_ee_cz(0, 1);  // emitter ids patched during emit
+      pg.start = start;
+      pg.end = end;
+      pg.slot_a = s.a;
+      pg.slot_b = s.b;
+      placed.push_back(std::move(pg));
+      continue;
+    }
+    const CompiledPart& part = parts[m.part];
+    Gate g = part.circuit.circuit.gates()[m.index];
+    Tick start = m.release;
+    SlotKey sa{~0u, 0}, sb{~0u, 0};
+    auto resolve = [&](QubitId& q, SlotKey& sk) {
+      if (q.kind == QubitKind::photon) {
+        q.index = part.to_global[q.index];
+        start = std::max(start, photon_free[q.index]);
+      } else {
+        sk = {m.part, q.index};
+        start = std::max(start, slot_free[sk]);
+      }
+    };
+    resolve(g.a, sa);
+    if (g.is_two_qubit()) resolve(g.b, sb);
+    for (auto& corr : g.if_one)
+      if (corr.target.kind == QubitKind::photon)
+        corr.target.index = part.to_global[corr.target.index];
+    const Tick end = start + g.duration(cfg.hw);
+    if (g.a.kind == QubitKind::photon)
+      photon_free[g.a.index] = end;
+    else {
+      slot_free[sa] = end;
+      touch_slot(sa, start, end);
+    }
+    if (g.is_two_qubit()) {
+      if (g.b.kind == QubitKind::photon)
+        photon_free[g.b.index] = end;
+      else {
+        slot_free[sb] = end;
+        touch_slot(sb, start, end);
+      }
+    }
+    for (const auto& corr : g.if_one)
+      if (corr.target.kind == QubitKind::photon)
+        photon_free[corr.target.index] =
+            std::max(photon_free[corr.target.index], end);
+    if (g.kind == GateKind::emission) out.photon_emit[g.b.index] = end;
+    PlacedGate pg;
+    pg.gate = std::move(g);
+    pg.start = start;
+    pg.end = end;
+    pg.slot_a = sa;
+    pg.slot_b = sb;
+    placed.push_back(std::move(pg));
+  }
+
+  // ---- 5. physical emitter assignment (interval coloring) ----------------
+  std::vector<std::pair<std::pair<Tick, Tick>, SlotKey>> intervals;
+  intervals.reserve(slot_interval.size());
+  for (const auto& [k, iv] : slot_interval) intervals.push_back({iv, k});
+  std::sort(intervals.begin(), intervals.end());
+  std::map<SlotKey, std::uint32_t> color_of;
+  std::vector<Tick> color_end;
+  for (const auto& [iv, k] : intervals) {
+    bool assigned = false;
+    for (std::uint32_t c = 0; c < color_end.size() && !assigned; ++c) {
+      if (color_end[c] <= iv.first) {
+        color_of[k] = c;
+        color_end[c] = iv.second;
+        assigned = true;
+      }
+    }
+    if (!assigned) {
+      color_of[k] = static_cast<std::uint32_t>(color_end.size());
+      color_end.push_back(iv.second);
+    }
+  }
+  out.peak_usage = static_cast<std::uint32_t>(color_end.size());
+  out.limit_respected = out.peak_usage <= cfg.ne_limit;
+
+  // ---- 6. emit the global circuit ----------------------------------------
+  // stable: equal-start gates keep their dependency (merged) order.
+  std::stable_sort(placed.begin(), placed.end(),
+                   [](const PlacedGate& a, const PlacedGate& b) {
+                     return a.start < b.start;
+                   });
+  out.circuit = Circuit(num_global_photons, color_end.size());
+  out.gate_start.reserve(placed.size());
+  out.gate_end.reserve(placed.size());
+  for (PlacedGate& pg : placed) {
+    if (pg.gate.a.kind == QubitKind::emitter)
+      pg.gate.a.index = color_of.at(pg.slot_a);
+    if (pg.gate.is_two_qubit() && pg.gate.b.kind == QubitKind::emitter)
+      pg.gate.b.index = color_of.at(pg.slot_b);
+    out.circuit.append(pg.gate);
+    out.gate_start.push_back(pg.start);
+    out.gate_end.push_back(pg.end);
+    out.makespan = std::max(out.makespan, pg.end);
+  }
+
+  // ---- 7. metrics ---------------------------------------------------------
+  CircuitStats& s = out.stats;
+  for (const Gate& g : out.circuit.gates()) {
+    switch (g.kind) {
+      case GateKind::ee_cz:
+      case GateKind::ee_cnot: ++s.ee_cnot_count; break;
+      case GateKind::emission: ++s.emission_count; break;
+      case GateKind::local: ++s.local_count; break;
+      case GateKind::measure_reset: ++s.measure_count; break;
+    }
+  }
+  s.emitters_used = out.peak_usage;
+  s.makespan_ticks = out.makespan;
+  s.duration_tau = cfg.hw.ticks_to_tau(out.makespan);
+  std::vector<Tick> alive;
+  alive.reserve(num_global_photons);
+  for (Tick e : out.photon_emit) alive.push_back(out.makespan - e);
+  s.loss = evaluate_loss(cfg.hw, alive);
+  s.t_loss_tau = s.loss.mean_alive_tau;
+  s.ee_fidelity_estimate = std::pow(cfg.hw.ee_cnot_fidelity,
+                                    static_cast<double>(s.ee_cnot_count));
+  return out;
+}
+
+}  // namespace
+
+GlobalSchedule schedule_parts(const std::vector<CompiledPart>& parts,
+                              const std::vector<Edge>& stem_edges,
+                              const std::vector<std::uint32_t>& part_of,
+                              const std::vector<Vertex>& local_of,
+                              std::size_t num_global_photons,
+                              const ScheduleConfig& cfg) {
+  (void)part_of;
+  (void)local_of;
+  // Stem CZs and stretched emission tails occupy emitters beyond the local
+  // usage curves the packer sees, so the legalized peak can overshoot the
+  // cap. Retry the packing with growing headroom until the realized peak
+  // fits; keep the lowest-peak plan otherwise.
+  std::uint32_t max_part = 1;
+  for (const CompiledPart& p : parts)
+    max_part = std::max(max_part, std::max<std::uint32_t>(
+                                      p.circuit.ne_used, 1));
+  GlobalSchedule best;
+  bool have_best = false;
+  for (std::uint32_t limit = cfg.ne_limit;; --limit) {
+    GlobalSchedule trial =
+        schedule_once(parts, stem_edges, num_global_photons, cfg, limit);
+    // A window-precedence cycle is independent of the packing headroom —
+    // no retry can fix it; the caller must recompile anchor-only.
+    if (trial.deadlocked) return trial;
+    trial.limit_respected = trial.peak_usage <= cfg.ne_limit;
+    if (!have_best || trial.peak_usage < best.peak_usage ||
+        (trial.limit_respected && trial.makespan < best.makespan)) {
+      best = std::move(trial);
+      have_best = true;
+    }
+    if (best.limit_respected || limit <= max_part || limit == 1) break;
+  }
+  return best;
+}
+
+}  // namespace epg

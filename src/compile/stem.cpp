@@ -1,0 +1,50 @@
+#include "compile/stem.hpp"
+
+#include "common/assert.hpp"
+
+namespace epg {
+
+StemPlan plan_stems(const PartitionOutcome& outcome) {
+  const Graph& g = outcome.transformed;
+  const std::size_t n = g.vertex_count();
+  StemPlan plan;
+  plan.stem_edges = outcome.stem_edges();
+  plan.part_of.assign(n, 0);
+  plan.local_of.assign(n, 0);
+
+  // Boundary flags and stem keys: a vertex on exactly one stem edge gets
+  // that stem's global rank as its key (both endpoints share it); vertices
+  // on several stems must leave via swap (see SubgraphSpec::stem_key).
+  std::vector<bool> boundary(n, false);
+  std::vector<std::uint32_t> key(n, 0);
+  for (std::size_t s = 0; s < plan.stem_edges.size(); ++s) {
+    for (const Vertex end :
+         {plan.stem_edges[s].first, plan.stem_edges[s].second}) {
+      key[end] = boundary[end] ? SubgraphSpec::must_swap
+                               : static_cast<std::uint32_t>(s);
+      boundary[end] = true;
+    }
+  }
+
+  plan.parts.reserve(outcome.parts.size());
+  for (std::size_t p = 0; p < outcome.parts.size(); ++p) {
+    const std::vector<Vertex>& members = outcome.parts[p];
+    EPG_CHECK(!members.empty(), "partition produced an empty part");
+    Graph sub = g.induced(members);
+    std::vector<bool> sub_boundary(members.size(), false);
+    std::vector<std::uint32_t> sub_key(members.size(), 0);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      sub_boundary[i] = boundary[members[i]];
+      sub_key[i] = key[members[i]];
+      plan.part_of[members[i]] = static_cast<std::uint32_t>(p);
+      plan.local_of[members[i]] = static_cast<Vertex>(i);
+    }
+    plan.parts.push_back(
+        {SubgraphSpec(std::move(sub), std::move(sub_boundary),
+                      std::move(sub_key)),
+         members});
+  }
+  return plan;
+}
+
+}  // namespace epg

@@ -1,0 +1,29 @@
+// Stem planning: turn a partition outcome into per-part compilation specs
+// (induced subgraph + boundary flags + local->global vertex map) and the
+// global list of stem edges that the scheduler will realize as anchor-anchor
+// CZs (paper Section IV.C).
+#pragma once
+
+#include <vector>
+
+#include "compile/reduction.hpp"
+#include "partition/partition_problem.hpp"
+
+namespace epg {
+
+struct PartPlan {
+  SubgraphSpec spec;               ///< local graph and boundary flags
+  std::vector<Vertex> to_global;   ///< local vertex -> global vertex
+};
+
+struct StemPlan {
+  std::vector<PartPlan> parts;
+  std::vector<Edge> stem_edges;    ///< global vertex pairs
+  /// part id and local vertex for every global vertex.
+  std::vector<std::uint32_t> part_of;
+  std::vector<Vertex> local_of;
+};
+
+StemPlan plan_stems(const PartitionOutcome& outcome);
+
+}  // namespace epg

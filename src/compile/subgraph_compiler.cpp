@@ -1,0 +1,478 @@
+#include "compile/subgraph_compiler.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "circuit/simulate.hpp"
+#include "circuit/timing.hpp"
+#include "common/assert.hpp"
+#include "common/stopwatch.hpp"
+#include "graph/metrics.hpp"
+#include "stab/tableau.hpp"
+
+namespace epg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Search
+// ---------------------------------------------------------------------------
+
+std::uint64_t pack_cost(std::uint32_t disconnects, std::uint32_t swaps) {
+  return (static_cast<std::uint64_t>(disconnects) << 32) | swaps;
+}
+
+struct SearchContext {
+  const SubgraphCompileConfig* cfg = nullptr;
+  Stopwatch clock;
+  std::size_t nodes = 0;
+  bool out_of_budget = false;
+  std::uint64_t best_cost = ~0ULL;
+  std::vector<std::vector<ReduceOp>> candidates;
+  std::unordered_map<std::uint64_t, std::uint64_t> memo;
+
+  bool budget_exhausted() {
+    if (out_of_budget) return true;
+    if (nodes > cfg->node_budget ||
+        ((nodes & 0x3ff) == 0 && clock.expired(cfg->time_budget_ms)))
+      out_of_budget = true;
+    return out_of_budget;
+  }
+};
+
+void record_solution(SearchContext& ctx, ReductionState state) {
+  state.finalize();
+  const std::uint64_t cost =
+      pack_cost(state.disconnect_count(), state.swap_count());
+  if (cost < ctx.best_cost) {
+    ctx.best_cost = cost;
+    ctx.candidates.clear();
+  }
+  if (cost == ctx.best_cost &&
+      ctx.candidates.size() < ctx.cfg->keep_candidates)
+    ctx.candidates.push_back(state.ops());
+}
+
+void dfs(SearchContext& ctx, const ReductionState& state) {
+  if (ctx.budget_exhausted()) return;
+  ++ctx.nodes;
+
+  const std::uint64_t cost =
+      pack_cost(state.disconnect_count(), state.swap_count());
+  if (cost > ctx.best_cost) return;
+  if (state.reduced()) {
+    record_solution(ctx, state);
+    return;
+  }
+  const std::uint64_t key = state.state_hash();
+  if (auto it = ctx.memo.find(key); it != ctx.memo.end() && it->second <= cost)
+    return;
+  ctx.memo[key] = cost;
+
+  const Graph& g = state.graph();
+  const std::size_t n = g.vertex_count();
+
+  // Move enumeration, cheapest first. Absorptions cost nothing; swaps cost a
+  // measurement; LC costs local gates; disconnects cost an ee-CZ.
+  // 1) absorb_leaf
+  for (Vertex p = 0; p < n; ++p) {
+    if (state.role(p) != Role::photon || g.degree(p) != 1) continue;
+    const Vertex e = g.neighbors(p)[0];
+    if (!state.can_absorb_leaf(e, p)) continue;
+    ReductionState next = state;
+    next.absorb_leaf(e, p);
+    dfs(ctx, next);
+    if (ctx.budget_exhausted()) return;
+  }
+  // 2) absorb_twin
+  for (Vertex e = 0; e < n; ++e) {
+    if (state.role(e) != Role::emitter) continue;
+    for (Vertex p = 0; p < n; ++p) {
+      if (!state.can_absorb_twin(e, p)) continue;
+      ReductionState next = state;
+      next.absorb_twin(e, p);
+      dfs(ctx, next);
+      if (ctx.budget_exhausted()) return;
+    }
+  }
+  // 3) absorb_dangler
+  for (Vertex e = 0; e < n; ++e) {
+    if (state.role(e) != Role::emitter || g.degree(e) != 1) continue;
+    const Vertex p = g.neighbors(e)[0];
+    if (!state.can_absorb_dangler(e, p)) continue;
+    ReductionState next = state;
+    next.absorb_dangler(e, p);
+    dfs(ctx, next);
+    if (ctx.budget_exhausted()) return;
+  }
+  // 4) swaps, high-degree photons first (hubs become emitters so their
+  //    edges are realized by emissions rather than ee-CZs).
+  if (state.has_free_capacity()) {
+    std::vector<Vertex> photons;
+    for (Vertex p = 0; p < n; ++p)
+      if (state.role(p) == Role::photon) photons.push_back(p);
+    std::sort(photons.begin(), photons.end(), [&](Vertex a, Vertex b) {
+      if (g.degree(a) != g.degree(b)) return g.degree(a) > g.degree(b);
+      return a < b;
+    });
+    for (Vertex p : photons) {
+      ReductionState next = state;
+      next.swap_photon(p);
+      dfs(ctx, next);
+      if (ctx.budget_exhausted()) return;
+    }
+  }
+  // 5) local complementation (bounded).
+  if (state.lc_count() < ctx.cfg->max_lc_ops) {
+    for (Vertex v = 0; v < n; ++v) {
+      if (!state.can_local_comp(v)) continue;
+      ReductionState next = state;
+      next.local_comp(v);
+      dfs(ctx, next);
+      if (ctx.budget_exhausted()) return;
+    }
+  }
+  // 6) disconnects.
+  for (Vertex e1 = 0; e1 < n; ++e1) {
+    if (state.role(e1) != Role::emitter) continue;
+    for (Vertex e2 : g.neighbors(e1)) {
+      if (e2 < e1 || !state.can_disconnect(e1, e2)) continue;
+      ReductionState next = state;
+      next.disconnect(e1, e2);
+      dfs(ctx, next);
+      if (ctx.budget_exhausted()) return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Synthesis
+// ---------------------------------------------------------------------------
+
+/// Expected tableau for a partially reduced state: live vertices form the
+/// graph state, absorbed/retired wires are |0>.
+Tableau expected_state(const Graph& g, const std::vector<Role>& roles) {
+  Tableau t(g.vertex_count());
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    if (roles[v] != Role::done) t.h(v);
+  for (const auto& [u, v] : g.edges()) t.cz(u, v);
+  return t;
+}
+
+struct AbsorbGates {
+  Clifford1 pre_e;  ///< emitter local before the CNOT (reverse order)
+  Clifford1 pre_p;  ///< photon local before the CNOT
+};
+
+AbsorbGates absorb_gates(const ReduceOp& op) {
+  switch (op.kind) {
+    case ReduceOpKind::absorb_leaf:
+      return {Clifford1::identity(), Clifford1::h()};
+    case ReduceOpKind::absorb_dangler:
+      return {Clifford1::h(), Clifford1::identity()};
+    case ReduceOpKind::absorb_twin:
+      if (op.twin_adjacent)
+        return {Clifford1::sqrt_x(), Clifford1::sqrt_x_dag()};
+      return {Clifford1::h(), Clifford1::h()};
+    default:
+      EPG_CHECK(false, "not an absorption op");
+  }
+  return {};
+}
+
+struct OpCalibration {
+  bool x_fix = false;   ///< photon left in |1>: X correction
+  Clifford1 fix_e;      ///< emitter correction restoring graph form
+};
+
+/// Replay the reverse sequence on a tableau, deriving for every absorption
+/// the local corrections that restore exact graph form. The replayed
+/// ReductionState supplies the expected graph after each op.
+std::vector<OpCalibration> calibrate(const SubgraphSpec& spec,
+                                     const std::vector<ReduceOp>& ops) {
+  const std::size_t n = spec.graph.vertex_count();
+  Tableau t = Tableau::graph_state(spec.graph);
+  ReductionState replay(spec, static_cast<std::uint32_t>(n) + 1);
+  std::vector<OpCalibration> calib(ops.size());
+
+  auto roles = [&] {
+    std::vector<Role> r(n);
+    for (Vertex v = 0; v < n; ++v) r[v] = replay.role(v);
+    return r;
+  };
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const ReduceOp& op = ops[i];
+    switch (op.kind) {
+      case ReduceOpKind::swap_photon:
+        replay.swap_photon(op.p);  // pure relabel: tableau unchanged
+        break;
+      case ReduceOpKind::retire_emitter: {
+        // finalize() emits anchor retires; mid-sequence retires were
+        // recorded by the replayed mutations themselves. Either way the
+        // wire holds |+> and H returns it to |0>.
+        t.h(op.e);
+        EPG_CHECK(t.is_zero_state(op.e), "retired emitter must reach |0>");
+        break;
+      }
+      case ReduceOpKind::disconnect:
+        t.cz(op.e, op.p);
+        replay.disconnect(op.e, op.p);
+        break;
+      case ReduceOpKind::local_comp: {
+        // |LC_v(G)> = sqrt(X)^dag_v (x) S_N |G>.
+        t.sqrt_x_dag(op.p);
+        for (const auto& [v, slot] : op.lc_emitter_neighbors) {
+          (void)slot;
+          t.s(v);
+        }
+        for (Vertex v : op.lc_photon_neighbors) t.s(v);
+        replay.local_comp(op.p);
+        break;
+      }
+      case ReduceOpKind::absorb_leaf:
+      case ReduceOpKind::absorb_dangler:
+      case ReduceOpKind::absorb_twin: {
+        const AbsorbGates gates = absorb_gates(op);
+        t.apply(op.e, gates.pre_e);
+        t.apply(op.p, gates.pre_p);
+        t.cnot(op.e, op.p);
+        const auto z = t.peek_z(op.p);
+        EPG_CHECK(z.has_value(), "absorbed photon must collapse to Z basis");
+        if (*z) {
+          t.x(op.p);
+          calib[i].x_fix = true;
+        }
+        if (op.kind == ReduceOpKind::absorb_leaf)
+          replay.absorb_leaf(op.e, op.p);
+        else if (op.kind == ReduceOpKind::absorb_dangler)
+          replay.absorb_dangler(op.e, op.p);
+        else
+          replay.absorb_twin(op.e, op.p);
+
+        // The replay auto-appends retire ops; roles after it are the
+        // ground truth for the expected state.
+        const Tableau want = expected_state(replay.graph(), roles());
+        bool found = false;
+        for (std::uint8_t c = 0; c < Clifford1::group_order && !found; ++c) {
+          const Clifford1 cand = Clifford1::from_index(c);
+          Tableau probe = t;
+          probe.apply(op.e, cand);
+          // A retire op may follow in `ops`; the expected state already has
+          // the emitter live or |0>-via-H handled there, so compare against
+          // the live form: if the replay retired it, undo the H for the
+          // comparison by checking against |+>-form instead.
+          if (replay.role(op.e) == Role::done) probe.h(op.e);
+          if (probe.same_state_as(want)) {
+            calib[i].fix_e = cand;
+            found = true;
+          }
+        }
+        EPG_CHECK(found, "no local correction restores graph form (op " +
+                             std::to_string(i) + ", kind " +
+                             std::to_string(static_cast<int>(op.kind)) +
+                             ", e=" + std::to_string(op.e) +
+                             ", p=" + std::to_string(op.p) +
+                             (op.twin_adjacent ? ", adjacent" : "") +
+                             (op.anchor ? ", anchor" : "") + ")");
+        t.apply(op.e, calib[i].fix_e);
+        break;
+      }
+    }
+  }
+  return calib;
+}
+
+}  // namespace
+
+SubgraphCircuit synthesize_forward(const SubgraphSpec& spec,
+                                   const std::vector<ReduceOp>& ops,
+                                   std::uint32_t slots_used,
+                                   const HardwareModel& hw) {
+  const std::vector<OpCalibration> calib = calibrate(spec, ops);
+  const std::size_t n = spec.graph.vertex_count();
+  SubgraphCircuit out;
+  out.circuit = Circuit(n, slots_used);
+  out.ops = ops;
+  Circuit& c = out.circuit;
+
+  std::unordered_map<std::uint32_t, AnchorInfo> anchor_by_slot;
+
+  for (std::size_t idx = ops.size(); idx-- > 0;) {
+    const ReduceOp& op = ops[idx];
+    switch (op.kind) {
+      case ReduceOpKind::retire_emitter: {
+        if (op.anchor) {
+          AnchorInfo info;
+          info.slot = op.slot_e;
+          info.init_gate = c.size();
+          anchor_by_slot[op.slot_e] = info;
+        }
+        c.local(QubitId::emitter(op.slot_e), Clifford1::h());
+        break;
+      }
+      case ReduceOpKind::disconnect:
+        c.ee_cz(op.slot_e, op.slot_p);
+        break;
+      case ReduceOpKind::local_comp: {
+        // Forward image of LC(v) is the inverse unitary: sqrt(X) on v,
+        // S^dag on every neighbor (at the roles of op time).
+        const QubitId v = op.lc_on_emitter ? QubitId::emitter(op.lc_slot)
+                                           : QubitId::photon(op.p);
+        c.local(v, Clifford1::sqrt_x());
+        for (const auto& [vtx, slot] : op.lc_emitter_neighbors) {
+          (void)vtx;
+          c.local(QubitId::emitter(slot), Clifford1::sdg());
+        }
+        for (Vertex w : op.lc_photon_neighbors)
+          c.local(QubitId::photon(w), Clifford1::sdg());
+        break;
+      }
+      case ReduceOpKind::swap_photon: {
+        if (op.anchor) {
+          auto it = anchor_by_slot.find(op.slot_p);
+          EPG_CHECK(it != anchor_by_slot.end(),
+                    "anchor swap without matching init");
+          it->second.vertex = op.p;
+          it->second.tail_begin = c.size();
+        }
+        c.emission(op.slot_p, op.p);
+        c.local(QubitId::emitter(op.slot_p), Clifford1::h());
+        c.measure_reset(op.slot_p,
+                        {{QubitId::photon(op.p), PauliOp::Z}});
+        break;
+      }
+      case ReduceOpKind::absorb_leaf:
+      case ReduceOpKind::absorb_dangler:
+      case ReduceOpKind::absorb_twin: {
+        const AbsorbGates gates = absorb_gates(op);
+        const OpCalibration& fix = calib[idx];
+        if (op.kind == ReduceOpKind::absorb_dangler && op.anchor) {
+          // Boundary photon emitted via a dangler host: its stem CZs must
+          // land right before this gate cluster, where the slot still holds
+          // the photon's full neighborhood in graph form.
+          AnchorInfo host;
+          host.vertex = op.p;
+          host.slot = op.slot_e;
+          host.init_gate = c.size();
+          host.tail_begin = c.size();
+          host.via_swap = false;
+          out.anchors.push_back(host);
+        }
+        c.local(QubitId::emitter(op.slot_e), fix.fix_e.inverse());
+        c.emission(op.slot_e, op.p);
+        Clifford1 photon_local = gates.pre_p.inverse();
+        if (fix.x_fix) photon_local = Clifford1::x().then(photon_local);
+        c.local(QubitId::photon(op.p), photon_local);
+        c.local(QubitId::emitter(op.slot_e), gates.pre_e.inverse());
+        break;
+      }
+    }
+  }
+
+  for (auto& [slot, info] : anchor_by_slot) out.anchors.push_back(info);
+  std::sort(out.anchors.begin(), out.anchors.end(),
+            [](const AnchorInfo& a, const AnchorInfo& b) {
+              return std::tie(a.slot, a.tail_begin) <
+                     std::tie(b.slot, b.tail_begin);
+            });
+  c.check_well_formed();
+  const CircuitTiming timing = analyze_timing(c, hw);
+  out.ne_used = timing.peak_usage();
+  out.stats = compute_stats(c, hw);
+  return out;
+}
+
+std::uint32_t subgraph_ne_min(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n == 0) return 0;
+  std::vector<Vertex> identity(n);
+  for (Vertex v = 0; v < n; ++v) identity[v] = v;
+  std::vector<Vertex> reversed(identity.rbegin(), identity.rend());
+  // BFS order from vertex 0 (append unreached vertices afterwards).
+  std::vector<Vertex> bfs;
+  {
+    std::vector<bool> seen(n, false);
+    for (Vertex s = 0; s < n; ++s) {
+      if (seen[s]) continue;
+      std::vector<Vertex> queue{s};
+      seen[s] = true;
+      for (std::size_t h = 0; h < queue.size(); ++h) {
+        bfs.push_back(queue[h]);
+        for (Vertex u : g.neighbors(queue[h]))
+          if (!seen[u]) {
+            seen[u] = true;
+            queue.push_back(u);
+          }
+      }
+    }
+  }
+  std::size_t best = min_emitters_for_order(g, identity);
+  best = std::min(best, min_emitters_for_order(g, reversed));
+  best = std::min(best, min_emitters_for_order(g, bfs));
+  return static_cast<std::uint32_t>(std::max<std::size_t>(best, 1));
+}
+
+SubgraphCompileResult compile_subgraph(const SubgraphSpec& spec,
+                                       const SubgraphCompileConfig& cfg) {
+  EPG_REQUIRE(spec.graph.vertex_count() > 0, "empty subgraph");
+  SubgraphCompileResult result;
+  const auto n = static_cast<std::uint32_t>(spec.graph.vertex_count());
+
+  for (std::uint32_t ne = cfg.ne_limit; ne <= n + 1; ++ne) {
+    // Phase 1: a quick LC-free pass establishes a strong incumbent so the
+    // full branch-and-bound can prune deep LC branches early.
+    SubgraphCompileConfig lc_free = cfg;
+    lc_free.max_lc_ops = 0;
+    if (cfg.max_lc_ops > 0) {
+      lc_free.node_budget = std::max<std::size_t>(cfg.node_budget / 8, 2000);
+      lc_free.time_budget_ms = cfg.time_budget_ms / 4;
+    }
+    SearchContext warmup;
+    warmup.cfg = &lc_free;
+    dfs(warmup, ReductionState(spec, ne, cfg.dangler));
+    result.nodes_explored += warmup.nodes;
+
+    SearchContext ctx;
+    ctx.cfg = &cfg;
+    ctx.best_cost = warmup.best_cost;
+    ctx.candidates = std::move(warmup.candidates);
+    if (cfg.max_lc_ops > 0) {
+      dfs(ctx, ReductionState(spec, ne, cfg.dangler));
+      result.nodes_explored += ctx.nodes;
+    }
+    if (ctx.candidates.empty()) continue;
+
+    result.success = true;
+    result.relaxed_ne = ne != cfg.ne_limit;
+    result.ne_limit_used = ne;
+    result.sequences_found = ctx.candidates.size();
+
+    // Paper step 2: among min-CNOT candidates pick the min photon-loss one.
+    bool first = true;
+    for (const auto& ops : ctx.candidates) {
+      std::uint32_t slots = 0;
+      for (const ReduceOp& op : ops)
+        if (op.kind == ReduceOpKind::swap_photon)
+          slots = std::max(slots, op.slot_p + 1);
+      SubgraphCircuit circ = synthesize_forward(spec, ops, slots, cfg.hw);
+      if (first || circ.stats.t_loss_tau < result.best.stats.t_loss_tau) {
+        result.best = std::move(circ);
+        first = false;
+      }
+    }
+    break;
+  }
+  if (result.success && cfg.verify) {
+    Rng rng(0xE5C4A9);
+    for (int trial = 0; trial < 2; ++trial) {
+      SimulationResult sim = simulate(result.best.circuit, rng);
+      const Tableau want = Tableau::graph_state(
+          spec.graph, result.best.circuit.num_emitters());
+      EPG_CHECK(sim.state.same_state_as(want),
+                "subgraph circuit failed verification");
+    }
+  }
+  return result;
+}
+
+}  // namespace epg

@@ -1,0 +1,89 @@
+// Subgraph compilation (paper Section IV.B).
+//
+// A branch-and-bound DFS over time-reversed reduction sequences minimizes,
+// lexicographically, (#disconnects  ==  emitter-emitter CZs, #swaps  ==
+// measured transfers); the paper's degree heuristic orders the moves (absorb
+// low-degree photons first, swap high-degree hubs into emitters). Up to
+// `keep_candidates` cheapest sequences are kept, each synthesized into a
+// forward circuit, and the one with the smallest average photon-loss
+// duration (T_loss) wins — the paper's two-stage selection.
+//
+// Synthesis replays the reverse sequence on a tableau and *calibrates* the
+// residual local Cliffords of each absorption against the expected reduced
+// graph state. Every synthesized circuit is verified end-to-end against
+// |G_subgraph> before it is returned.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/stats.hpp"
+#include "compile/reduction.hpp"
+#include "hardware/hardware_model.hpp"
+
+namespace epg {
+
+struct SubgraphCompileConfig {
+  std::uint32_t ne_limit = 2;
+  std::size_t node_budget = 40000;
+  std::size_t max_lc_ops = 3;      ///< LC moves allowed inside the search
+  std::size_t keep_candidates = 6;
+  double time_budget_ms = 200.0;
+  HardwareModel hw = HardwareModel::quantum_dot();
+  bool verify = true;  ///< tableau-check each synthesized circuit
+  /// How freely boundary photons may be emitted by absorb_dangler hosts
+  /// (stem CZs ride on the host in the pre-emission window) instead of
+  /// requiring a dedicated anchor each. Cheaper on dense partitions;
+  /// cross-part window cycles at recombination make the framework retry
+  /// offending parts with stricter policies (see DanglerPolicy).
+  DanglerPolicy dangler;
+};
+
+/// Where a boundary vertex's stem CZs attach. Every boundary vertex owns
+/// exactly one host record: either a dedicated *anchor* emitter created by
+/// its swap (via_swap), or the worker emitter that dangler-absorbed it. The
+/// stem CZ window is (end of the slot's last gate before tail_begin,
+/// tail_begin); the scheduler delays tail_begin to open the window.
+struct AnchorInfo {
+  Vertex vertex = 0;            ///< local boundary vertex (photon id)
+  std::uint32_t slot = 0;       ///< hosting emitter slot
+  std::size_t init_gate = 0;    ///< index of the anchor's H init (swap only)
+  std::size_t tail_begin = 0;   ///< first gate of the delayable emission tail
+  bool via_swap = true;         ///< dedicated anchor vs dangler host window
+};
+
+struct SubgraphCircuit {
+  Circuit circuit{0, 0};
+  std::vector<AnchorInfo> anchors;
+  std::uint32_t ne_used = 0;  ///< peak simultaneous emitters
+  CircuitStats stats;
+  std::vector<ReduceOp> ops;  ///< winning reduction sequence
+};
+
+struct SubgraphCompileResult {
+  bool success = false;
+  SubgraphCircuit best;
+  std::size_t sequences_found = 0;
+  std::size_t nodes_explored = 0;
+  /// True when the requested ne_limit was infeasible within budget and a
+  /// larger limit was used.
+  bool relaxed_ne = false;
+  std::uint32_t ne_limit_used = 0;
+};
+
+SubgraphCompileResult compile_subgraph(const SubgraphSpec& spec,
+                                       const SubgraphCompileConfig& cfg);
+
+/// Lower bound on the emitters needed for the subgraph (min over a few
+/// natural emission orders of the height-function maximum).
+std::uint32_t subgraph_ne_min(const Graph& g);
+
+/// Synthesize (and calibrate) the forward circuit for a finalized reduction
+/// op sequence. Exposed for tests.
+SubgraphCircuit synthesize_forward(const SubgraphSpec& spec,
+                                   const std::vector<ReduceOp>& ops,
+                                   std::uint32_t slots_used,
+                                   const HardwareModel& hw);
+
+}  // namespace epg

@@ -1,0 +1,37 @@
+#include "compile/verify.hpp"
+
+#include "circuit/simulate.hpp"
+#include "stab/tableau.hpp"
+
+namespace epg {
+
+VerifyReport verify_generates(const Circuit& c, const Graph& target,
+                              int num_seeds, std::uint64_t seed0) {
+  VerifyReport report;
+  if (c.num_photons() != target.vertex_count()) {
+    report.message = "photon register does not match the target graph";
+    return report;
+  }
+  try {
+    c.check_well_formed();
+  } catch (const std::exception& e) {
+    report.message = std::string("malformed circuit: ") + e.what();
+    return report;
+  }
+  const Tableau want = Tableau::graph_state(target, c.num_emitters());
+  for (int s = 0; s < num_seeds; ++s) {
+    Rng rng(seed0 + static_cast<std::uint64_t>(s) * 0x9E3779B9ULL);
+    const SimulationResult sim = simulate(c, rng);
+    ++report.seeds_tested;
+    if (!sim.state.same_state_as(want)) {
+      report.message =
+          "final state differs from |G> (seed " + std::to_string(s) + ")";
+      return report;
+    }
+  }
+  report.ok = true;
+  report.message = "verified";
+  return report;
+}
+
+}  // namespace epg

@@ -1,0 +1,28 @@
+// End-to-end circuit verification.
+//
+// A compiled circuit is accepted only if, starting from |0...0>, replaying
+// every gate — with measurement outcomes sampled and the recorded
+// feed-forward corrections applied — leaves the photons in exactly the
+// target graph state and every emitter back in |0>. Several RNG seeds are
+// tried so both branches of each measurement are exercised.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "graph/graph.hpp"
+
+namespace epg {
+
+struct VerifyReport {
+  bool ok = false;
+  int seeds_tested = 0;
+  std::string message;
+};
+
+VerifyReport verify_generates(const Circuit& c, const Graph& target,
+                              int num_seeds = 3,
+                              std::uint64_t seed0 = 0x5EED);
+
+}  // namespace epg

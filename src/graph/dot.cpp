@@ -1,0 +1,40 @@
+#include "graph/dot.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace epg {
+
+std::string to_dot(const Graph& g, const std::string& name) {
+  std::ostringstream os;
+  os << "graph " << name << " {\n";
+  for (Vertex v = 0; v < g.vertex_count(); ++v) os << "  " << v << ";\n";
+  for (const auto& [u, v] : g.edges()) os << "  " << u << " -- " << v << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot_partitioned(const Graph& g, const PartitionLabels& labels,
+                               const std::string& name) {
+  EPG_REQUIRE(labels.size() == g.vertex_count(),
+              "partition labels size mismatch");
+  static constexpr std::array<const char*, 8> palette = {
+      "lightblue", "lightsalmon", "palegreen",  "plum",
+      "khaki",     "lightpink",   "lightcyan1", "wheat"};
+  std::ostringstream os;
+  os << "graph " << name << " {\n  node [style=filled];\n";
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    os << "  " << v << " [fillcolor=" << palette[labels[v] % palette.size()]
+       << "];\n";
+  for (const auto& [u, v] : g.edges()) {
+    os << "  " << u << " -- " << v;
+    if (labels[u] != labels[v]) os << " [style=dashed]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace epg

@@ -1,0 +1,18 @@
+// Graphviz DOT export, with optional partition coloring — handy for
+// debugging partitions and for the examples' output.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/metrics.hpp"
+
+namespace epg {
+
+std::string to_dot(const Graph& g, const std::string& name = "G");
+
+/// Vertices in the same part share a color class attribute.
+std::string to_dot_partitioned(const Graph& g, const PartitionLabels& labels,
+                               const std::string& name = "G");
+
+}  // namespace epg

@@ -1,0 +1,181 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace epg {
+
+Graph make_lattice(std::size_t rows, std::size_t cols) {
+  EPG_REQUIRE(rows >= 1 && cols >= 1, "lattice needs positive dimensions");
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph make_linear_cluster(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    g.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(i + 1));
+  return g;
+}
+
+Graph make_ring(std::size_t n) {
+  EPG_REQUIRE(n >= 3, "ring needs at least 3 vertices");
+  Graph g = make_linear_cluster(n);
+  g.add_edge(0, static_cast<Vertex>(n - 1));
+  return g;
+}
+
+Graph make_star(std::size_t n) {
+  EPG_REQUIRE(n >= 1, "star needs at least one vertex");
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i)
+    g.add_edge(0, static_cast<Vertex>(i));
+  return g;
+}
+
+Graph make_complete(std::size_t n) {
+  Graph g(n);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph make_balanced_tree(std::size_t branching, std::size_t depth) {
+  EPG_REQUIRE(branching >= 1, "balanced tree needs branching >= 1");
+  // Total node count: 1 + b + b^2 + ... + b^depth.
+  std::size_t total = 1;
+  std::size_t level = 1;
+  for (std::size_t d = 0; d < depth; ++d) {
+    level *= branching;
+    total += level;
+  }
+  Graph g(total);
+  // Children of node i (level order) are b*i+1 .. b*i+b.
+  for (std::size_t i = 0; i < total; ++i) {
+    for (std::size_t c = 1; c <= branching; ++c) {
+      const std::size_t child = branching * i + c;
+      if (child < total)
+        g.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(child));
+    }
+  }
+  return g;
+}
+
+Graph make_random_tree(std::size_t n, std::uint64_t seed,
+                       std::size_t max_degree) {
+  EPG_REQUIRE(n >= 1, "tree needs at least one vertex");
+  Rng rng(seed);
+  Graph g(n);
+  for (Vertex v = 1; v < n; ++v) {
+    // Rejection: resample the parent while its degree cap is hit. A cap of
+    // at least 2 always leaves vertex v-1 (degree <= 1 at this point)
+    // available, so this terminates.
+    for (;;) {
+      const auto parent = static_cast<Vertex>(rng.below(v));
+      if (max_degree == 0 || g.degree(parent) < max_degree) {
+        g.add_edge(parent, v);
+        break;
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_waxman(std::size_t n, std::uint64_t seed, double alpha, double beta,
+                  bool connect) {
+  EPG_REQUIRE(n >= 1, "waxman needs at least one vertex");
+  EPG_REQUIRE(alpha > 0 && beta > 0, "waxman needs positive alpha/beta");
+  Rng rng(seed);
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  auto dist = [&](std::size_t a, std::size_t b) {
+    return std::hypot(x[a] - x[b], y[a] - y[b]);
+  };
+  double max_dist = 0.0;
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b)
+      max_dist = std::max(max_dist, dist(a, b));
+  if (max_dist == 0.0) max_dist = 1.0;
+
+  Graph g(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const double p = beta * std::exp(-dist(a, b) / (alpha * max_dist));
+      if (rng.chance(p))
+        g.add_edge(static_cast<Vertex>(a), static_cast<Vertex>(b));
+    }
+  }
+  if (connect) {
+    // Join components by their geometrically closest vertex pair until the
+    // graph is connected; keeps the Waxman "short links preferred" flavor.
+    for (;;) {
+      auto comps = g.connected_components();
+      if (comps.size() <= 1) break;
+      double best = std::numeric_limits<double>::infinity();
+      Vertex bu = 0, bv = 0;
+      for (Vertex u : comps[0]) {
+        for (std::size_t c = 1; c < comps.size(); ++c) {
+          for (Vertex v : comps[c]) {
+            const double d = dist(u, v);
+            if (d < best) {
+              best = d;
+              bu = u;
+              bv = v;
+            }
+          }
+        }
+      }
+      g.add_edge(bu, bv);
+    }
+  }
+  return g;
+}
+
+Graph make_erdos_renyi(std::size_t n, double p, std::uint64_t seed) {
+  EPG_REQUIRE(p >= 0.0 && p <= 1.0, "edge probability must be in [0,1]");
+  Rng rng(seed);
+  Graph g(n);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v)
+      if (rng.chance(p)) g.add_edge(u, v);
+  return g;
+}
+
+Graph shuffle_labels(const Graph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vertex> perm(g.vertex_count());
+  for (Vertex v = 0; v < g.vertex_count(); ++v) perm[v] = v;
+  rng.shuffle(perm);
+  Graph out(g.vertex_count());
+  for (const auto& [u, v] : g.edges()) out.add_edge(perm[u], perm[v]);
+  return out;
+}
+
+Graph make_repeater_graph_state(std::size_t m) {
+  EPG_REQUIRE(m >= 1, "RGS needs m >= 1");
+  const std::size_t inner = 2 * m;
+  Graph g(2 * inner);  // inner vertices 0..2m-1, leaves 2m..4m-1.
+  for (Vertex u = 0; u < inner; ++u)
+    for (Vertex v = u + 1; v < inner; ++v) g.add_edge(u, v);
+  for (Vertex u = 0; u < inner; ++u)
+    g.add_edge(u, static_cast<Vertex>(inner + u));
+  return g;
+}
+
+}  // namespace epg

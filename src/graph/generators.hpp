@@ -1,0 +1,60 @@
+// Graph-state workload generators.
+//
+// These produce the three benchmark families of the paper's evaluation
+// (2D lattice for MBQC, trees for QRAM routers / tree codes, Waxman random
+// graphs for distributed-QC topologies) plus the standard shapes used in
+// tests and examples (linear cluster, ring, star, complete, GHZ-like,
+// Erdos-Renyi, repeater graph states). All randomized generators are
+// deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace epg {
+
+/// rows x cols 2D square lattice (cluster state), row-major vertex ids.
+Graph make_lattice(std::size_t rows, std::size_t cols);
+
+/// Path a.k.a. linear cluster state on n vertices.
+Graph make_linear_cluster(std::size_t n);
+
+/// Cycle on n >= 3 vertices.
+Graph make_ring(std::size_t n);
+
+/// Star: center 0 connected to 1..n-1 (locally equivalent to GHZ).
+Graph make_star(std::size_t n);
+
+/// Complete graph K_n.
+Graph make_complete(std::size_t n);
+
+/// Perfectly balanced tree with given branching factor and depth
+/// (depth 0 = single root). This is the QRAM-router shape.
+Graph make_balanced_tree(std::size_t branching, std::size_t depth);
+
+/// Random tree on n vertices: each vertex v>=1 attaches to a uniformly
+/// random earlier vertex, with an optional maximum degree cap (0 = none).
+Graph make_random_tree(std::size_t n, std::uint64_t seed,
+                       std::size_t max_degree = 0);
+
+/// Waxman random geometric graph on the unit square:
+/// P(edge u,v) = beta * exp(-dist(u,v) / (alpha * L)), L = max distance.
+/// When `connect` is set, the closest pairs across components are joined so
+/// the result is connected (the paper's benchmarks are connected states).
+Graph make_waxman(std::size_t n, std::uint64_t seed, double alpha = 0.4,
+                  double beta = 0.4, bool connect = true);
+
+/// Erdos-Renyi G(n, p).
+Graph make_erdos_renyi(std::size_t n, double p, std::uint64_t seed);
+
+/// Repeater graph state (Azuma et al.): 2m "outer" leaves each hanging off
+/// one of 2m fully connected "inner" vertices.
+Graph make_repeater_graph_state(std::size_t m);
+
+/// Return an isomorphic copy with uniformly shuffled vertex labels. The
+/// benchmark harness applies this to every instance: a compiler must not
+/// depend on the generator handing it a luckily optimal emission order.
+Graph shuffle_labels(const Graph& g, std::uint64_t seed);
+
+}  // namespace epg

@@ -1,0 +1,88 @@
+#include "graph/lc_orbit.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "graph/local_complement.hpp"
+
+namespace epg {
+namespace {
+
+/// Exact dedup key: the upper-triangle adjacency bits.
+std::vector<std::uint64_t> adjacency_key(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::uint64_t> key((n * n + 63) / 64 + 1, 0);
+  std::size_t bit = 0;
+  for (Vertex i = 0; i < n; ++i)
+    for (Vertex j = i + 1; j < n; ++j) {
+      if (g.has_edge(i, j)) key[bit / 64] |= 1ULL << (bit % 64);
+      ++bit;
+    }
+  key.back() = n;  // distinguish sizes
+  return key;
+}
+
+}  // namespace
+
+LcOrbitResult explore_lc_orbit(const Graph& g, const LcOrbitConfig& cfg) {
+  LcOrbitResult out;
+  std::map<std::vector<std::uint64_t>, std::size_t> index_of;
+
+  struct Node {
+    std::size_t parent = 0;
+    Vertex via = 0;  ///< LC vertex applied to parent
+  };
+  std::vector<Node> tree;
+
+  out.graphs.push_back(g);
+  tree.push_back({0, 0});
+  index_of[adjacency_key(g)] = 0;
+  out.min_edges = g.edge_count();
+  out.min_edge_index = 0;
+
+  for (std::size_t head = 0; head < out.graphs.size(); ++head) {
+    // LC at degree-<2 vertices is the identity on edges.
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      if (out.graphs[head].degree(v) < 2) continue;
+      Graph next = out.graphs[head];
+      local_complement(next, v);
+      auto key = adjacency_key(next);
+      if (index_of.count(key) > 0) continue;
+      if (out.graphs.size() >= cfg.max_graphs) {
+        out.complete = false;
+        break;
+      }
+      index_of[std::move(key)] = out.graphs.size();
+      if (next.edge_count() < out.min_edges) {
+        out.min_edges = next.edge_count();
+        out.min_edge_index = out.graphs.size();
+      }
+      out.graphs.push_back(std::move(next));
+      tree.push_back({head, v});
+    }
+    if (!out.complete) break;
+  }
+
+  // Reconstruct the LC sequence to the minimum-edge representative.
+  std::vector<Vertex> reversed;
+  for (std::size_t at = out.min_edge_index; at != 0; at = tree[at].parent)
+    reversed.push_back(tree[at].via);
+  out.lc_to_best.assign(reversed.rbegin(), reversed.rend());
+  return out;
+}
+
+bool lc_equivalent(const Graph& a, const Graph& b, const LcOrbitConfig& cfg) {
+  if (a.vertex_count() != b.vertex_count()) return false;
+  const auto want = adjacency_key(b);
+  const LcOrbitResult orbit = explore_lc_orbit(a, cfg);
+  for (const Graph& g : orbit.graphs)
+    if (adjacency_key(g) == want) return true;
+  if (!orbit.complete)
+    throw std::runtime_error(
+        "lc_equivalent: orbit truncated before reaching a verdict; raise "
+        "LcOrbitConfig::max_graphs");
+  return false;
+}
+
+}  // namespace epg

@@ -1,0 +1,46 @@
+// Local-complementation orbit exploration.
+//
+// Two graph states are single-qubit-Clifford equivalent exactly when their
+// graphs are related by a sequence of local complementations (Van den
+// Nest). The orbit of a labeled graph under LC is finite; for the small
+// graphs the partitioner's subproblems live on, exhaustive BFS over the
+// orbit is cheap and gives
+//   * an exact LC-equivalence test (the tests use it to pin down claims
+//     like C4 ~ GHZ_4 and K_n ~ star),
+//   * the true minimum-edge representative — the optimum the paper's
+//     depth-limited LC search (Section IV.A) approximates, used by the
+//     `ablation_lc_exact` bench to measure the beam search's gap,
+//   * orbit statistics (counting LC-distinct representatives is the
+//     #P-complete quantity the paper cites [29/32]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace epg {
+
+struct LcOrbitConfig {
+  /// Stop after this many distinct graphs (guards dense/large inputs; the
+  /// orbit of a labeled n-vertex graph can reach ~2^n).
+  std::size_t max_graphs = 100000;
+};
+
+struct LcOrbitResult {
+  std::vector<Graph> graphs;       ///< distinct orbit members, BFS order
+  std::vector<Vertex> lc_to_best;  ///< LC sequence reaching min_edge_graph
+  std::size_t min_edges = 0;
+  std::size_t min_edge_index = 0;  ///< into `graphs`
+  bool complete = true;            ///< false if max_graphs truncated the BFS
+};
+
+/// Breadth-first exploration of the LC orbit of `g`.
+LcOrbitResult explore_lc_orbit(const Graph& g, const LcOrbitConfig& cfg = {});
+
+/// Exact LC-equivalence of two labeled graphs (BFS from `a`, bounded by
+/// cfg.max_graphs; throws if the orbit is truncated before a verdict).
+bool lc_equivalent(const Graph& a, const Graph& b,
+                   const LcOrbitConfig& cfg = {});
+
+}  // namespace epg

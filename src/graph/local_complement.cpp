@@ -1,0 +1,30 @@
+#include "graph/local_complement.hpp"
+
+#include "common/assert.hpp"
+
+namespace epg {
+
+void local_complement(Graph& g, Vertex v) {
+  EPG_REQUIRE(v < g.vertex_count(), "local_complement: vertex out of range");
+  const std::vector<Vertex> nb = g.neighbors(v);
+  for (std::size_t i = 0; i < nb.size(); ++i)
+    for (std::size_t j = i + 1; j < nb.size(); ++j)
+      g.toggle_edge(nb[i], nb[j]);
+}
+
+void apply_lc_sequence(Graph& g, const std::vector<Vertex>& sequence) {
+  for (Vertex v : sequence) local_complement(g, v);
+}
+
+std::size_t edge_count_after_lc(const Graph& g, Vertex v) {
+  EPG_REQUIRE(v < g.vertex_count(), "edge_count_after_lc: out of range");
+  const std::vector<Vertex> nb = g.neighbors(v);
+  std::size_t present = 0;
+  for (std::size_t i = 0; i < nb.size(); ++i)
+    for (std::size_t j = i + 1; j < nb.size(); ++j)
+      if (g.has_edge(nb[i], nb[j])) ++present;
+  const std::size_t pairs = nb.size() * (nb.size() - 1) / 2;
+  return g.edge_count() - present + (pairs - present);
+}
+
+}  // namespace epg

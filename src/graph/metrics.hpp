@@ -1,0 +1,40 @@
+// Structural graph metrics used by the partitioner and the evaluation:
+// cut sizes between parts, degree statistics, and the GF(2) cut-rank, which
+// equals the bipartite entanglement entropy of the graph state and hence
+// lower-bounds the number of emitters a generation circuit needs (Li et al.,
+// npj QI 8, 11 (2022)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace epg {
+
+/// Partition as a part id per vertex (ids need not be contiguous).
+using PartitionLabels = std::vector<std::uint32_t>;
+
+/// Number of edges whose endpoints carry different part ids.
+std::size_t cut_edge_count(const Graph& g, const PartitionLabels& labels);
+
+/// The cut edges themselves.
+std::vector<Edge> cut_edges(const Graph& g, const PartitionLabels& labels);
+
+/// GF(2) rank of the bipartite adjacency block between `side` and its
+/// complement — the entanglement entropy of |G> across that cut.
+std::size_t cut_rank(const Graph& g, const std::vector<Vertex>& side);
+
+/// Height function h(i) = cut_rank({order[0..i)}, rest) for i = 0..n; the
+/// paper's minimal emitter count for an emission order is max_i h(i).
+std::vector<std::size_t> height_function(const Graph& g,
+                                         const std::vector<Vertex>& order);
+
+/// max of height_function — minimal #emitters for the given emission order.
+std::size_t min_emitters_for_order(const Graph& g,
+                                   const std::vector<Vertex>& order);
+
+std::size_t max_degree(const Graph& g);
+double average_degree(const Graph& g);
+
+}  // namespace epg

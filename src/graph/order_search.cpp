@@ -1,0 +1,80 @@
+#include "graph/order_search.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "graph/metrics.hpp"
+
+namespace epg {
+namespace {
+
+std::vector<Vertex> bfs_order(const Graph& g, Vertex start) {
+  const std::size_t n = g.vertex_count();
+  std::vector<Vertex> order;
+  order.reserve(n);
+  std::vector<bool> seen(n, false);
+  std::vector<Vertex> queue{start};
+  seen[start] = true;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    order.push_back(queue[head]);
+    for (Vertex u : g.neighbors(queue[head])) {
+      if (!seen[u]) {
+        seen[u] = true;
+        queue.push_back(u);
+      }
+    }
+  }
+  for (Vertex v = 0; v < n; ++v)  // disconnected leftovers
+    if (!seen[v]) order.push_back(v);
+  return order;
+}
+
+}  // namespace
+
+OrderSearchResult search_emission_order(const Graph& g,
+                                        const OrderSearchConfig& cfg) {
+  const std::size_t n = g.vertex_count();
+  EPG_REQUIRE(n > 0, "order search needs a non-empty graph");
+  Rng rng(cfg.seed);
+
+  OrderSearchResult best;
+  best.order.resize(n);
+  for (Vertex v = 0; v < n; ++v) best.order[v] = v;
+  best.max_height = min_emitters_for_order(g, best.order);
+
+  auto consider = [&](const std::vector<Vertex>& order) {
+    const std::size_t h = min_emitters_for_order(g, order);
+    if (h < best.max_height) {
+      best.max_height = h;
+      best.order = order;
+    }
+  };
+
+  for (int s = 0; s < cfg.bfs_starts; ++s)
+    consider(bfs_order(g, static_cast<Vertex>(rng.below(n))));
+
+  // Anneal with adjacent transpositions around the incumbent.
+  std::vector<Vertex> current = best.order;
+  std::size_t current_h = best.max_height;
+  for (int it = 0; it < cfg.anneal_iterations && best.max_height > 1; ++it) {
+    if (n < 2) break;
+    const std::size_t i = rng.below(n - 1);
+    std::swap(current[i], current[i + 1]);
+    const std::size_t h = min_emitters_for_order(g, current);
+    const double temp =
+        1.0 - static_cast<double>(it) / cfg.anneal_iterations;
+    const bool accept =
+        h <= current_h ||
+        rng.chance(0.25 * temp / static_cast<double>(h - current_h));
+    if (accept) {
+      current_h = h;
+      consider(current);
+    } else {
+      std::swap(current[i], current[i + 1]);  // revert
+    }
+  }
+  return best;
+}
+
+}  // namespace epg

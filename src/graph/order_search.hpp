@@ -1,0 +1,33 @@
+// Emission-order optimization.
+//
+// The minimal emitter count of the Li-protocol family is the maximum of the
+// height function, which depends on the photon emission order; finding the
+// best order is hard, but cheap heuristics get close: BFS orders make
+// neighborhoods contiguous, and annealing over adjacent transpositions
+// polishes them. Used to give Ne_min a tighter estimate and as an optional
+// upgrade for the baseline's fixed-order behavior.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace epg {
+
+struct OrderSearchConfig {
+  std::uint64_t seed = 1;
+  int anneal_iterations = 1500;
+  int bfs_starts = 4;  ///< BFS seeds tried before annealing
+};
+
+struct OrderSearchResult {
+  std::vector<Vertex> order;
+  std::size_t max_height = 0;  ///< emitters needed for this order
+};
+
+/// Search for an emission order minimizing the height-function maximum.
+OrderSearchResult search_emission_order(const Graph& g,
+                                        const OrderSearchConfig& cfg = {});
+
+}  // namespace epg

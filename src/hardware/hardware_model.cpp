@@ -1,0 +1,38 @@
+#include "hardware/hardware_model.hpp"
+
+namespace epg {
+
+HardwareModel HardwareModel::quantum_dot() { return HardwareModel{}; }
+
+HardwareModel HardwareModel::nv_center() {
+  HardwareModel hw;
+  hw.name = "nv_center";
+  // NV-NV entangling gates are relatively slower than QD exchange coupling;
+  // emission stays cavity-enhanced. Ratios are configuration placeholders.
+  hw.ee_cnot_ticks = 40;
+  hw.measure_ticks = 4;
+  hw.ee_cnot_fidelity = 0.985;
+  hw.loss_rate_per_tau = 0.003;
+  return hw;
+}
+
+HardwareModel HardwareModel::siv_center() {
+  HardwareModel hw;
+  hw.name = "siv_center";
+  hw.ee_cnot_ticks = 30;
+  hw.measure_ticks = 3;
+  hw.ee_cnot_fidelity = 0.99;
+  hw.loss_rate_per_tau = 0.004;
+  return hw;
+}
+
+HardwareModel HardwareModel::rydberg() {
+  HardwareModel hw;
+  hw.name = "rydberg";
+  hw.ee_cnot_ticks = 10;
+  hw.ee_cnot_fidelity = 0.995;
+  hw.loss_rate_per_tau = 0.006;
+  return hw;
+}
+
+}  // namespace epg

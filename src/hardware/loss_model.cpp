@@ -1,0 +1,34 @@
+#include "hardware/loss_model.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace epg {
+
+double photon_survival(const HardwareModel& hw, Tick alive_ticks) {
+  EPG_REQUIRE(hw.loss_rate_per_tau >= 0.0 && hw.loss_rate_per_tau < 1.0,
+              "loss rate must be in [0,1)");
+  const double tau = hw.ticks_to_tau(alive_ticks);
+  return std::pow(1.0 - hw.loss_rate_per_tau, tau);
+}
+
+LossReport evaluate_loss(const HardwareModel& hw,
+                         const std::vector<Tick>& alive_ticks) {
+  LossReport report;
+  if (alive_ticks.empty()) return report;
+  double sum_loss = 0.0;
+  double sum_tau = 0.0;
+  for (Tick t : alive_ticks) {
+    const double s = photon_survival(hw, t);
+    report.state_survival *= s;
+    sum_loss += 1.0 - s;
+    sum_tau += hw.ticks_to_tau(t);
+  }
+  report.state_loss = 1.0 - report.state_survival;
+  report.mean_photon_loss = sum_loss / static_cast<double>(alive_ticks.size());
+  report.mean_alive_tau = sum_tau / static_cast<double>(alive_ticks.size());
+  return report;
+}
+
+}  // namespace epg

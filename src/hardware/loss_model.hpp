@@ -1,0 +1,30 @@
+// Photon-loss accounting (paper Section V.B.3 / Fig. 11a).
+//
+// A photon accumulates loss from its emission until the whole circuit
+// finishes: survival = (1 - rate)^(alive_time / tau_QD). The figure of
+// merit we report is the state-level loss 1 - prod_p survival(p) (any lost
+// photon spoils the graph state) together with the per-photon average.
+#pragma once
+
+#include <vector>
+
+#include "hardware/hardware_model.hpp"
+
+namespace epg {
+
+/// Survival probability of one photon alive for `alive_ticks`.
+double photon_survival(const HardwareModel& hw, Tick alive_ticks);
+
+struct LossReport {
+  double state_survival = 1.0;   ///< prod of per-photon survivals
+  double state_loss = 0.0;       ///< 1 - state_survival
+  double mean_photon_loss = 0.0; ///< average of per-photon loss
+  double mean_alive_tau = 0.0;   ///< the paper's T_loss, in tau_QD units
+};
+
+/// Aggregate loss for a set of photons given their alive times (emission to
+/// circuit end).
+LossReport evaluate_loss(const HardwareModel& hw,
+                         const std::vector<Tick>& alive_ticks);
+
+}  // namespace epg

@@ -1,0 +1,180 @@
+#include "io/graph_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace epg {
+namespace {
+
+[[noreturn]] void bad_input(const std::string& what, std::size_t line) {
+  throw std::invalid_argument("graph parse error (line " +
+                              std::to_string(line) + "): " + what);
+}
+
+}  // namespace
+
+std::string write_edge_list(const Graph& g) {
+  std::ostringstream os;
+  os << "# epgc edge list\n";
+  os << "n " << g.vertex_count() << '\n';
+  for (const auto& [u, v] : g.edges()) os << u << ' ' << v << '\n';
+  return os.str();
+}
+
+Graph read_edge_list(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t declared = 0;
+  bool has_header = false;
+  std::vector<Edge> edges;
+  Vertex max_vertex = 0;
+  bool any_vertex = false;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;  // blank / comment-only line
+    if (first == "n") {
+      if (has_header) bad_input("duplicate 'n' header", line_no);
+      if (!(ls >> declared)) bad_input("'n' needs a count", line_no);
+      has_header = true;
+      continue;
+    }
+    Vertex u = 0, v = 0;
+    try {
+      u = static_cast<Vertex>(std::stoul(first));
+    } catch (const std::exception&) {
+      bad_input("expected a vertex id, got '" + first + "'", line_no);
+    }
+    if (!(ls >> v)) bad_input("edge needs two endpoints", line_no);
+    std::string extra;
+    if (ls >> extra) bad_input("trailing token '" + extra + "'", line_no);
+    if (u == v) bad_input("self-loops are not graph-state edges", line_no);
+    edges.emplace_back(u, v);
+    max_vertex = std::max({max_vertex, u, v});
+    any_vertex = true;
+  }
+
+  std::size_t n = has_header ? declared : (any_vertex ? max_vertex + 1 : 0);
+  if (any_vertex && max_vertex >= n)
+    throw std::invalid_argument(
+        "edge endpoint " + std::to_string(max_vertex) +
+        " out of range for declared n=" + std::to_string(n));
+  Graph g(n);
+  for (const auto& [u, v] : edges) g.add_edge(u, v);
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// graph6 (https://users.cecs.anu.edu.au/~bdm/data/formats.txt)
+// ---------------------------------------------------------------------------
+
+std::string write_graph6(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  EPG_REQUIRE(n <= 258047, "graph6 writer supports n <= 258047");
+  std::string out;
+  if (n <= 62) {
+    out.push_back(static_cast<char>(n + 63));
+  } else {
+    out.push_back(126);  // '~'
+    out.push_back(static_cast<char>(((n >> 12) & 63) + 63));
+    out.push_back(static_cast<char>(((n >> 6) & 63) + 63));
+    out.push_back(static_cast<char>((n & 63) + 63));
+  }
+  // Upper triangle in column order, packed 6 bits per character.
+  int bits = 0;
+  int value = 0;
+  for (Vertex j = 1; j < n; ++j) {
+    for (Vertex i = 0; i < j; ++i) {
+      value = (value << 1) | (g.has_edge(i, j) ? 1 : 0);
+      if (++bits == 6) {
+        out.push_back(static_cast<char>(value + 63));
+        bits = 0;
+        value = 0;
+      }
+    }
+  }
+  if (bits > 0)
+    out.push_back(static_cast<char>((value << (6 - bits)) + 63));
+  return out;
+}
+
+Graph read_graph6(const std::string& text) {
+  // Strip whitespace and the optional ">>graph6<<" marker.
+  std::string s;
+  s.reserve(text.size());
+  for (char c : text)
+    if (!std::isspace(static_cast<unsigned char>(c))) s.push_back(c);
+  if (s.rfind(">>graph6<<", 0) == 0) s.erase(0, 10);
+  if (s.empty()) throw std::invalid_argument("graph6: empty input");
+
+  std::size_t pos = 0;
+  auto next = [&]() -> int {
+    if (pos >= s.size())
+      throw std::invalid_argument("graph6: truncated input");
+    const int c = static_cast<unsigned char>(s[pos++]);
+    if (c < 63 || c > 126)
+      throw std::invalid_argument("graph6: byte out of range at position " +
+                                  std::to_string(pos - 1));
+    return c - 63;
+  };
+
+  std::size_t n = 0;
+  const int first = next();
+  if (first < 63) {
+    n = static_cast<std::size_t>(first);
+  } else {
+    const int a = next();
+    if (a == 63)
+      throw std::invalid_argument("graph6: 8-byte sizes are unsupported");
+    n = (static_cast<std::size_t>(a) << 12) |
+        (static_cast<std::size_t>(next()) << 6) |
+        static_cast<std::size_t>(next());
+  }
+
+  Graph g(n);
+  int bits = 0;
+  int value = 0;
+  for (Vertex j = 1; j < n; ++j) {
+    for (Vertex i = 0; i < j; ++i) {
+      if (bits == 0) {
+        value = next();
+        bits = 6;
+      }
+      --bits;
+      if ((value >> bits) & 1) g.add_edge(i, j);
+    }
+  }
+  if (pos != s.size())
+    throw std::invalid_argument("graph6: trailing bytes after the graph");
+  return g;
+}
+
+Graph load_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open graph file: " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  if (path.size() >= 3 && path.compare(path.size() - 3, 3, ".g6") == 0)
+    return read_graph6(buf.str());
+  return read_edge_list(buf.str());
+}
+
+void save_graph_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::invalid_argument("cannot write graph file: " + path);
+  if (path.size() >= 3 && path.compare(path.size() - 3, 3, ".g6") == 0)
+    out << write_graph6(g) << '\n';
+  else
+    out << write_edge_list(g);
+}
+
+}  // namespace epg

@@ -1,0 +1,40 @@
+// Graph file formats.
+//
+// Two interchange formats are supported:
+//   * a plain text edge list — line oriented, `#` comments, an optional
+//     `n <count>` header for isolated trailing vertices, then one `u v`
+//     pair per line;
+//   * graph6 — Brendan McKay's compact ASCII encoding used by nauty,
+//     geng and most graph repositories (6 bits per character, the upper
+//     triangle of the adjacency matrix in column order).
+//
+// All parsers validate their input and throw std::invalid_argument with
+// the offending line/character on malformed data.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace epg {
+
+/// Serialize as an edge list (header + lexicographically sorted edges).
+std::string write_edge_list(const Graph& g);
+
+/// Parse an edge list. Vertices are 0-based; an `n <count>` header may
+/// declare more vertices than the edges mention.
+Graph read_edge_list(const std::string& text);
+
+/// Encode in graph6 (n up to 258047 — the 1- and 4-byte size headers).
+std::string write_graph6(const Graph& g);
+
+/// Decode a graph6 string (surrounding whitespace and an optional
+/// ">>graph6<<" prefix are accepted).
+Graph read_graph6(const std::string& text);
+
+/// File helpers; format chosen by extension (.g6 = graph6, else edge list).
+Graph load_graph_file(const std::string& path);
+void save_graph_file(const Graph& g, const std::string& path);
+
+}  // namespace epg

@@ -1,0 +1,82 @@
+#include "io/qasm_export.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace epg {
+namespace {
+
+std::string wire(QubitId q) {
+  return (q.kind == QubitKind::photon ? "p[" : "e[") +
+         std::to_string(q.index) + "]";
+}
+
+void emit_clifford(std::ostream& os, QubitId q, const Clifford1& c) {
+  // gate_string() is the minimal {H,S} word in application order.
+  for (char g : c.gate_string())
+    os << (g == 'H' ? "h " : "s ") << wire(q) << ";\n";
+}
+
+const char* pauli_gate(PauliOp op) {
+  switch (op) {
+    case PauliOp::X: return "x";
+    case PauliOp::Y: return "y";
+    case PauliOp::Z: return "z";
+    case PauliOp::I: break;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string export_qasm3(const Circuit& c) {
+  std::size_t measurements = 0;
+  for (const Gate& g : c.gates())
+    if (g.kind == GateKind::measure_reset) ++measurements;
+
+  std::ostringstream os;
+  os << "OPENQASM 3.0;\n";
+  os << "include \"stdgates.inc\";\n";
+  os << "// emitter-photonic graph-state generation circuit (epgc)\n";
+  os << "// photons p[...], emitters e[...]; every photon's first gate is\n";
+  os << "// its emission CX and photons never meet a two-qubit gate again.\n";
+  if (c.num_photons() > 0)
+    os << "qubit[" << c.num_photons() << "] p;\n";
+  if (c.num_emitters() > 0)
+    os << "qubit[" << c.num_emitters() << "] e;\n";
+  if (measurements > 0) os << "bit[" << measurements << "] m;\n";
+
+  std::size_t meas = 0;
+  for (const Gate& g : c.gates()) {
+    switch (g.kind) {
+      case GateKind::emission:
+        os << "cx " << wire(g.a) << ", " << wire(g.b) << ";  // emission\n";
+        break;
+      case GateKind::ee_cz:
+        os << "cz " << wire(g.a) << ", " << wire(g.b) << ";\n";
+        break;
+      case GateKind::ee_cnot:
+        os << "cx " << wire(g.a) << ", " << wire(g.b) << ";\n";
+        break;
+      case GateKind::local:
+        emit_clifford(os, g.a, g.local);
+        break;
+      case GateKind::measure_reset: {
+        const std::string bit = "m[" + std::to_string(meas++) + "]";
+        os << bit << " = measure " << wire(g.a) << ";\n";
+        for (const PauliCorrection& corr : g.if_one) {
+          const char* gate = pauli_gate(corr.op);
+          if (gate == nullptr) continue;
+          os << "if (" << bit << ") " << gate << ' ' << wire(corr.target)
+             << ";\n";
+        }
+        os << "reset " << wire(g.a) << ";\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace epg

@@ -1,0 +1,19 @@
+// OpenQASM 3 export of generation circuits.
+//
+// Photons and emitters become two qubit registers; emissions are CX gates
+// from an emitter onto a (reset) photon wire, single-qubit Cliffords expand
+// to their minimal {h, s} decompositions, and the protocol's feed-forward
+// appears as measurement + `if (bit)` Pauli corrections — directly loadable
+// by any OpenQASM 3 toolchain for inspection or resimulation.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace epg {
+
+/// Render the circuit as an OpenQASM 3 program.
+std::string export_qasm3(const Circuit& c);
+
+}  // namespace epg

@@ -1,0 +1,51 @@
+#include "metrics/report.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "graph/metrics.hpp"
+
+namespace epg {
+
+double reduction_pct(double baseline, double ours) {
+  if (baseline <= 0.0) return 0.0;
+  return 100.0 * (baseline - ours) / baseline;
+}
+
+double ComparisonRow::cnot_reduction_pct() const {
+  return reduction_pct(static_cast<double>(baseline.ee_cnot_count),
+                       static_cast<double>(ours.ee_cnot_count));
+}
+
+double ComparisonRow::duration_reduction_pct() const {
+  return reduction_pct(baseline.duration_tau, ours.duration_tau);
+}
+
+double ComparisonRow::loss_improvement_factor() const {
+  if (ours.loss.state_loss <= 0.0) return 1.0;
+  return baseline.loss.state_loss / ours.loss.state_loss;
+}
+
+ComparisonRow compare_compilers(const std::string& label, const Graph& g,
+                                const FrameworkConfig& fw_cfg,
+                                const BaselineConfig& base_cfg) {
+  ComparisonRow row;
+  row.label = label;
+  row.num_qubits = g.vertex_count();
+  row.num_edges = g.edge_count();
+
+  const FrameworkResult ours = compile_framework(g, fw_cfg);
+  row.ours = ours.stats();
+  row.ne_min = ours.ne_min;
+  row.ne_limit = ours.ne_limit;
+  row.stem_count = ours.stem_count;
+
+  BaselineConfig bc = base_cfg;
+  // Both compilers draw from the same emitter budget.
+  if (bc.num_emitters == 0) bc.num_emitters = ours.ne_limit;
+  const BaselineResult base = compile_baseline(g, bc);
+  row.baseline = base.stats;
+  return row;
+}
+
+}  // namespace epg

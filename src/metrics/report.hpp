@@ -1,0 +1,37 @@
+// Benchmark reporting helpers: run ours vs the baseline on one target and
+// collect the quantities the paper's figures plot.
+#pragma once
+
+#include <string>
+
+#include "compile/baseline_compiler.hpp"
+#include "compile/framework.hpp"
+
+namespace epg {
+
+struct ComparisonRow {
+  std::string label;
+  std::size_t num_qubits = 0;
+  std::size_t num_edges = 0;
+  CircuitStats baseline;
+  CircuitStats ours;
+  std::size_t ne_min = 0;
+  std::uint32_t ne_limit = 0;
+  std::size_t stem_count = 0;
+
+  double cnot_reduction_pct() const;
+  double duration_reduction_pct() const;
+  /// Fig. 11a's figure of merit: baseline state loss / ours (higher = more
+  /// suppression).
+  double loss_improvement_factor() const;
+};
+
+/// Compile with both compilers under a shared emitter budget
+/// Ne_limit = ceil(factor * Ne_min) and collect the comparison.
+ComparisonRow compare_compilers(const std::string& label, const Graph& g,
+                                const FrameworkConfig& fw_cfg,
+                                const BaselineConfig& base_cfg);
+
+double reduction_pct(double baseline, double ours);
+
+}  // namespace epg

@@ -1,0 +1,35 @@
+// Depth-limited LC + partition co-search — the anytime substitute for the
+// paper's Gurobi MIP (Section IV.A).
+//
+// Beam search over local-complementation sequences of length <= l; each
+// candidate graph is scored by the min-cut of a (fast) balanced partition.
+// Small graphs are certified with exact branch-and-bound. Setting
+// max_lc_ops = 0 disables the LC transformation, which is the paper's
+// Fig. 11b ablation baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/partition_problem.hpp"
+#include "solver/partition_refine.hpp"
+
+namespace epg {
+
+struct LcPartitionConfig {
+  std::size_t g_max = 7;        ///< paper's subgraph size cap
+  std::size_t max_lc_ops = 15;  ///< paper's l
+  std::size_t beam_width = 6;
+  double time_budget_ms = 2000.0;
+  std::uint64_t seed = 7;
+  /// Restart counts for the quick (scoring) and final (polish) partitions.
+  int quick_restarts = 2;
+  int final_restarts = 12;
+  /// Use exact branch-and-bound when the graph is small enough.
+  bool exact_small = true;
+  std::size_t exact_vertex_limit = 13;
+};
+
+PartitionOutcome search_lc_partition(const Graph& g,
+                                     const LcPartitionConfig& cfg);
+
+}  // namespace epg

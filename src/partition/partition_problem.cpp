@@ -1,0 +1,38 @@
+#include "partition/partition_problem.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace epg {
+
+std::vector<Edge> PartitionOutcome::stem_edges() const {
+  return cut_edges(transformed, labels);
+}
+
+PartitionOutcome make_outcome(Graph transformed,
+                              std::vector<Vertex> lc_sequence,
+                              const PartitionLabels& labels) {
+  EPG_REQUIRE(labels.size() == transformed.vertex_count(),
+              "labels must cover every vertex");
+  PartitionOutcome out;
+  out.transformed = std::move(transformed);
+  out.lc_sequence = std::move(lc_sequence);
+
+  // Relabel part ids contiguously in order of first appearance.
+  std::vector<std::int64_t> remap(labels.size() + 1, -1);
+  std::uint32_t next = 0;
+  out.labels.resize(labels.size());
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    EPG_REQUIRE(labels[v] <= labels.size(), "part id out of range");
+    if (remap[labels[v]] < 0) remap[labels[v]] = next++;
+    out.labels[v] = static_cast<std::uint32_t>(remap[labels[v]]);
+  }
+  out.parts.assign(next, {});
+  for (std::size_t v = 0; v < out.labels.size(); ++v)
+    out.parts[out.labels[v]].push_back(static_cast<Vertex>(v));
+  out.stem_edge_count = cut_edge_count(out.transformed, out.labels);
+  return out;
+}
+
+}  // namespace epg

@@ -1,0 +1,13 @@
+#include "solver/anneal.hpp"
+
+#include <cmath>
+
+namespace epg {
+
+double anneal_acceptance(double delta, double temperature) {
+  if (delta <= 0.0) return 1.0;
+  if (temperature <= 0.0) return 0.0;
+  return std::exp(-delta / temperature);
+}
+
+}  // namespace epg

@@ -1,0 +1,55 @@
+// Generic simulated-annealing driver, the second MIP-substitute engine.
+// Used by the LC/partition co-search when the beam search stalls; kept
+// generic so ablation benches can plug alternative objectives.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <utility>
+
+#include "common/rng.hpp"
+
+namespace epg {
+
+struct AnnealSchedule {
+  double temp_start = 2.0;
+  double temp_end = 0.02;
+  int iterations = 4000;
+};
+
+/// Probability of accepting a move with energy delta at temperature t.
+double anneal_acceptance(double delta, double temperature);
+
+/// Minimizes `energy` over states of type S. `neighbor` proposes a mutated
+/// copy. Returns the best state seen.
+template <typename S>
+S anneal(S initial, const std::function<double(const S&)>& energy,
+         const std::function<S(const S&, Rng&)>& neighbor, Rng& rng,
+         const AnnealSchedule& schedule = {}) {
+  S current = initial;
+  double current_e = energy(current);
+  S best = current;
+  double best_e = current_e;
+  for (int i = 0; i < schedule.iterations; ++i) {
+    const double frac =
+        schedule.iterations <= 1
+            ? 1.0
+            : static_cast<double>(i) / (schedule.iterations - 1);
+    const double temp = schedule.temp_start *
+                        std::pow(schedule.temp_end / schedule.temp_start,
+                                 frac);
+    S candidate = neighbor(current, rng);
+    const double cand_e = energy(candidate);
+    if (rng.chance(anneal_acceptance(cand_e - current_e, temp))) {
+      current = std::move(candidate);
+      current_e = cand_e;
+      if (current_e < best_e) {
+        best = current;
+        best_e = current_e;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace epg

@@ -1,0 +1,34 @@
+// Heuristic min-cut balanced partitioning (Fiduccia-Mattheyses flavored
+// move-based refinement with BFS region-growing seeds and multi-restart).
+//
+// This is the inner engine of the paper's MIP model (Section IV.A): split
+// the n vertices into ceil(n/g_max) parts of size <= g_max while minimizing
+// the number of cut ("stem") edges. Exact branch-and-bound handles small
+// instances (partition_bnb.hpp); this scales to the paper's 60-qubit range.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/metrics.hpp"
+
+namespace epg {
+
+struct PartitionConfig {
+  std::size_t max_part_size = 7;  ///< the paper's g_max
+  /// Number of parts; 0 derives ceil(n / max_part_size).
+  std::size_t num_parts = 0;
+  std::uint64_t seed = 1;
+  int restarts = 8;
+  int max_passes = 32;  ///< refinement passes per restart
+};
+
+/// Best partition found; labels are 0..num_parts-1 and sizes respect
+/// max_part_size.
+PartitionLabels partition_min_cut(const Graph& g, const PartitionConfig& cfg);
+
+/// Part sizes are all within the cap and every vertex has a valid label.
+bool partition_is_valid(const Graph& g, const PartitionLabels& labels,
+                        std::size_t max_part_size);
+
+}  // namespace epg

@@ -1,0 +1,226 @@
+#include "stab/clifford1q.hpp"
+
+#include <array>
+#include <deque>
+
+#include "common/assert.hpp"
+
+namespace epg {
+namespace {
+
+// Signed non-identity Pauli <-> code in 0..5 (X+, X-, Y+, Y-, Z+, Z-).
+int pauli_code(SignedPauli1 p) {
+  EPG_CHECK(p.op != PauliOp::I, "identity has no code");
+  return (static_cast<int>(p.op) - 1) * 2 + (p.negative ? 1 : 0);
+}
+
+struct Element {
+  SignedPauli1 img_x, img_z;
+  std::string gates;  // minimal H/S string, chronological order
+};
+
+struct Tables {
+  std::array<Element, Clifford1::group_order> elements;
+  std::array<std::array<std::uint8_t, Clifford1::group_order>,
+             Clifford1::group_order>
+      compose;  // compose[a][b] = element "a then b"
+  std::array<std::uint8_t, Clifford1::group_order> inverse;
+  std::array<std::int8_t, 36> key_to_index;
+
+  static int key(SignedPauli1 ix, SignedPauli1 iz) {
+    return pauli_code(ix) * 6 + pauli_code(iz);
+  }
+};
+
+SignedPauli1 conj_by_h(SignedPauli1 p) {
+  switch (p.op) {
+    case PauliOp::X: return {PauliOp::Z, p.negative};
+    case PauliOp::Z: return {PauliOp::X, p.negative};
+    case PauliOp::Y: return {PauliOp::Y, !p.negative};
+    case PauliOp::I: return p;
+  }
+  return p;
+}
+
+SignedPauli1 conj_by_s(SignedPauli1 p) {
+  switch (p.op) {
+    case PauliOp::X: return {PauliOp::Y, p.negative};
+    case PauliOp::Y: return {PauliOp::X, !p.negative};
+    case PauliOp::Z: return p;
+    case PauliOp::I: return p;
+  }
+  return p;
+}
+
+const Tables& tables() {
+  static const Tables t = [] {
+    Tables tb{};
+    tb.key_to_index.fill(-1);
+
+    // BFS over products of the generators H and S starting from identity.
+    std::deque<std::uint8_t> frontier;
+    std::size_t count = 0;
+    auto intern = [&](SignedPauli1 ix, SignedPauli1 iz,
+                      const std::string& gates) -> int {
+      const int k = Tables::key(ix, iz);
+      if (tb.key_to_index[k] >= 0) return -1;
+      EPG_CHECK(count < Clifford1::group_order, "C1 has exactly 24 elements");
+      tb.key_to_index[k] = static_cast<std::int8_t>(count);
+      tb.elements[count] = {ix, iz, gates};
+      frontier.push_back(static_cast<std::uint8_t>(count));
+      return static_cast<int>(count++);
+    };
+    intern({PauliOp::X, false}, {PauliOp::Z, false}, "");
+    while (!frontier.empty()) {
+      const auto e = frontier.front();
+      frontier.pop_front();
+      const Element cur = tb.elements[e];
+      // Appending gate g (applied after the current element) conjugates the
+      // current images by g.
+      intern(conj_by_h(cur.img_x), conj_by_h(cur.img_z), cur.gates + 'H');
+      intern(conj_by_s(cur.img_x), conj_by_s(cur.img_z), cur.gates + 'S');
+    }
+    EPG_CHECK(count == Clifford1::group_order,
+              "H and S generate all 24 single-qubit Cliffords");
+
+    // Composition: (a then b) acts as P -> conj_b(conj_a(P)).
+    auto conj_by_element = [&](const Element& el,
+                               SignedPauli1 p) -> SignedPauli1 {
+      switch (p.op) {
+        case PauliOp::I: return p;
+        case PauliOp::X:
+          return {el.img_x.op, el.img_x.negative != p.negative};
+        case PauliOp::Z:
+          return {el.img_z.op, el.img_z.negative != p.negative};
+        case PauliOp::Y: {
+          SignedPauli1 y = i_times_product(el.img_x, el.img_z);
+          y.negative = y.negative != p.negative;
+          return y;
+        }
+      }
+      return p;
+    };
+    for (std::size_t a = 0; a < Clifford1::group_order; ++a) {
+      for (std::size_t b = 0; b < Clifford1::group_order; ++b) {
+        const SignedPauli1 ix =
+            conj_by_element(tb.elements[b], tb.elements[a].img_x);
+        const SignedPauli1 iz =
+            conj_by_element(tb.elements[b], tb.elements[a].img_z);
+        const int k = Tables::key(ix, iz);
+        EPG_CHECK(tb.key_to_index[k] >= 0, "composition closed in C1");
+        tb.compose[a][b] = static_cast<std::uint8_t>(tb.key_to_index[k]);
+      }
+    }
+    for (std::size_t a = 0; a < Clifford1::group_order; ++a) {
+      bool found = false;
+      for (std::size_t b = 0; b < Clifford1::group_order; ++b) {
+        if (tb.compose[a][b] == 0) {
+          tb.inverse[a] = static_cast<std::uint8_t>(b);
+          found = true;
+          break;
+        }
+      }
+      EPG_CHECK(found, "every C1 element has an inverse");
+    }
+    return tb;
+  }();
+  return t;
+}
+
+Clifford1 by_images(SignedPauli1 ix, SignedPauli1 iz) {
+  const int k = Tables::key(ix, iz);
+  const int idx = tables().key_to_index[k];
+  EPG_CHECK(idx >= 0, "images must define a valid Clifford");
+  return Clifford1::from_index(static_cast<std::uint8_t>(idx));
+}
+
+}  // namespace
+
+Clifford1 Clifford1::identity() { return Clifford1(0); }
+Clifford1 Clifford1::h() {
+  return by_images({PauliOp::Z, false}, {PauliOp::X, false});
+}
+Clifford1 Clifford1::s() {
+  return by_images({PauliOp::Y, false}, {PauliOp::Z, false});
+}
+Clifford1 Clifford1::sdg() { return s().inverse(); }
+Clifford1 Clifford1::x() {
+  return by_images({PauliOp::X, false}, {PauliOp::Z, true});
+}
+Clifford1 Clifford1::y() {
+  return by_images({PauliOp::X, true}, {PauliOp::Z, true});
+}
+Clifford1 Clifford1::z() {
+  return by_images({PauliOp::X, true}, {PauliOp::Z, false});
+}
+Clifford1 Clifford1::sqrt_x() {
+  // HSH: X->X, Y->Z, Z->-Y.
+  return by_images({PauliOp::X, false}, {PauliOp::Y, true});
+}
+Clifford1 Clifford1::sqrt_x_dag() { return sqrt_x().inverse(); }
+
+Clifford1 Clifford1::from_images(SignedPauli1 image_x, SignedPauli1 image_z) {
+  EPG_REQUIRE(image_x.op != PauliOp::I && image_z.op != PauliOp::I &&
+                  image_x.op != image_z.op,
+              "Clifford images must be anticommuting non-identity Paulis");
+  return by_images(image_x, image_z);
+}
+
+SignedPauli1 Clifford1::image_of_x() const {
+  return tables().elements[idx_].img_x;
+}
+SignedPauli1 Clifford1::image_of_z() const {
+  return tables().elements[idx_].img_z;
+}
+SignedPauli1 Clifford1::image_of_y() const {
+  return conjugate({PauliOp::Y, false});
+}
+
+SignedPauli1 Clifford1::conjugate(SignedPauli1 p) const {
+  const Element& el = tables().elements[idx_];
+  switch (p.op) {
+    case PauliOp::I: return p;
+    case PauliOp::X: return {el.img_x.op, el.img_x.negative != p.negative};
+    case PauliOp::Z: return {el.img_z.op, el.img_z.negative != p.negative};
+    case PauliOp::Y: {
+      SignedPauli1 y = i_times_product(el.img_x, el.img_z);
+      y.negative = y.negative != p.negative;
+      return y;
+    }
+  }
+  return p;
+}
+
+Clifford1 Clifford1::then(Clifford1 next) const {
+  return Clifford1(tables().compose[idx_][next.idx_]);
+}
+
+Clifford1 Clifford1::inverse() const {
+  return Clifford1(tables().inverse[idx_]);
+}
+
+bool Clifford1::is_diagonal() const {
+  return image_of_z() == SignedPauli1{PauliOp::Z, false};
+}
+
+const std::string& Clifford1::gate_string() const {
+  return tables().elements[idx_].gates;
+}
+
+std::string Clifford1::name() const {
+  const std::string& g = gate_string();
+  if (g.empty()) return "I";
+  std::string out;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (i) out += '.';
+    out += g[i];
+  }
+  return out;
+}
+
+Clifford1 Clifford1::from_index(std::uint8_t idx) {
+  EPG_REQUIRE(idx < group_order, "Clifford1 index out of range");
+  return Clifford1(idx);
+}
+
+}  // namespace epg

@@ -1,0 +1,79 @@
+// The single-qubit Clifford group C1 (24 elements modulo global phase).
+//
+// Each element is identified by its conjugation action on X and Z (a signed
+// Pauli each, anticommuting => 6*4 = 24 elements). The group tables
+// (composition, inverse, minimal {H,S} gate decompositions) are built once
+// by breadth-first search from the identity and shared process-wide.
+//
+// C1 is used for: the local-complementation unitaries (sqrt(X) on the
+// complemented vertex, S on its neighbors), the per-photon correction frames
+// the framework accumulates across LC transformations, and the vertex
+// operators of the Anders-Briegel graph simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stab/pauli.hpp"
+
+namespace epg {
+
+class Clifford1 {
+ public:
+  /// Identity element.
+  Clifford1() : idx_(0) {}
+
+  // The named generators/elements used throughout the compiler.
+  static Clifford1 identity();
+  static Clifford1 h();
+  static Clifford1 s();
+  static Clifford1 sdg();
+  static Clifford1 x();
+  static Clifford1 y();
+  static Clifford1 z();
+  /// sqrt(X) ~ e^{-i pi X/4} = HSH: X->X, Y->Z, Z->-Y. Its dagger, paired
+  /// with S on the neighborhood, is the local-complementation unitary:
+  /// |LC_v(G)> = sqrt(X)^dag_v (x) S_{N(v)} |G>.
+  static Clifford1 sqrt_x();
+  static Clifford1 sqrt_x_dag();
+
+  /// From the images of X and Z under conjugation (must anticommute).
+  static Clifford1 from_images(SignedPauli1 image_x, SignedPauli1 image_z);
+
+  SignedPauli1 image_of_x() const;
+  SignedPauli1 image_of_z() const;
+  SignedPauli1 image_of_y() const;
+
+  /// U p U^dagger for a signed single-qubit Pauli p.
+  SignedPauli1 conjugate(SignedPauli1 p) const;
+
+  /// Group composition: returns the element acting as "this first, then
+  /// `next`" (i.e. the unitary next * this).
+  Clifford1 then(Clifford1 next) const;
+
+  Clifford1 inverse() const;
+
+  bool is_identity() const { return idx_ == 0; }
+  /// Diagonal elements {I, S, Z, Sdg} commute with CZ (Z -> +Z).
+  bool is_diagonal() const;
+
+  /// Minimal decomposition into 'H' / 'S' gates, in application
+  /// (chronological circuit) order.
+  const std::string& gate_string() const;
+
+  /// Stable readable name such as "H", "S.H", "I".
+  std::string name() const;
+
+  std::uint8_t index() const { return idx_; }
+  static constexpr std::size_t group_order = 24;
+  static Clifford1 from_index(std::uint8_t idx);
+
+  bool operator==(const Clifford1&) const = default;
+
+ private:
+  explicit Clifford1(std::uint8_t idx) : idx_(idx) {}
+  std::uint8_t idx_;
+};
+
+}  // namespace epg

@@ -1,0 +1,28 @@
+#include "stab/entanglement.hpp"
+
+#include "common/assert.hpp"
+#include "common/bitmat.hpp"
+
+namespace epg {
+
+std::size_t entanglement_entropy(const Tableau& t,
+                                 const std::vector<std::size_t>& subset) {
+  const std::size_t n = t.num_qubits();
+  for (std::size_t q : subset)
+    EPG_REQUIRE(q < n, "entanglement_entropy: qubit out of range");
+  if (subset.empty() || subset.size() >= n) return 0;
+
+  BitMat m(n, 2 * subset.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const PauliString row = t.stabilizer(i);
+    for (std::size_t c = 0; c < subset.size(); ++c) {
+      if (row.x_bit(subset[c])) m.set(i, 2 * c, true);
+      if (row.z_bit(subset[c])) m.set(i, 2 * c + 1, true);
+    }
+  }
+  const std::size_t r = m.rank();
+  EPG_CHECK(r >= subset.size(), "stabilizer restriction rank >= |A|");
+  return r - subset.size();
+}
+
+}  // namespace epg

@@ -1,0 +1,22 @@
+// Bipartite entanglement entropy of stabilizer states.
+//
+// For a stabilizer state with group S on n qubits and a cut A, the entropy
+// is S(A) = rank_GF2(S restricted to A's symplectic columns) - |A|. On a
+// graph state this equals the cut-rank of the graph (graph/metrics.hpp); the
+// paper uses it ("entanglement entropy theory [26]") to compute the minimal
+// emitter count ne_min of a subgraph, which seeds the flexible resource
+// constraint ne_limit in {ne_min, ne_min+1, ne_min+2}.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stab/tableau.hpp"
+
+namespace epg {
+
+/// Entanglement entropy (in bits) of the subset A of qubits.
+std::size_t entanglement_entropy(const Tableau& t,
+                                 const std::vector<std::size_t>& subset);
+
+}  // namespace epg

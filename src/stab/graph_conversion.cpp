@@ -1,0 +1,119 @@
+#include "stab/graph_conversion.hpp"
+
+#include "common/assert.hpp"
+
+namespace epg {
+namespace {
+
+/// Conjugate the q-th position of a Pauli string by a 1-qubit Clifford.
+void conjugate_at(PauliString& p, std::size_t q, Clifford1 c) {
+  const PauliOp op = p.op_at(q);
+  if (op == PauliOp::I) return;
+  const SignedPauli1 img = c.conjugate({op, false});
+  p.set_op(q, img.op);
+  if (img.negative) p.negate();
+}
+
+}  // namespace
+
+GraphWithVops tableau_to_graph(const Tableau& t) {
+  const std::size_t n = t.num_qubits();
+  std::vector<PauliString> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) rows.push_back(t.stabilizer(i));
+  // applied[q]: the local Clifford applied so far to qubit q of the state.
+  std::vector<Clifford1> applied(n, Clifford1::identity());
+
+  auto apply_local = [&](std::size_t q, Clifford1 c) {
+    for (auto& row : rows) conjugate_at(row, q, c);
+    applied[q] = applied[q].then(c);
+  };
+
+  // Step 1: make the X block have full rank by hitting deficient qubits
+  // with H. After row reduction, any row with empty X support is Z-only;
+  // an H on one of its Z-support qubits turns that Z into an X.
+  for (;;) {
+    // Row-reduce a working copy's X block to find a row with empty X part.
+    std::vector<PauliString> work = rows;
+    std::size_t pivot = 0;
+    std::vector<std::size_t> pivot_cols;
+    for (std::size_t col = 0; col < n && pivot < n; ++col) {
+      std::size_t sel = pivot;
+      while (sel < n && !work[sel].x_bit(col)) ++sel;
+      if (sel == n) continue;
+      std::swap(work[pivot], work[sel]);
+      for (std::size_t r = 0; r < n; ++r)
+        if (r != pivot && work[r].x_bit(col)) work[r] *= work[pivot];
+      pivot_cols.push_back(col);
+      ++pivot;
+    }
+    if (pivot == n) {
+      rows = std::move(work);  // keep the X-reduced basis
+      break;
+    }
+    // Row `pivot` (and any after) has no X support; it must have Z support.
+    bool fixed = false;
+    for (std::size_t r = pivot; r < n && !fixed; ++r) {
+      for (std::size_t q = 0; q < n && !fixed; ++q) {
+        if (work[r].z_bit(q) && !work[r].x_bit(q)) {
+          apply_local(q, Clifford1::h());
+          fixed = true;
+        }
+      }
+    }
+    EPG_CHECK(fixed, "rank-deficient stabilizer matrix must have a Z-only row");
+  }
+
+  // Step 2: change basis so the X block is exactly the identity.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t sel = col;
+    while (sel < n && !rows[sel].x_bit(col)) ++sel;
+    EPG_CHECK(sel < n, "X block is invertible after step 1");
+    std::swap(rows[col], rows[sel]);
+    for (std::size_t r = 0; r < n; ++r)
+      if (r != col && rows[r].x_bit(col)) rows[r] *= rows[col];
+  }
+
+  // Step 3: clear Z-diagonal entries (Y_i -> X_i) with Sdg.
+  for (std::size_t q = 0; q < n; ++q)
+    if (rows[q].z_bit(q)) apply_local(q, Clifford1::sdg());
+
+  // Step 4: fix negative signs with Z (flips only row q, since X block = I).
+  for (std::size_t q = 0; q < n; ++q)
+    if (rows[q].sign() < 0) apply_local(q, Clifford1::z());
+
+  // Rows are now X_q Z_{N(q)} with + signs: read off the adjacency. The
+  // Z block of a stabilizer state in this form is symmetric.
+  Graph g(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    for (std::size_t w = 0; w < n; ++w) {
+      if (w == q || !rows[q].z_bit(w)) continue;
+      EPG_CHECK(rows[w].z_bit(q), "graph-form Z block must be symmetric");
+      if (w > q)
+        g.add_edge(static_cast<Vertex>(q), static_cast<Vertex>(w));
+    }
+    EPG_CHECK(rows[q].sign() > 0 && rows[q].op_at(q) == PauliOp::X,
+              "canonical row must be +X_q Z_N");
+  }
+
+  // We applied V_q to the state to reach |g>; hence state = V^dagger |g>.
+  GraphWithVops out{std::move(g), {}};
+  out.vops.reserve(n);
+  for (std::size_t q = 0; q < n; ++q) out.vops.push_back(applied[q].inverse());
+  return out;
+}
+
+Tableau tableau_from_graph_with_vops(const GraphWithVops& gv) {
+  Tableau t = Tableau::graph_state(gv.graph);
+  EPG_REQUIRE(gv.vops.size() == gv.graph.vertex_count(),
+              "one vop per vertex required");
+  for (std::size_t q = 0; q < gv.vops.size(); ++q) t.apply(q, gv.vops[q]);
+  return t;
+}
+
+bool states_equal(const GraphWithVops& a, const GraphWithVops& b) {
+  return tableau_from_graph_with_vops(a).same_state_as(
+      tableau_from_graph_with_vops(b));
+}
+
+}  // namespace epg

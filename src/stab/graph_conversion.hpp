@@ -1,0 +1,35 @@
+// Conversion between stabilizer states and graph states.
+//
+// Every stabilizer state equals (tensor of single-qubit Cliffords) |G> for
+// some graph G (Van den Nest et al., PRA 69, 022316). `tableau_to_graph`
+// computes one such decomposition; it is the workhorse behind LC-equivalence
+// checks in the tests and behind the corner cases of the Anders-Briegel
+// simulator.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "stab/clifford1q.hpp"
+#include "stab/tableau.hpp"
+
+namespace epg {
+
+struct GraphWithVops {
+  Graph graph;
+  /// state = (tensor_q vops[q]) |graph>.
+  std::vector<Clifford1> vops;
+};
+
+/// Decompose an arbitrary stabilizer state into local Cliffords applied to a
+/// graph state.
+GraphWithVops tableau_to_graph(const Tableau& t);
+
+/// Rebuild the tableau from a decomposition (graph state, then the vops).
+Tableau tableau_from_graph_with_vops(const GraphWithVops& gv);
+
+/// Exact state equality of two decorated graph states (signs included),
+/// decided on their tableaux.
+bool states_equal(const GraphWithVops& a, const GraphWithVops& b);
+
+}  // namespace epg

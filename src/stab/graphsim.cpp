@@ -1,0 +1,195 @@
+#include "stab/graphsim.hpp"
+
+#include <array>
+
+#include "common/assert.hpp"
+#include "graph/local_complement.hpp"
+#include "stab/graph_conversion.hpp"
+
+namespace epg {
+namespace {
+
+enum class Move : std::uint8_t { done, consume_v, consume_u };
+
+// For each C1 element, the next right-multiplication that moves it closer
+// to the diagonal subgroup {I, S, Z, Sdg}:
+//   consume_v: multiply by sqrt(X) on the right (= LC at the vertex),
+//   consume_u: multiply by S^dagger on the right (= LC at a neighbor).
+// Built by backward BFS from the diagonal elements.
+const std::array<Move, Clifford1::group_order>& move_table() {
+  static const auto table = [] {
+    std::array<Move, Clifford1::group_order> moves{};
+    std::array<int, Clifford1::group_order> dist{};
+    dist.fill(-1);
+    std::vector<std::uint8_t> frontier;
+    for (std::uint8_t i = 0; i < Clifford1::group_order; ++i) {
+      const Clifford1 c = Clifford1::from_index(i);
+      if (c.is_diagonal()) {
+        dist[i] = 0;
+        moves[i] = Move::done;
+        frontier.push_back(i);
+      }
+    }
+    // Element e reaches e' with one move iff e * m = e' for m in
+    // {sqrt_x, sdg}; i.e. predecessors of e' are e' * m^{-1}.
+    const Clifford1 undo_v = Clifford1::sqrt_x_dag();
+    const Clifford1 undo_u = Clifford1::s();
+    std::size_t head = 0;
+    while (head < frontier.size()) {
+      const std::uint8_t cur = frontier[head++];
+      const Clifford1 c = Clifford1::from_index(cur);
+      // pred.then(move) == c  =>  pred = c.then(move^{-1}) does not hold in
+      // general for right multiplication; use explicit products instead.
+      // e * sqrt_x_dag = c  =>  e = c * sqrt_x. Since then() composes
+      // "this first, then next" as unitaries next*this, right-multiplying
+      // U_e by M is M.then(e)... see note below.
+      for (auto [undo, move] : {std::pair{undo_v, Move::consume_v},
+                                std::pair{undo_u, Move::consume_u}}) {
+        // Right product e = c * undo as unitaries: apply `undo` first,
+        // then c, which is undo.then(c).
+        const Clifford1 pred = undo.then(c);
+        const auto idx = pred.index();
+        if (dist[idx] < 0) {
+          dist[idx] = dist[cur] + 1;
+          moves[idx] = move;
+          frontier.push_back(idx);
+        }
+      }
+    }
+    for (int d : dist) EPG_CHECK(d >= 0, "every VOP reduces to diagonal");
+    return moves;
+  }();
+  return table;
+}
+
+}  // namespace
+
+GraphSim::GraphSim(std::size_t n)
+    : graph_(n), vops_(n, Clifford1::h()) {
+  // |0> = H|+>, and an isolated graph vertex is |+>.
+  EPG_REQUIRE(n > 0, "GraphSim needs at least one qubit");
+}
+
+GraphSim GraphSim::from_graph(const Graph& g) {
+  GraphSim sim(g.vertex_count());
+  sim.graph_ = g;
+  sim.vops_.assign(g.vertex_count(), Clifford1::identity());
+  return sim;
+}
+
+void GraphSim::apply_local(std::size_t q, Clifford1 c) {
+  EPG_REQUIRE(q < num_qubits(), "GraphSim::apply_local out of range");
+  vops_[q] = vops_[q].then(c);
+}
+
+void GraphSim::local_complement(std::size_t v) {
+  EPG_REQUIRE(v < num_qubits(), "GraphSim::local_complement out of range");
+  // |LC_v(G)> = U |G> with U = sqrt(X)^dag_v (x) S_{N(v)}; hence
+  // |G> = U^dagger |LC_v(G)> and the VOPs absorb U^dagger on the right
+  // (applied before the existing vop).
+  const auto nb = graph_.neighbors(static_cast<Vertex>(v));
+  epg::local_complement(graph_, static_cast<Vertex>(v));
+  vops_[v] = Clifford1::sqrt_x().then(vops_[v]);
+  for (Vertex w : nb) vops_[w] = Clifford1::sdg().then(vops_[w]);
+}
+
+bool GraphSim::normalize_isolated(std::size_t q) {
+  EPG_CHECK(graph_.is_isolated(static_cast<Vertex>(q)),
+            "normalize_isolated needs an isolated vertex");
+  if (vops_[q].is_diagonal()) return true;
+  // The state of q is vop|+>, stabilized by vop X vop^dagger.
+  const SignedPauli1 stab = vops_[q].image_of_x();
+  switch (stab.op) {
+    case PauliOp::X:
+      vops_[q] = stab.negative ? Clifford1::z() : Clifford1::identity();
+      return true;
+    case PauliOp::Y:
+      vops_[q] = stab.negative ? Clifford1::sdg() : Clifford1::s();
+      return true;
+    case PauliOp::Z:
+      return false;  // |0> or |1>: not expressible with a diagonal VOP.
+    case PauliOp::I:
+      break;
+  }
+  EPG_CHECK(false, "image of X cannot be identity");
+  return false;
+}
+
+bool GraphSim::reduce_vop(std::size_t a, std::size_t avoid) {
+  const auto& moves = move_table();
+  for (int guard = 0; guard < 16; ++guard) {
+    const Move m = moves[vops_[a].index()];
+    if (m == Move::done) return true;
+    if (m == Move::consume_v) {
+      local_complement(a);
+      continue;
+    }
+    // consume_u: LC at a neighbor multiplies S^dagger onto vop[a].
+    const auto nb = graph_.neighbors(static_cast<Vertex>(a));
+    if (nb.empty()) return normalize_isolated(a);
+    std::size_t partner = nb[0];
+    for (Vertex c : nb) {
+      if (c != avoid) {
+        partner = c;
+        break;
+      }
+    }
+    local_complement(partner);
+  }
+  return false;  // pathological ping-pong; caller falls back.
+}
+
+void GraphSim::recanonicalize_with(std::size_t a, std::size_t b) {
+  ++fallbacks_;
+  Tableau t = to_tableau();
+  t.cz(a, b);
+  GraphWithVops gv = tableau_to_graph(t);
+  graph_ = std::move(gv.graph);
+  vops_ = std::move(gv.vops);
+}
+
+void GraphSim::cz(std::size_t a, std::size_t b) {
+  EPG_REQUIRE(a < num_qubits() && b < num_qubits() && a != b,
+              "GraphSim::cz bad operands");
+  // Z-basis product states short-circuit: CZ|0>psi = |0>psi,
+  // CZ|1>psi = |1>(Z psi).
+  auto z_basis_shortcut = [&](std::size_t p, std::size_t other) -> bool {
+    if (!graph_.is_isolated(static_cast<Vertex>(p))) return false;
+    const SignedPauli1 stab = vops_[p].image_of_x();
+    if (stab.op != PauliOp::Z) return false;
+    if (stab.negative) apply_local(other, Clifford1::z());  // p is |1>
+    return true;
+  };
+  if (z_basis_shortcut(a, b) || z_basis_shortcut(b, a)) return;
+
+  if (!reduce_vop(a, b) || !reduce_vop(b, a)) {
+    recanonicalize_with(a, b);
+    return;
+  }
+  // reduce_vop(b, a) may have used a as the swapping partner and
+  // re-dirtied vop[a]; one more pass fixes the common cases.
+  if (!vops_[a].is_diagonal()) {
+    if (!reduce_vop(a, b) || !vops_[b].is_diagonal()) {
+      recanonicalize_with(a, b);
+      return;
+    }
+  }
+  if (!vops_[a].is_diagonal() || !vops_[b].is_diagonal()) {
+    recanonicalize_with(a, b);
+    return;
+  }
+  // Diagonal VOPs commute with CZ: the gate acts on the bare graph state.
+  graph_.toggle_edge(static_cast<Vertex>(a), static_cast<Vertex>(b));
+}
+
+void GraphSim::cnot(std::size_t control, std::size_t target) {
+  h(target);
+  cz(control, target);
+  h(target);
+}
+
+Tableau GraphSim::to_tableau() const {
+  return tableau_from_graph_with_vops({graph_, vops_});
+}
+
+}  // namespace epg

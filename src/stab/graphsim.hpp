@@ -1,0 +1,79 @@
+// Anders-Briegel graph-state simulator (quant-ph/0504117).
+//
+// Represents a stabilizer state as (tensor_q vop_q) |G> — a graph plus one
+// single-qubit Clifford "vertex operator" (VOP) per qubit. Single-qubit
+// gates are O(1); CZ is O(deg^2) via local complementations that normalize
+// the operand VOPs to diagonal form. Local complementation itself is a
+// native O(deg^2) operation, which is why this representation is the natural
+// home of the paper's LC-based optimizations.
+//
+// Measurements are not implemented here; the compiler's verification path
+// (which samples measurements) uses the Tableau simulator. GraphSim exists
+// as an independent second implementation to cross-validate the Tableau on
+// unitary circuits, and as the fast LC substrate for benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "stab/clifford1q.hpp"
+#include "stab/tableau.hpp"
+
+namespace epg {
+
+class GraphSim {
+ public:
+  /// |0...0> on n qubits.
+  explicit GraphSim(std::size_t n);
+
+  /// Start from a graph state (identity VOPs).
+  static GraphSim from_graph(const Graph& g);
+
+  std::size_t num_qubits() const { return graph_.vertex_count(); }
+
+  // Single-qubit gates (all O(1)).
+  void apply_local(std::size_t q, Clifford1 c);
+  void h(std::size_t q) { apply_local(q, Clifford1::h()); }
+  void s(std::size_t q) { apply_local(q, Clifford1::s()); }
+  void sdg(std::size_t q) { apply_local(q, Clifford1::sdg()); }
+  void x(std::size_t q) { apply_local(q, Clifford1::x()); }
+  void z(std::size_t q) { apply_local(q, Clifford1::z()); }
+
+  // Two-qubit gates.
+  void cz(std::size_t a, std::size_t b);
+  void cnot(std::size_t control, std::size_t target);
+
+  /// Native local complementation *of the state representation*: the state
+  /// is unchanged, the graph is complemented at v and the VOPs absorb the
+  /// compensating local Cliffords.
+  void local_complement(std::size_t v);
+
+  const Graph& graph() const { return graph_; }
+  Clifford1 vop(std::size_t q) const { return vops_[q]; }
+
+  /// Materialize the state on the ground-truth simulator.
+  Tableau to_tableau() const;
+
+  /// How many times cz() had to fall back to full re-canonicalization
+  /// (diagnostic; expected to stay small).
+  std::size_t fallback_count() const { return fallbacks_; }
+
+ private:
+  Graph graph_;
+  std::vector<Clifford1> vops_;
+  std::size_t fallbacks_ = 0;
+
+  /// Make vop[a] diagonal using local complementations, preferring
+  /// swapping partners other than `avoid`. Returns false when stuck (e.g.
+  /// isolated vertex in a Z-basis state).
+  bool reduce_vop(std::size_t a, std::size_t avoid);
+
+  /// Rewrite an isolated vertex's VOP as a diagonal one when its state
+  /// allows it (|+>,|->,|+i>,|-i>). Returns false for |0>/|1>.
+  bool normalize_isolated(std::size_t q);
+
+  void recanonicalize_with(std::size_t a, std::size_t b);
+};
+
+}  // namespace epg

@@ -1,0 +1,141 @@
+#include "stab/pauli.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace epg {
+namespace {
+
+std::size_t popcount_and(const std::vector<std::uint64_t>& a,
+                         const std::vector<std::uint64_t>& b) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  return total;
+}
+
+}  // namespace
+
+SignedPauli1 i_times_product(SignedPauli1 a, SignedPauli1 b) {
+  EPG_REQUIRE(a.op != PauliOp::I && b.op != PauliOp::I && a.op != b.op,
+              "i_times_product needs distinct non-identity Paulis");
+  // Cyclic products carry +i (XY=iZ, YZ=iX, ZX=iY); anticyclic carry -i.
+  // i * (+i C) = -C ; i * (-i C) = +C.
+  auto code = [](PauliOp op) { return static_cast<int>(op) - 1; };  // X=0,Y=1,Z=2
+  const int ca = code(a.op), cb = code(b.op);
+  const bool cyclic = (cb - ca + 3) % 3 == 1;
+  SignedPauli1 out;
+  out.op = static_cast<PauliOp>(((ca + cb) * 2) % 3 + 1);  // the third Pauli
+  out.negative = a.negative ^ b.negative ^ cyclic;
+  return out;
+}
+
+PauliString::PauliString(std::size_t n)
+    : n_(n), x_((n + 63) / 64, 0), z_((n + 63) / 64, 0) {}
+
+PauliString PauliString::single(std::size_t n, std::size_t q, PauliOp op) {
+  PauliString p(n);
+  p.set_op(q, op);
+  return p;
+}
+
+PauliOp PauliString::op_at(std::size_t q) const {
+  EPG_REQUIRE(q < n_, "PauliString::op_at out of range");
+  const bool x = x_bit(q), z = z_bit(q);
+  if (x && z) return PauliOp::Y;
+  if (x) return PauliOp::X;
+  if (z) return PauliOp::Z;
+  return PauliOp::I;
+}
+
+void PauliString::set_op(std::size_t q, PauliOp op) {
+  EPG_REQUIRE(q < n_, "PauliString::set_op out of range");
+  // Remove the implicit i of an existing Y, then add one if the new op is Y,
+  // so Hermitian strings stay Hermitian.
+  if (op_at(q) == PauliOp::Y) phase_ = (phase_ + 3) & 3;
+  const std::uint64_t mask = 1ULL << (q % 64);
+  x_[q / 64] &= ~mask;
+  z_[q / 64] &= ~mask;
+  if (op == PauliOp::X || op == PauliOp::Y) x_[q / 64] |= mask;
+  if (op == PauliOp::Z || op == PauliOp::Y) z_[q / 64] |= mask;
+  if (op == PauliOp::Y) phase_ = (phase_ + 1) & 3;
+}
+
+bool PauliString::x_bit(std::size_t q) const {
+  EPG_REQUIRE(q < n_, "PauliString::x_bit out of range");
+  return (x_[q / 64] >> (q % 64)) & 1ULL;
+}
+
+bool PauliString::z_bit(std::size_t q) const {
+  EPG_REQUIRE(q < n_, "PauliString::z_bit out of range");
+  return (z_[q / 64] >> (q % 64)) & 1ULL;
+}
+
+std::size_t PauliString::weight() const {
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < x_.size(); ++i)
+    w += static_cast<std::size_t>(std::popcount(x_[i] | z_[i]));
+  return w;
+}
+
+std::vector<std::size_t> PauliString::support() const {
+  std::vector<std::size_t> out;
+  for (std::size_t q = 0; q < n_; ++q)
+    if (op_at(q) != PauliOp::I) out.push_back(q);
+  return out;
+}
+
+bool PauliString::is_hermitian() const {
+  return ((phase_ - static_cast<int>(popcount_and(x_, z_))) & 1) == 0;
+}
+
+int PauliString::sign() const {
+  const int e = (phase_ - static_cast<int>(popcount_and(x_, z_))) & 3;
+  EPG_CHECK(e == 0 || e == 2, "sign of a non-Hermitian Pauli requested");
+  return e == 0 ? 1 : -1;
+}
+
+void PauliString::negate() { phase_ = (phase_ + 2) & 3; }
+
+bool PauliString::commutes_with(const PauliString& other) const {
+  EPG_REQUIRE(n_ == other.n_, "PauliString size mismatch");
+  const std::size_t anti =
+      popcount_and(x_, other.z_) + popcount_and(z_, other.x_);
+  return (anti & 1) == 0;
+}
+
+PauliString& PauliString::operator*=(const PauliString& rhs) {
+  EPG_REQUIRE(n_ == rhs.n_, "PauliString size mismatch");
+  // (i^a X^x1 Z^z1)(i^b X^x2 Z^z2): commuting Z^z1 past X^x2 yields
+  // (-1)^(z1 . x2).
+  phase_ = (phase_ + rhs.phase_ +
+            2 * static_cast<int>(popcount_and(z_, rhs.x_) & 1)) &
+           3;
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    x_[i] ^= rhs.x_[i];
+    z_[i] ^= rhs.z_[i];
+  }
+  return *this;
+}
+
+std::string PauliString::str() const {
+  std::string out;
+  if (is_hermitian()) {
+    out += sign() > 0 ? '+' : '-';
+  } else {
+    const int e = (phase_ - static_cast<int>(popcount_and(x_, z_))) & 3;
+    out += e == 1 ? "+i" : "-i";
+  }
+  for (std::size_t q = 0; q < n_; ++q) {
+    switch (op_at(q)) {
+      case PauliOp::I: out += 'I'; break;
+      case PauliOp::X: out += 'X'; break;
+      case PauliOp::Y: out += 'Y'; break;
+      case PauliOp::Z: out += 'Z'; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace epg

@@ -1,0 +1,314 @@
+#include "stab/tableau.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/bitmat.hpp"
+
+namespace epg {
+
+Tableau::Tableau(std::size_t n)
+    : n_(n),
+      words_((n + 63) / 64),
+      x_((2 * n + 1) * words_, 0),
+      z_((2 * n + 1) * words_, 0),
+      r_(2 * n + 1, 0) {
+  EPG_REQUIRE(n > 0, "Tableau needs at least one qubit");
+  for (std::size_t q = 0; q < n_; ++q) {
+    xrow(q)[q / 64] |= 1ULL << (q % 64);           // destabilizer X_q
+    zrow(n_ + q)[q / 64] |= 1ULL << (q % 64);      // stabilizer Z_q
+  }
+}
+
+Tableau Tableau::graph_state(const Graph& g, std::size_t extra_qubits) {
+  const std::size_t n = g.vertex_count() + extra_qubits;
+  Tableau t(n);
+  for (std::size_t q = 0; q < g.vertex_count(); ++q) t.h(q);
+  for (const auto& [u, v] : g.edges()) t.cz(u, v);
+  return t;
+}
+
+void Tableau::h(std::size_t q) {
+  EPG_REQUIRE(q < n_, "Tableau::h out of range");
+  const std::size_t w = q / 64;
+  const std::uint64_t m = 1ULL << (q % 64);
+  for (std::size_t i = 0; i < 2 * n_; ++i) {
+    std::uint64_t& xw = xrow(i)[w];
+    std::uint64_t& zw = zrow(i)[w];
+    const bool xb = xw & m, zb = zw & m;
+    if (xb && zb) r_[i] ^= 1;
+    if (xb != zb) {
+      xw ^= m;
+      zw ^= m;
+    }
+  }
+}
+
+void Tableau::s(std::size_t q) {
+  EPG_REQUIRE(q < n_, "Tableau::s out of range");
+  const std::size_t w = q / 64;
+  const std::uint64_t m = 1ULL << (q % 64);
+  for (std::size_t i = 0; i < 2 * n_; ++i) {
+    const bool xb = xrow(i)[w] & m, zb = zrow(i)[w] & m;
+    if (xb && zb) r_[i] ^= 1;
+    if (xb) zrow(i)[w] ^= m;
+  }
+}
+
+void Tableau::sdg(std::size_t q) {
+  // Sdg = Z . S (conjugation-wise): X -> -Y, Y -> X, Z -> Z.
+  s(q);
+  z(q);
+}
+
+void Tableau::x(std::size_t q) {
+  EPG_REQUIRE(q < n_, "Tableau::x out of range");
+  const std::size_t w = q / 64;
+  const std::uint64_t m = 1ULL << (q % 64);
+  for (std::size_t i = 0; i < 2 * n_; ++i)
+    if (zrow(i)[w] & m) r_[i] ^= 1;
+}
+
+void Tableau::z(std::size_t q) {
+  EPG_REQUIRE(q < n_, "Tableau::z out of range");
+  const std::size_t w = q / 64;
+  const std::uint64_t m = 1ULL << (q % 64);
+  for (std::size_t i = 0; i < 2 * n_; ++i)
+    if (xrow(i)[w] & m) r_[i] ^= 1;
+}
+
+void Tableau::y(std::size_t q) {
+  x(q);
+  z(q);
+}
+
+void Tableau::sqrt_x(std::size_t q) {
+  // sqrt(X) = H S H (conjugation-wise: X->X, Y->Z, Z->-Y).
+  h(q);
+  s(q);
+  h(q);
+}
+
+void Tableau::sqrt_x_dag(std::size_t q) {
+  h(q);
+  sdg(q);
+  h(q);
+}
+
+void Tableau::cnot(std::size_t control, std::size_t target) {
+  EPG_REQUIRE(control < n_ && target < n_ && control != target,
+              "Tableau::cnot bad operands");
+  const std::size_t wc = control / 64, wt = target / 64;
+  const std::uint64_t mc = 1ULL << (control % 64), mt = 1ULL << (target % 64);
+  for (std::size_t i = 0; i < 2 * n_; ++i) {
+    const bool xc = xrow(i)[wc] & mc, zc = zrow(i)[wc] & mc;
+    const bool xt = xrow(i)[wt] & mt, zt = zrow(i)[wt] & mt;
+    if (xc && zt && (xt == zc)) r_[i] ^= 1;
+    if (xc) xrow(i)[wt] ^= mt;
+    if (zt) zrow(i)[wc] ^= mc;
+  }
+}
+
+void Tableau::cz(std::size_t a, std::size_t b) {
+  h(b);
+  cnot(a, b);
+  h(b);
+}
+
+void Tableau::swap_qubits(std::size_t a, std::size_t b) {
+  EPG_REQUIRE(a < n_ && b < n_, "Tableau::swap_qubits out of range");
+  if (a == b) return;
+  const std::size_t wa = a / 64, wb = b / 64;
+  const std::uint64_t ma = 1ULL << (a % 64), mb = 1ULL << (b % 64);
+  auto swap_bits = [&](std::uint64_t* row) {
+    const bool bit_a = row[wa] & ma;
+    const bool bit_b = row[wb] & mb;
+    if (bit_a != bit_b) {
+      row[wa] ^= ma;
+      row[wb] ^= mb;
+    }
+  };
+  for (std::size_t i = 0; i < 2 * n_; ++i) {
+    swap_bits(xrow(i));
+    swap_bits(zrow(i));
+  }
+}
+
+void Tableau::apply(std::size_t q, Clifford1 c) {
+  for (char g : c.gate_string()) {
+    if (g == 'H')
+      h(q);
+    else
+      s(q);
+  }
+}
+
+void Tableau::rowsum(std::size_t h_row, std::size_t i_row) {
+  // Phase exponent accumulator: 2*r_h + 2*r_i + sum_j g(x_i, z_i, x_h, z_h)
+  // where row h is multiplied on the left by row i (AG's convention computes
+  // row_h := row_i * row_h; the product is abelian up to the tracked phase).
+  int carry = 2 * r_[h_row] + 2 * r_[i_row];
+  for (std::size_t q = 0; q < n_; ++q) {
+    const int x1 = xbit(i_row, q), z1 = zbit(i_row, q);
+    const int x2 = xbit(h_row, q), z2 = zbit(h_row, q);
+    if (x1 == 0 && z1 == 0) continue;
+    if (x1 == 1 && z1 == 1) carry += z2 - x2;                 // Y
+    else if (x1 == 1) carry += z2 * (2 * x2 - 1);             // X
+    else carry += x2 * (1 - 2 * z2);                          // Z
+  }
+  carry &= 3;
+  // Destabilizer rows (h < n) may receive an anticommuting product during
+  // measurement updates; their phase bit is immaterial (Aaronson-Gottesman
+  // Sec. III). Stabilizer and scratch rows must stay Hermitian.
+  EPG_CHECK(h_row < n_ || carry == 0 || carry == 2,
+            "rowsum of commuting stabilizer rows is Hermitian");
+  r_[h_row] = static_cast<std::uint8_t>(carry / 2);
+  for (std::size_t w = 0; w < words_; ++w) {
+    xrow(h_row)[w] ^= xrow(i_row)[w];
+    zrow(h_row)[w] ^= zrow(i_row)[w];
+  }
+}
+
+void Tableau::row_copy(std::size_t dst, std::size_t src) {
+  std::copy_n(xrow(src), words_, xrow(dst));
+  std::copy_n(zrow(src), words_, zrow(dst));
+  r_[dst] = r_[src];
+}
+
+void Tableau::row_clear(std::size_t row) {
+  std::fill_n(xrow(row), words_, 0);
+  std::fill_n(zrow(row), words_, 0);
+  r_[row] = 0;
+}
+
+void Tableau::row_set_single_z(std::size_t row, std::size_t q, bool sign) {
+  row_clear(row);
+  zrow(row)[q / 64] |= 1ULL << (q % 64);
+  r_[row] = sign ? 1 : 0;
+}
+
+MeasureResult Tableau::measure_z(std::size_t q, Rng& rng) {
+  EPG_REQUIRE(q < n_, "Tableau::measure_z out of range");
+  std::size_t p = 2 * n_;
+  for (std::size_t i = n_; i < 2 * n_; ++i) {
+    if (xbit(i, q)) {
+      p = i;
+      break;
+    }
+  }
+  if (p < 2 * n_) {
+    // Random outcome.
+    for (std::size_t i = 0; i < 2 * n_; ++i)
+      if (i != p && xbit(i, q)) rowsum(i, p);
+    row_copy(p - n_, p);
+    const bool outcome = (rng.next() & 1ULL) != 0;
+    row_set_single_z(p, q, outcome);
+    return {outcome, false};
+  }
+  // Deterministic outcome: accumulate into the scratch row.
+  row_clear(2 * n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    if (xbit(i, q)) rowsum(2 * n_, i + n_);
+  return {r_[2 * n_] != 0, true};
+}
+
+std::optional<bool> Tableau::peek_z(std::size_t q) const {
+  EPG_REQUIRE(q < n_, "Tableau::peek_z out of range");
+  for (std::size_t i = n_; i < 2 * n_; ++i)
+    if (xbit(i, q)) return std::nullopt;
+  Tableau copy = *this;
+  copy.row_clear(2 * copy.n_);
+  for (std::size_t i = 0; i < copy.n_; ++i)
+    if (copy.xbit(i, q)) copy.rowsum(2 * copy.n_, i + copy.n_);
+  return copy.r_[2 * copy.n_] != 0;
+}
+
+PauliString Tableau::row_pauli(std::size_t i) const {
+  PauliString p(n_);
+  for (std::size_t q = 0; q < n_; ++q) {
+    const bool xb = xbit(i, q), zb = zbit(i, q);
+    if (xb && zb)
+      p.set_op(q, PauliOp::Y);
+    else if (xb)
+      p.set_op(q, PauliOp::X);
+    else if (zb)
+      p.set_op(q, PauliOp::Z);
+  }
+  if (r_[i]) p.negate();
+  return p;
+}
+
+PauliString Tableau::stabilizer(std::size_t i) const {
+  EPG_REQUIRE(i < n_, "Tableau::stabilizer index out of range");
+  return row_pauli(n_ + i);
+}
+
+PauliString Tableau::destabilizer(std::size_t i) const {
+  EPG_REQUIRE(i < n_, "Tableau::destabilizer index out of range");
+  return row_pauli(i);
+}
+
+bool Tableau::stabilizes(const PauliString& p) const {
+  EPG_REQUIRE(p.num_qubits() == n_, "stabilizes: qubit count mismatch");
+  EPG_REQUIRE(p.is_hermitian(), "stabilizes: Pauli must be Hermitian");
+  // Solve for a subset of stabilizer rows whose symplectic part matches p.
+  BitMat system(2 * n_, n_);
+  for (std::size_t col = 0; col < n_; ++col) {
+    for (std::size_t q = 0; q < n_; ++q) {
+      if (xbit(n_ + col, q)) system.set(q, col, true);
+      if (zbit(n_ + col, q)) system.set(n_ + q, col, true);
+    }
+  }
+  std::vector<bool> rhs(2 * n_, false);
+  for (std::size_t q = 0; q < n_; ++q) {
+    rhs[q] = p.x_bit(q);
+    rhs[n_ + q] = p.z_bit(q);
+  }
+  const auto solution = system.solve(rhs);
+  if (!solution) return false;
+  // Rebuild the product with phases to compare the sign.
+  PauliString prod(n_);
+  for (std::size_t col = 0; col < n_; ++col)
+    if ((*solution)[col]) prod *= stabilizer(col);
+  return prod == p;
+}
+
+bool Tableau::is_zero_state(std::size_t q) const {
+  return stabilizes(PauliString::single(n_, q, PauliOp::Z));
+}
+
+std::vector<PauliString> Tableau::canonical_stabilizers() const {
+  std::vector<PauliString> rows;
+  rows.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) rows.push_back(stabilizer(i));
+  // Gaussian elimination over the 2n symplectic columns (x first, then z),
+  // with phases carried by PauliString multiplication.
+  std::size_t pivot = 0;
+  auto bit_of = [this](const PauliString& p, std::size_t col) {
+    return col < n_ ? p.x_bit(col) : p.z_bit(col - n_);
+  };
+  for (std::size_t col = 0; col < 2 * n_ && pivot < rows.size(); ++col) {
+    std::size_t sel = pivot;
+    while (sel < rows.size() && !bit_of(rows[sel], col)) ++sel;
+    if (sel == rows.size()) continue;
+    std::swap(rows[pivot], rows[sel]);
+    for (std::size_t r = 0; r < rows.size(); ++r)
+      if (r != pivot && bit_of(rows[r], col)) rows[r] *= rows[pivot];
+    ++pivot;
+  }
+  return rows;
+}
+
+bool Tableau::same_state_as(const Tableau& other) const {
+  if (n_ != other.n_) return false;
+  return canonical_stabilizers() == other.canonical_stabilizers();
+}
+
+std::string Tableau::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < n_; ++i) os << stabilizer(i).str() << '\n';
+  return os.str();
+}
+
+}  // namespace epg

@@ -1,0 +1,114 @@
+// Aaronson-Gottesman stabilizer tableau (CHP) with destabilizers.
+//
+// This is the ground-truth simulator of the project: every compiled circuit
+// is replayed on a Tableau (including sampled measurements and their
+// classically-conditioned corrections) and the result is compared against
+// the target graph state, stabilizer by stabilizer, signs included. It also
+// powers the baseline compiler (Li-Economou-Barnes protocol), which
+// manipulates the stabilizer matrix directly.
+//
+// Row convention: row i is the Hermitian Pauli (-1)^{r_i} prod_j W(x_ij,z_ij)
+// with W(1,1) = Y. Rows 0..n-1 are destabilizers, n..2n-1 stabilizers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "stab/clifford1q.hpp"
+#include "stab/pauli.hpp"
+
+namespace epg {
+
+struct MeasureResult {
+  bool outcome = false;       // measured eigenvalue bit (0 -> +1, 1 -> -1)
+  bool deterministic = false; // true when the outcome was forced
+};
+
+class Tableau {
+ public:
+  /// |0...0> on n qubits.
+  explicit Tableau(std::size_t n);
+
+  /// Graph state |G> on the first g.vertex_count() qubits, with
+  /// `extra_qubits` additional |0> qubits appended (the emitters).
+  static Tableau graph_state(const Graph& g, std::size_t extra_qubits = 0);
+
+  std::size_t num_qubits() const { return n_; }
+
+  // -- Clifford gates ------------------------------------------------------
+  void h(std::size_t q);
+  void s(std::size_t q);
+  void sdg(std::size_t q);
+  void x(std::size_t q);
+  void y(std::size_t q);
+  void z(std::size_t q);
+  void sqrt_x(std::size_t q);
+  void sqrt_x_dag(std::size_t q);
+  void cnot(std::size_t control, std::size_t target);
+  void cz(std::size_t a, std::size_t b);
+  /// Relabel two qubits (exact column swap, no gates).
+  void swap_qubits(std::size_t a, std::size_t b);
+  /// Apply a single-qubit Clifford via its H/S decomposition.
+  void apply(std::size_t q, Clifford1 c);
+
+  // -- Measurement ---------------------------------------------------------
+  /// Standard Z-basis measurement; collapses the state. `rng` supplies the
+  /// coin for the random branch.
+  MeasureResult measure_z(std::size_t q, Rng& rng);
+
+  /// Z-measurement outcome if deterministic, nullopt when random (state is
+  /// not modified).
+  std::optional<bool> peek_z(std::size_t q) const;
+
+  // -- Queries -------------------------------------------------------------
+  PauliString stabilizer(std::size_t i) const;
+  PauliString destabilizer(std::size_t i) const;
+
+  /// Exact group membership (sign included) of a Hermitian Pauli.
+  bool stabilizes(const PauliString& p) const;
+
+  /// True iff qubit q is in the product state |0> (i.e. +Z_q stabilizes).
+  bool is_zero_state(std::size_t q) const;
+
+  /// True iff both tableaux describe the same state (identical stabilizer
+  /// groups, signs included).
+  bool same_state_as(const Tableau& other) const;
+
+  /// Multi-line debug rendering of the stabilizer rows.
+  std::string str() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t words_ = 0;
+  // 2n rows + 1 scratch row (index 2n) for deterministic measurement.
+  std::vector<std::uint64_t> x_, z_;
+  std::vector<std::uint8_t> r_;
+
+  std::uint64_t* xrow(std::size_t i) { return &x_[i * words_]; }
+  std::uint64_t* zrow(std::size_t i) { return &z_[i * words_]; }
+  const std::uint64_t* xrow(std::size_t i) const { return &x_[i * words_]; }
+  const std::uint64_t* zrow(std::size_t i) const { return &z_[i * words_]; }
+
+  bool xbit(std::size_t i, std::size_t q) const {
+    return (xrow(i)[q / 64] >> (q % 64)) & 1ULL;
+  }
+  bool zbit(std::size_t i, std::size_t q) const {
+    return (zrow(i)[q / 64] >> (q % 64)) & 1ULL;
+  }
+
+  /// row h *= row i with exact phase tracking (Aaronson-Gottesman rowsum).
+  void rowsum(std::size_t h, std::size_t i);
+  void row_copy(std::size_t dst, std::size_t src);
+  void row_set_single_z(std::size_t row, std::size_t q, bool sign);
+  void row_clear(std::size_t row);
+  PauliString row_pauli(std::size_t i) const;
+
+  /// Canonical (row-reduced, sign-tracked) stabilizer list for equality.
+  std::vector<PauliString> canonical_stabilizers() const;
+};
+
+}  // namespace epg

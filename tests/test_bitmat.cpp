@@ -1,0 +1,124 @@
+#include "common/bitmat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace epg {
+namespace {
+
+TEST(BitMat, SetGetFlip) {
+  BitMat m(3, 70);  // spans two words per row
+  EXPECT_FALSE(m.get(1, 65));
+  m.set(1, 65, true);
+  EXPECT_TRUE(m.get(1, 65));
+  m.flip(1, 65);
+  EXPECT_FALSE(m.get(1, 65));
+  m.flip(2, 0);
+  EXPECT_TRUE(m.get(2, 0));
+  EXPECT_THROW(m.get(3, 0), std::invalid_argument);
+  EXPECT_THROW(m.set(0, 70, true), std::invalid_argument);
+}
+
+TEST(BitMat, XorAndSwapRows) {
+  BitMat m(2, 8);
+  m.set(0, 1, true);
+  m.set(0, 3, true);
+  m.set(1, 3, true);
+  m.xor_rows(0, 1);
+  EXPECT_TRUE(m.get(0, 1));
+  EXPECT_FALSE(m.get(0, 3));
+  m.swap_rows(0, 1);
+  EXPECT_TRUE(m.get(0, 3));
+  EXPECT_TRUE(m.get(1, 1));
+}
+
+TEST(BitMat, RankIdentity) {
+  BitMat m(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) m.set(i, i, true);
+  EXPECT_EQ(m.rank(), 5u);
+}
+
+TEST(BitMat, RankDependentRows) {
+  BitMat m(3, 4);
+  m.set(0, 0, true);
+  m.set(0, 1, true);
+  m.set(1, 1, true);
+  m.set(1, 2, true);
+  // row2 = row0 ^ row1
+  m.set(2, 0, true);
+  m.set(2, 2, true);
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(BitMat, RankZeroAndFullWide) {
+  BitMat zero(4, 9);
+  EXPECT_EQ(zero.rank(), 0u);
+  BitMat wide(2, 130);
+  wide.set(0, 128, true);
+  wide.set(1, 129, true);
+  EXPECT_EQ(wide.rank(), 2u);
+}
+
+TEST(BitMat, RowReducePivots) {
+  BitMat m(3, 3);
+  m.set(0, 1, true);
+  m.set(1, 0, true);
+  m.set(2, 2, true);
+  const auto pivots = m.row_reduce();
+  ASSERT_EQ(pivots.size(), 3u);
+  EXPECT_EQ(pivots[0], 0u);
+  EXPECT_EQ(pivots[1], 1u);
+  EXPECT_EQ(pivots[2], 2u);
+}
+
+TEST(BitMat, SolveConsistent) {
+  // x0 ^ x1 = 1 ; x1 = 1 ; solution x = (0,1).
+  BitMat m(2, 2);
+  m.set(0, 0, true);
+  m.set(0, 1, true);
+  m.set(1, 1, true);
+  const auto x = m.solve({true, true});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_FALSE((*x)[0]);
+  EXPECT_TRUE((*x)[1]);
+}
+
+TEST(BitMat, SolveInconsistent) {
+  BitMat m(2, 1);
+  m.set(0, 0, true);
+  m.set(1, 0, true);
+  EXPECT_FALSE(m.solve({true, false}).has_value());
+}
+
+TEST(BitMat, SolveRandomizedRoundTrip) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t rows = 6, cols = 5;
+    BitMat m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c)
+        if (rng.chance(0.4)) m.set(r, c, true);
+    std::vector<bool> x(cols);
+    for (std::size_t c = 0; c < cols; ++c) x[c] = rng.chance(0.5);
+    // b = A x
+    std::vector<bool> b(rows, false);
+    for (std::size_t r = 0; r < rows; ++r) {
+      bool acc = false;
+      for (std::size_t c = 0; c < cols; ++c) acc ^= m.get(r, c) && x[c];
+      b[r] = acc;
+    }
+    const auto solved = m.solve(b);
+    ASSERT_TRUE(solved.has_value());
+    // Verify A * solved == b.
+    for (std::size_t r = 0; r < rows; ++r) {
+      bool acc = false;
+      for (std::size_t c = 0; c < cols; ++c)
+        acc ^= m.get(r, c) && (*solved)[c];
+      EXPECT_EQ(acc, b[r]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace epg

@@ -1,0 +1,112 @@
+#include "circuit/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/render.hpp"
+
+namespace epg {
+namespace {
+
+TEST(Circuit, Appenders) {
+  Circuit c(2, 2);
+  c.emission(0, 0);
+  c.ee_cz(0, 1);
+  c.local(QubitId::photon(0), Clifford1::h());
+  c.measure_reset(1, {{QubitId::photon(0), PauliOp::Z}});
+  EXPECT_EQ(c.size(), 4u);
+  c.check_well_formed();
+}
+
+TEST(Circuit, IdentityLocalSkipped) {
+  Circuit c(1, 1);
+  c.local(QubitId::emitter(0), Clifford1::identity());
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(Circuit, OperandRangeChecked) {
+  Circuit c(1, 1);
+  EXPECT_THROW(c.emission(1, 0), std::invalid_argument);
+  EXPECT_THROW(c.emission(0, 1), std::invalid_argument);
+  EXPECT_THROW(c.ee_cz(0, 0), std::invalid_argument);
+}
+
+TEST(Circuit, WellFormedRejectsPhotonGateBeforeEmission) {
+  Circuit c(1, 1);
+  c.local(QubitId::photon(0), Clifford1::h());
+  EXPECT_THROW(c.check_well_formed(), std::logic_error);
+}
+
+TEST(Circuit, WellFormedRejectsDoubleEmission) {
+  Circuit c(1, 1);
+  c.emission(0, 0);
+  c.append(Gate::make_emission(0, 0));
+  EXPECT_THROW(c.check_well_formed(), std::logic_error);
+}
+
+TEST(Circuit, WellFormedRejectsCorrectionOnUnemitted) {
+  Circuit c(1, 1);
+  c.measure_reset(0, {{QubitId::photon(0), PauliOp::Z}});
+  EXPECT_THROW(c.check_well_formed(), std::logic_error);
+}
+
+TEST(Circuit, EmissionGateLookup) {
+  Circuit c(2, 1);
+  c.local(QubitId::emitter(0), Clifford1::h());
+  c.emission(0, 1);
+  const auto lookup = c.emission_gate_of_photon();
+  EXPECT_EQ(lookup[0], -1);
+  EXPECT_EQ(lookup[1], 1);
+}
+
+TEST(Circuit, AppendCircuitWithEmitterOffset) {
+  Circuit inner(2, 1);
+  inner.emission(0, 0);
+  inner.measure_reset(0, {{QubitId::photon(0), PauliOp::Z}});
+  Circuit outer(2, 3);
+  outer.append_circuit(inner, 2);
+  ASSERT_EQ(outer.size(), 2u);
+  EXPECT_EQ(outer.gates()[0].a.index, 2u);
+  EXPECT_EQ(outer.gates()[1].a.index, 2u);
+  EXPECT_EQ(outer.gates()[1].if_one[0].target.index, 0u);
+}
+
+TEST(Gate, DurationsFollowHardware) {
+  const HardwareModel hw = HardwareModel::quantum_dot();
+  EXPECT_EQ(Gate::make_emission(0, 0).duration(hw), hw.emission_ticks);
+  EXPECT_EQ(Gate::make_ee_cz(0, 1).duration(hw), hw.ee_cnot_ticks);
+  EXPECT_EQ(Gate::make_measure_reset(0, {}).duration(hw), hw.measure_ticks);
+  // H on an emitter = one primitive; Sdg (S.S.S) = three.
+  EXPECT_EQ(Gate::make_local(QubitId::emitter(0), Clifford1::h()).duration(hw),
+            hw.emitter_1q_ticks);
+  EXPECT_EQ(
+      Gate::make_local(QubitId::emitter(0), Clifford1::sdg()).duration(hw),
+      3 * hw.emitter_1q_ticks);
+  // Photon locals are free by default.
+  EXPECT_EQ(Gate::make_local(QubitId::photon(0), Clifford1::sdg()).duration(hw),
+            0u);
+}
+
+TEST(Gate, StringRendering) {
+  EXPECT_EQ(Gate::make_emission(1, 2).str(), "emit(e1->p2)");
+  EXPECT_EQ(Gate::make_ee_cz(0, 1).str(), "cz(e0,e1)");
+  const Gate m =
+      Gate::make_measure_reset(0, {{QubitId::photon(3), PauliOp::Z}});
+  EXPECT_EQ(m.str(), "measure(e0)?[Zp3]");
+}
+
+TEST(Render, TracksShowAllQubits) {
+  Circuit c(2, 1);
+  c.emission(0, 0);
+  c.emission(0, 1);
+  const std::string tracks = render_tracks(c);
+  EXPECT_NE(tracks.find("p0"), std::string::npos);
+  EXPECT_NE(tracks.find("p1"), std::string::npos);
+  EXPECT_NE(tracks.find("e0"), std::string::npos);
+  const std::string sched =
+      render_schedule(c, HardwareModel::quantum_dot());
+  EXPECT_NE(sched.find("emit(e0->p0)"), std::string::npos);
+  EXPECT_NE(sched.find("makespan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace epg

@@ -1,0 +1,154 @@
+#include "stab/clifford1q.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stab/tableau.hpp"
+
+namespace epg {
+namespace {
+
+TEST(Clifford1, GroupHas24Elements) {
+  std::set<std::uint8_t> seen;
+  for (std::uint8_t i = 0; i < Clifford1::group_order; ++i)
+    seen.insert(Clifford1::from_index(i).index());
+  EXPECT_EQ(seen.size(), 24u);
+}
+
+TEST(Clifford1, NamedGateActions) {
+  const Clifford1 h = Clifford1::h();
+  EXPECT_EQ(h.image_of_x(), (SignedPauli1{PauliOp::Z, false}));
+  EXPECT_EQ(h.image_of_z(), (SignedPauli1{PauliOp::X, false}));
+  EXPECT_EQ(h.image_of_y(), (SignedPauli1{PauliOp::Y, true}));
+
+  const Clifford1 s = Clifford1::s();
+  EXPECT_EQ(s.image_of_x(), (SignedPauli1{PauliOp::Y, false}));
+  EXPECT_EQ(s.image_of_z(), (SignedPauli1{PauliOp::Z, false}));
+
+  const Clifford1 sx = Clifford1::sqrt_x();
+  EXPECT_EQ(sx.image_of_x(), (SignedPauli1{PauliOp::X, false}));
+  EXPECT_EQ(sx.image_of_z(), (SignedPauli1{PauliOp::Y, true}));
+  EXPECT_EQ(sx.image_of_y(), (SignedPauli1{PauliOp::Z, false}));
+
+  const Clifford1 x = Clifford1::x();
+  EXPECT_EQ(x.image_of_z(), (SignedPauli1{PauliOp::Z, true}));
+}
+
+TEST(Clifford1, IdentityLaws) {
+  const Clifford1 id = Clifford1::identity();
+  EXPECT_TRUE(id.is_identity());
+  for (std::uint8_t i = 0; i < Clifford1::group_order; ++i) {
+    const Clifford1 c = Clifford1::from_index(i);
+    EXPECT_EQ(c.then(id), c);
+    EXPECT_EQ(id.then(c), c);
+  }
+}
+
+TEST(Clifford1, InverseLaw) {
+  for (std::uint8_t i = 0; i < Clifford1::group_order; ++i) {
+    const Clifford1 c = Clifford1::from_index(i);
+    EXPECT_TRUE(c.then(c.inverse()).is_identity());
+    EXPECT_TRUE(c.inverse().then(c).is_identity());
+  }
+}
+
+TEST(Clifford1, AssociativityExhaustive) {
+  for (std::uint8_t a = 0; a < 24; a += 5) {
+    for (std::uint8_t b = 0; b < 24; b += 3) {
+      for (std::uint8_t c = 0; c < 24; c += 4) {
+        const Clifford1 ca = Clifford1::from_index(a);
+        const Clifford1 cb = Clifford1::from_index(b);
+        const Clifford1 cc = Clifford1::from_index(c);
+        EXPECT_EQ(ca.then(cb).then(cc), ca.then(cb.then(cc)));
+      }
+    }
+  }
+}
+
+TEST(Clifford1, KnownIdentities) {
+  // S^2 = Z, H^2 = I, (sqrt X)^2 = X, Sdg = S^3.
+  EXPECT_EQ(Clifford1::s().then(Clifford1::s()), Clifford1::z());
+  EXPECT_TRUE(Clifford1::h().then(Clifford1::h()).is_identity());
+  EXPECT_EQ(Clifford1::sqrt_x().then(Clifford1::sqrt_x()), Clifford1::x());
+  EXPECT_EQ(Clifford1::s().then(Clifford1::s()).then(Clifford1::s()),
+            Clifford1::sdg());
+  // HSH = sqrt(X) (conjugation-wise).
+  EXPECT_EQ(Clifford1::h().then(Clifford1::s()).then(Clifford1::h()),
+            Clifford1::sqrt_x());
+}
+
+TEST(Clifford1, DiagonalSubgroup) {
+  int diagonal = 0;
+  for (std::uint8_t i = 0; i < Clifford1::group_order; ++i)
+    if (Clifford1::from_index(i).is_diagonal()) ++diagonal;
+  EXPECT_EQ(diagonal, 4);  // I, S, Z, Sdg
+  EXPECT_TRUE(Clifford1::s().is_diagonal());
+  EXPECT_TRUE(Clifford1::z().is_diagonal());
+  EXPECT_FALSE(Clifford1::h().is_diagonal());
+  EXPECT_FALSE(Clifford1::x().is_diagonal());
+}
+
+TEST(Clifford1, GateStringsAreMinimalAndValid) {
+  for (std::uint8_t i = 0; i < Clifford1::group_order; ++i) {
+    const Clifford1 c = Clifford1::from_index(i);
+    const std::string& gates = c.gate_string();
+    EXPECT_LE(gates.size(), 7u);
+    // Rebuild the element from its gate string.
+    Clifford1 rebuilt = Clifford1::identity();
+    for (char g : gates)
+      rebuilt = rebuilt.then(g == 'H' ? Clifford1::h() : Clifford1::s());
+    EXPECT_EQ(rebuilt, c) << "element " << int(i) << " = " << c.name();
+  }
+}
+
+TEST(Clifford1, ConjugatePreservesSignComposition) {
+  const Clifford1 h = Clifford1::h();
+  const SignedPauli1 mz{PauliOp::Z, true};
+  EXPECT_EQ(h.conjugate(mz), (SignedPauli1{PauliOp::X, true}));
+}
+
+TEST(Clifford1, FromImagesValidation) {
+  EXPECT_THROW(
+      Clifford1::from_images({PauliOp::X, false}, {PauliOp::X, true}),
+      std::invalid_argument);
+  EXPECT_THROW(Clifford1::from_images({PauliOp::I, false}, {PauliOp::Z, false}),
+               std::invalid_argument);
+  const Clifford1 c =
+      Clifford1::from_images({PauliOp::Z, true}, {PauliOp::Y, false});
+  EXPECT_EQ(c.image_of_x(), (SignedPauli1{PauliOp::Z, true}));
+}
+
+/// Cross-check against the tableau: conjugation tables must match applying
+/// the element's H/S gate string to an actual state.
+TEST(Clifford1, MatchesTableauSemantics) {
+  for (std::uint8_t i = 0; i < Clifford1::group_order; ++i) {
+    const Clifford1 c = Clifford1::from_index(i);
+    // |0> stabilized by +Z; after U the stabilizer is U Z U^dag.
+    Tableau t(1);
+    t.apply(0, c);
+    const SignedPauli1 img = c.image_of_z();
+    PauliString expected = PauliString::single(1, 0, img.op);
+    if (img.negative) expected.negate();
+    EXPECT_TRUE(t.stabilizes(expected)) << c.name();
+  }
+}
+
+TEST(Clifford1, ThenMatchesSequentialTableauApplication) {
+  // (a then b) on a state == apply a, then apply b.
+  for (std::uint8_t a = 0; a < 24; a += 2) {
+    for (std::uint8_t b = 1; b < 24; b += 3) {
+      const Clifford1 ca = Clifford1::from_index(a);
+      const Clifford1 cb = Clifford1::from_index(b);
+      Tableau seq(1);
+      seq.apply(0, ca);
+      seq.apply(0, cb);
+      Tableau composed(1);
+      composed.apply(0, ca.then(cb));
+      EXPECT_TRUE(seq.same_state_as(composed));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace epg

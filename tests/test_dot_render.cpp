@@ -1,0 +1,38 @@
+#include <gtest/gtest.h>
+
+#include "graph/dot.hpp"
+#include "graph/generators.hpp"
+
+namespace epg {
+namespace {
+
+TEST(Dot, ContainsAllEdges) {
+  const Graph g = make_ring(4);
+  const std::string dot = to_dot(g, "ring");
+  EXPECT_NE(dot.find("graph ring {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("2 -- 3"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 3"), std::string::npos);
+}
+
+TEST(Dot, PartitionedColorsAndDashes) {
+  const Graph g = make_ring(4);
+  const std::string dot = to_dot_partitioned(g, {0, 0, 1, 1});
+  EXPECT_NE(dot.find("fillcolor="), std::string::npos);
+  // Cut edges are dashed (1-2 and 3-0).
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(Dot, PartitionSizeMismatchThrows) {
+  EXPECT_THROW(to_dot_partitioned(make_ring(4), {0, 1}),
+               std::invalid_argument);
+}
+
+TEST(Dot, EmptyGraph) {
+  const std::string dot = to_dot(Graph(3));
+  EXPECT_NE(dot.find("0;"), std::string::npos);
+  EXPECT_EQ(dot.find("--"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace epg

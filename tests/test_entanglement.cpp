@@ -1,0 +1,75 @@
+#include "stab/entanglement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace epg {
+namespace {
+
+TEST(Entanglement, ProductStateIsZero) {
+  const Tableau t(4);
+  EXPECT_EQ(entanglement_entropy(t, {0}), 0u);
+  EXPECT_EQ(entanglement_entropy(t, {0, 2}), 0u);
+}
+
+TEST(Entanglement, BellPairIsOne) {
+  Tableau t(2);
+  t.h(0);
+  t.cnot(0, 1);
+  EXPECT_EQ(entanglement_entropy(t, {0}), 1u);
+  EXPECT_EQ(entanglement_entropy(t, {1}), 1u);
+}
+
+TEST(Entanglement, GhzAnyCutIsOne) {
+  Tableau t(4);
+  t.h(0);
+  for (std::size_t q = 1; q < 4; ++q) t.cnot(0, q);
+  EXPECT_EQ(entanglement_entropy(t, {0}), 1u);
+  EXPECT_EQ(entanglement_entropy(t, {0, 1}), 1u);
+  EXPECT_EQ(entanglement_entropy(t, {1, 3}), 1u);
+}
+
+TEST(Entanglement, TrivialSubsets) {
+  const Tableau t = Tableau::graph_state(make_ring(4));
+  EXPECT_EQ(entanglement_entropy(t, {}), 0u);
+  EXPECT_EQ(entanglement_entropy(t, {0, 1, 2, 3}), 0u);
+}
+
+/// On graph states, entropy(A) equals the GF(2) cut-rank — the identity the
+/// paper's emitter bound ("entanglement entropy theory") relies on.
+class EntropyEqualsCutRank : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EntropyEqualsCutRank, RandomGraphRandomCut) {
+  Rng rng(GetParam());
+  const std::size_t n = 5 + rng.below(7);
+  const Graph g = make_erdos_renyi(n, 0.4, GetParam() * 7 + 1);
+  const Tableau t = Tableau::graph_state(g);
+  std::vector<std::size_t> subset;
+  std::vector<Vertex> side;
+  for (Vertex v = 0; v < n; ++v) {
+    if (rng.chance(0.5)) {
+      subset.push_back(v);
+      side.push_back(v);
+    }
+  }
+  EXPECT_EQ(entanglement_entropy(t, subset), cut_rank(g, side));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EntropyEqualsCutRank,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(Entanglement, LocalGatesDoNotChangeEntropy) {
+  const Graph g = make_lattice(2, 4);
+  Tableau t = Tableau::graph_state(g);
+  const auto before = entanglement_entropy(t, {0, 1, 2, 3});
+  t.h(0);
+  t.s(5);
+  t.sqrt_x(2);
+  EXPECT_EQ(entanglement_entropy(t, {0, 1, 2, 3}), before);
+}
+
+}  // namespace
+}  // namespace epg

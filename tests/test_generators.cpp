@@ -1,0 +1,102 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/metrics.hpp"
+
+namespace epg {
+namespace {
+
+TEST(Generators, LatticeShape) {
+  const Graph g = make_lattice(3, 4);
+  EXPECT_EQ(g.vertex_count(), 12u);
+  // edges = r*(c-1) + c*(r-1)
+  EXPECT_EQ(g.edge_count(), 3u * 3 + 4u * 2);
+  // corner degree 2, edge degree 3, interior degree 4
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.degree(5), 4u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Generators, LinearAndRing) {
+  EXPECT_EQ(make_linear_cluster(7).edge_count(), 6u);
+  EXPECT_EQ(make_ring(7).edge_count(), 7u);
+  EXPECT_THROW(make_ring(2), std::invalid_argument);
+}
+
+TEST(Generators, StarAndComplete) {
+  const Graph s = make_star(6);
+  EXPECT_EQ(s.degree(0), 5u);
+  EXPECT_EQ(s.edge_count(), 5u);
+  const Graph k = make_complete(6);
+  EXPECT_EQ(k.edge_count(), 15u);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(k.degree(v), 5u);
+}
+
+TEST(Generators, BalancedTree) {
+  const Graph t = make_balanced_tree(2, 3);  // 1+2+4+8 = 15
+  EXPECT_EQ(t.vertex_count(), 15u);
+  EXPECT_EQ(t.edge_count(), 14u);
+  EXPECT_TRUE(t.is_connected());
+  EXPECT_EQ(t.degree(0), 2u);  // root
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Graph t = make_random_tree(24, seed);
+    EXPECT_EQ(t.edge_count(), 23u);
+    EXPECT_TRUE(t.is_connected());
+  }
+}
+
+TEST(Generators, RandomTreeDegreeCap) {
+  const Graph t = make_random_tree(40, 5, 3);
+  EXPECT_EQ(max_degree(t), 3u);
+  EXPECT_TRUE(t.is_connected());
+}
+
+TEST(Generators, WaxmanConnectedAndDeterministic) {
+  const Graph a = make_waxman(25, 9);
+  const Graph b = make_waxman(25, 9);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.is_connected());
+  EXPECT_GE(a.edge_count(), 24u);  // at least a spanning structure
+}
+
+TEST(Generators, WaxmanSeedsDiffer) {
+  EXPECT_FALSE(make_waxman(25, 1) == make_waxman(25, 2));
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+  EXPECT_EQ(make_erdos_renyi(10, 0.0, 1).edge_count(), 0u);
+  EXPECT_EQ(make_erdos_renyi(10, 1.0, 1).edge_count(), 45u);
+}
+
+TEST(Generators, RepeaterGraphState) {
+  const Graph rgs = make_repeater_graph_state(2);  // 2m=4 inner, 4 leaves
+  EXPECT_EQ(rgs.vertex_count(), 8u);
+  EXPECT_EQ(rgs.edge_count(), 6u + 4u);  // K4 + 4 leaf edges
+  for (Vertex v = 4; v < 8; ++v) EXPECT_EQ(rgs.degree(v), 1u);
+}
+
+TEST(Generators, ShuffleLabelsPreservesStructure) {
+  const Graph g = make_lattice(4, 5);
+  const Graph s = shuffle_labels(g, 123);
+  EXPECT_EQ(s.vertex_count(), g.vertex_count());
+  EXPECT_EQ(s.edge_count(), g.edge_count());
+  EXPECT_TRUE(s.is_connected());
+  auto degrees = [](const Graph& gr) {
+    std::vector<std::size_t> d;
+    for (Vertex v = 0; v < gr.vertex_count(); ++v) d.push_back(gr.degree(v));
+    std::sort(d.begin(), d.end());
+    return d;
+  };
+  EXPECT_EQ(degrees(g), degrees(s));
+  EXPECT_FALSE(g == s);  // relabeled (overwhelmingly likely)
+}
+
+}  // namespace
+}  // namespace epg

@@ -1,0 +1,115 @@
+#include "io/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace epg {
+namespace {
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  const Graph g = make_lattice(3, 4);
+  const Graph back = read_edge_list(write_edge_list(g));
+  EXPECT_EQ(back, g);
+}
+
+TEST(GraphIo, EdgeListPreservesIsolatedVertices) {
+  Graph g(5);
+  g.add_edge(0, 1);  // vertices 2..4 isolated, kept via the n header
+  const Graph back = read_edge_list(write_edge_list(g));
+  EXPECT_EQ(back.vertex_count(), 5u);
+  EXPECT_EQ(back.edge_count(), 1u);
+}
+
+TEST(GraphIo, EdgeListAcceptsCommentsAndBlankLines) {
+  const Graph g = read_edge_list(
+      "# a triangle\n\nn 3\n0 1  # first edge\n1 2\n0 2\n");
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+}
+
+TEST(GraphIo, EdgeListInfersSizeWithoutHeader) {
+  const Graph g = read_edge_list("0 1\n1 4\n");
+  EXPECT_EQ(g.vertex_count(), 5u);
+  EXPECT_TRUE(g.has_edge(1, 4));
+}
+
+TEST(GraphIo, EdgeListRejectsMalformedInput) {
+  EXPECT_THROW(read_edge_list("0\n"), std::invalid_argument);
+  EXPECT_THROW(read_edge_list("0 1 2\n"), std::invalid_argument);
+  EXPECT_THROW(read_edge_list("a b\n"), std::invalid_argument);
+  EXPECT_THROW(read_edge_list("3 3\n"), std::invalid_argument);  // self loop
+  EXPECT_THROW(read_edge_list("n 2\n0 5\n"), std::invalid_argument);
+  EXPECT_THROW(read_edge_list("n 2\nn 3\n"), std::invalid_argument);
+}
+
+TEST(GraphIo, Graph6KnownEncodings) {
+  // Reference strings from the nauty format documentation: K_4 minus an
+  // edge on 4 vertices would differ; use the canonical small cases.
+  Graph p2(2);
+  p2.add_edge(0, 1);
+  EXPECT_EQ(write_graph6(p2), "A_");
+  Graph empty3(3);
+  EXPECT_EQ(write_graph6(empty3), "B?");
+  EXPECT_EQ(read_graph6("A_"), p2);
+  EXPECT_EQ(read_graph6("B?"), empty3);
+}
+
+TEST(GraphIo, Graph6RoundTripFamilies) {
+  for (const Graph& g :
+       {make_ring(7), make_complete(6), make_lattice(3, 5), make_star(9),
+        make_waxman(17, 3), Graph(0), Graph(1), make_linear_cluster(2)}) {
+    EXPECT_EQ(read_graph6(write_graph6(g)), g);
+  }
+}
+
+TEST(GraphIo, Graph6LargeSizeHeader) {
+  // n = 63 exercises the 4-byte size header.
+  const Graph g = make_linear_cluster(63);
+  const std::string enc = write_graph6(g);
+  EXPECT_EQ(enc[0], '~');
+  EXPECT_EQ(read_graph6(enc), g);
+}
+
+TEST(GraphIo, Graph6AcceptsMarkerAndWhitespace) {
+  const Graph g = make_ring(5);
+  EXPECT_EQ(read_graph6(">>graph6<<" + write_graph6(g) + "\n"), g);
+}
+
+TEST(GraphIo, Graph6RejectsGarbage) {
+  EXPECT_THROW(read_graph6(""), std::invalid_argument);
+  EXPECT_THROW(read_graph6("\x01"), std::invalid_argument);
+  EXPECT_THROW(read_graph6("D"), std::invalid_argument);  // truncated bits
+  const std::string ok = write_graph6(make_ring(5));
+  EXPECT_THROW(read_graph6(ok + "!"), std::invalid_argument);
+}
+
+/// Property sweep: random graphs of random density round-trip through both
+/// interchange formats bit-exactly.
+class GraphIoFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphIoFuzz, RandomGraphsRoundTripBothFormats) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t n = 1 + (seed * 7) % 70;
+  const double p = 0.05 + 0.09 * static_cast<double>(seed % 10);
+  const Graph g = make_erdos_renyi(n, p, seed * 131 + 9);
+  EXPECT_EQ(read_edge_list(write_edge_list(g)), g) << "n=" << n;
+  EXPECT_EQ(read_graph6(write_graph6(g)), g) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphIoFuzz,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(GraphIo, FileRoundTripBothFormats) {
+  const Graph g = make_waxman(12, 9);
+  const std::string base = ::testing::TempDir() + "/epgc_io_test";
+  save_graph_file(g, base + ".edges");
+  EXPECT_EQ(load_graph_file(base + ".edges"), g);
+  save_graph_file(g, base + ".g6");
+  EXPECT_EQ(load_graph_file(base + ".g6"), g);
+  EXPECT_THROW(load_graph_file(base + ".does_not_exist"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epg

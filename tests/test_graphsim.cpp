@@ -1,0 +1,127 @@
+#include "stab/graphsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace epg {
+namespace {
+
+TEST(GraphSim, InitialStateIsZero) {
+  const GraphSim sim(3);
+  EXPECT_TRUE(sim.to_tableau().same_state_as(Tableau(3)));
+}
+
+TEST(GraphSim, FromGraphMatchesTableau) {
+  const Graph g = make_lattice(2, 3);
+  const GraphSim sim = GraphSim::from_graph(g);
+  EXPECT_TRUE(sim.to_tableau().same_state_as(Tableau::graph_state(g)));
+}
+
+TEST(GraphSim, BuildGraphStateByGates) {
+  const Graph g = make_ring(5);
+  GraphSim sim(5);
+  for (std::size_t q = 0; q < 5; ++q) sim.h(q);
+  for (const auto& [u, v] : g.edges()) sim.cz(u, v);
+  EXPECT_TRUE(sim.to_tableau().same_state_as(Tableau::graph_state(g)));
+  EXPECT_EQ(sim.graph(), g);  // identity VOPs: graph readable directly
+}
+
+TEST(GraphSim, LocalComplementPreservesState) {
+  for (const Graph& g : {make_star(5), make_ring(6), make_waxman(9, 2)}) {
+    GraphSim sim = GraphSim::from_graph(g);
+    const Tableau reference = sim.to_tableau();
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      if (sim.graph().degree(v) < 2) continue;
+      sim.local_complement(v);
+      EXPECT_TRUE(sim.to_tableau().same_state_as(reference))
+          << "LC at " << v;
+    }
+  }
+}
+
+TEST(GraphSim, CnotViaCz) {
+  GraphSim sim(2);
+  sim.h(0);
+  sim.cnot(0, 1);  // Bell pair
+  Tableau t(2);
+  t.h(0);
+  t.cnot(0, 1);
+  EXPECT_TRUE(sim.to_tableau().same_state_as(t));
+}
+
+TEST(GraphSim, CzOnZBasisStates) {
+  GraphSim sim(2);       // |00>
+  sim.cz(0, 1);          // no-op
+  EXPECT_TRUE(sim.to_tableau().same_state_as(Tableau(2)));
+  sim.x(0);              // |10>
+  sim.cz(0, 1);          // still product: CZ|10> = |10>
+  Tableau t(2);
+  t.x(0);
+  EXPECT_TRUE(sim.to_tableau().same_state_as(t));
+}
+
+/// The central cross-validation: random circuits agree with the ground-truth
+/// tableau simulator.
+class GraphSimVsTableau : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphSimVsTableau, RandomUnitaryCircuits) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + rng.below(7);
+  GraphSim sim(n);
+  Tableau t(n);
+  for (int step = 0; step < 60; ++step) {
+    const std::size_t q = rng.below(n);
+    switch (rng.below(5)) {
+      case 0:
+        sim.h(q);
+        t.h(q);
+        break;
+      case 1:
+        sim.s(q);
+        t.s(q);
+        break;
+      case 2:
+        sim.x(q);
+        t.x(q);
+        break;
+      default: {
+        std::size_t r = rng.below(n);
+        if (r == q) break;
+        if (rng.chance(0.5)) {
+          sim.cz(q, r);
+          t.cz(q, r);
+        } else {
+          sim.cnot(q, r);
+          t.cnot(q, r);
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(sim.to_tableau().same_state_as(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphSimVsTableau,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+TEST(GraphSim, FallbacksStayRare) {
+  Rng rng(7);
+  GraphSim sim(8);
+  for (int step = 0; step < 200; ++step) {
+    const std::size_t a = rng.below(8);
+    const std::size_t b = rng.below(8);
+    if (a == b) continue;
+    if (rng.chance(0.3))
+      sim.h(a);
+    else
+      sim.cz(a, b);
+  }
+  // The AB reduction should handle virtually everything without full
+  // re-canonicalization.
+  EXPECT_LE(sim.fallback_count(), 10u);
+}
+
+}  // namespace
+}  // namespace epg

@@ -1,0 +1,85 @@
+#include "graph/lc_orbit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/local_complement.hpp"
+#include "graph/metrics.hpp"
+
+namespace epg {
+namespace {
+
+TEST(LcOrbit, SingleEdgeIsAFixedPoint) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  const LcOrbitResult orbit = explore_lc_orbit(g);
+  EXPECT_EQ(orbit.graphs.size(), 1u);
+  EXPECT_TRUE(orbit.complete);
+  EXPECT_EQ(orbit.min_edges, 1u);
+  EXPECT_TRUE(orbit.lc_to_best.empty());
+}
+
+TEST(LcOrbit, CompleteGraphReducesToStar) {
+  // K_n ~ LC at any vertex ~ star: the orbit's minimum has n-1 edges.
+  for (std::size_t n : {3u, 4u, 5u, 6u}) {
+    const LcOrbitResult orbit = explore_lc_orbit(make_complete(n));
+    EXPECT_EQ(orbit.min_edges, n - 1) << "K_" << n;
+    EXPECT_TRUE(orbit.complete);
+  }
+}
+
+TEST(LcOrbit, C4IsEquivalentToAPathNotAStar) {
+  // LC(0), LC(1), LC(2) turns the 4-cycle into the path 0-2-1-3: a tree,
+  // which is why the compiler can build C4 with a single emitter. It is
+  // *not* GHZ: stars have every cut-rank <= 1 while C4 has a rank-2 cut,
+  // and cut-rank is an LC invariant.
+  Graph path(4);
+  path.add_edge(0, 2);
+  path.add_edge(2, 1);
+  path.add_edge(1, 3);
+  EXPECT_TRUE(lc_equivalent(make_ring(4), path));
+  EXPECT_FALSE(lc_equivalent(make_ring(4), make_star(4)));
+  EXPECT_EQ(explore_lc_orbit(make_ring(4)).min_edges, 3u);
+}
+
+TEST(LcOrbit, PathNotEquivalentToCycle) {
+  // P6 and C6 have different entanglement (cut-rank profiles), so they sit
+  // in different LC orbits.
+  EXPECT_FALSE(lc_equivalent(make_linear_cluster(6), make_ring(6)));
+}
+
+TEST(LcOrbit, DifferentSizesNeverEquivalent) {
+  EXPECT_FALSE(lc_equivalent(make_ring(4), make_ring(5)));
+}
+
+TEST(LcOrbit, SequenceToBestReplays) {
+  const Graph g = make_complete(5);
+  const LcOrbitResult orbit = explore_lc_orbit(g);
+  Graph replay = g;
+  for (Vertex v : orbit.lc_to_best) local_complement(replay, v);
+  EXPECT_EQ(replay.edge_count(), orbit.min_edges);
+  EXPECT_EQ(replay, orbit.graphs[orbit.min_edge_index]);
+}
+
+TEST(LcOrbit, CutRankIsAnOrbitInvariant) {
+  // Local Cliffords preserve bipartite entanglement: every orbit member of
+  // C5 has the same cut rank across a fixed bipartition.
+  const Graph g = make_ring(5);
+  const std::vector<Vertex> side{0, 1};
+  const std::size_t want = cut_rank(g, side);
+  for (const Graph& h : explore_lc_orbit(g).graphs)
+    EXPECT_EQ(cut_rank(h, side), want);
+}
+
+TEST(LcOrbit, TruncationIsReported) {
+  LcOrbitConfig cfg;
+  cfg.max_graphs = 3;
+  const LcOrbitResult orbit = explore_lc_orbit(make_complete(6), cfg);
+  EXPECT_FALSE(orbit.complete);
+  EXPECT_LE(orbit.graphs.size(), 3u);
+  EXPECT_THROW(lc_equivalent(make_complete(6), make_ring(6), cfg),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace epg

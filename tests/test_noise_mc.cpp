@@ -1,0 +1,114 @@
+#include "noise/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compile/framework.hpp"
+#include "graph/generators.hpp"
+#include "hardware/loss_model.hpp"
+
+namespace epg {
+namespace {
+
+TEST(NoiseMc, EstimateBasics) {
+  const McEstimate e = make_estimate(90, 100);
+  EXPECT_DOUBLE_EQ(e.mean, 0.9);
+  EXPECT_NEAR(e.stddev, std::sqrt(0.9 * 0.1 / 100.0), 1e-12);
+  EXPECT_LT(e.wilson_low, 0.9);
+  EXPECT_GT(e.wilson_high, 0.9);
+  EXPECT_GE(e.wilson_low, 0.0);
+  EXPECT_LE(e.wilson_high, 1.0);
+}
+
+TEST(NoiseMc, EstimateDegenerateEnds) {
+  const McEstimate all = make_estimate(50, 50);
+  EXPECT_DOUBLE_EQ(all.mean, 1.0);
+  EXPECT_LT(all.wilson_low, 1.0);  // Wilson never collapses to a point
+  const McEstimate none = make_estimate(0, 50);
+  EXPECT_DOUBLE_EQ(none.mean, 0.0);
+  EXPECT_GT(none.wilson_high, 0.0);
+  EXPECT_THROW(make_estimate(2, 1), std::invalid_argument);
+}
+
+TEST(NoiseMc, LossMatchesAnalyticModel) {
+  const HardwareModel hw = HardwareModel::quantum_dot();
+  // 10 photons alive 5 tau each.
+  const std::vector<Tick> alive(10, 5 * hw.tau_ticks);
+  const LossMcResult mc = sample_photon_loss(hw, alive, 20000, 42);
+  const LossReport analytic = evaluate_loss(hw, alive);
+  // The sampled all-survive fraction tracks the analytic product.
+  EXPECT_NEAR(mc.state.mean, analytic.state_survival, 0.02);
+  EXPECT_LE(mc.state.wilson_low, mc.state.mean);
+  EXPECT_GE(mc.state.wilson_high, mc.state.mean);
+  // Mean lost photons ~ n * per-photon loss.
+  EXPECT_NEAR(mc.mean_lost_photons, 10.0 * analytic.mean_photon_loss, 0.05);
+}
+
+TEST(NoiseMc, ZeroAliveTimeNeverLoses) {
+  const HardwareModel hw = HardwareModel::quantum_dot();
+  const LossMcResult mc = sample_photon_loss(hw, {0, 0, 0}, 500, 1);
+  EXPECT_EQ(mc.state.successes, 500u);
+  EXPECT_EQ(mc.lost_histogram[0], 500u);
+}
+
+TEST(NoiseMc, HistogramAccountsEveryShot) {
+  const HardwareModel hw = HardwareModel::quantum_dot();
+  const std::vector<Tick> alive(6, 40 * hw.tau_ticks);  // lossy
+  const LossMcResult mc = sample_photon_loss(hw, alive, 1000, 7);
+  std::size_t total = 0;
+  for (std::size_t c : mc.lost_histogram) total += c;
+  EXPECT_EQ(total, 1000u);
+  EXPECT_GT(mc.mean_lost_photons, 0.5);
+}
+
+TEST(NoiseMc, NoiselessPauliMcAlwaysSucceeds) {
+  const Graph g = make_ring(6);
+  const FrameworkResult r = compile_framework(g, FrameworkConfig{});
+  PauliMcConfig cfg;
+  cfg.shots = 40;
+  cfg.error_probability = 0.0;
+  const PauliMcResult mc =
+      sample_ee_noise(r.schedule.circuit, g, HardwareModel::quantum_dot(),
+                      cfg);
+  EXPECT_EQ(mc.fidelity.successes, 40u);
+  EXPECT_DOUBLE_EQ(mc.product_bound, 1.0);
+}
+
+TEST(NoiseMc, CertainErrorsAlwaysSpoilEntangledTargets) {
+  // With p=1 every ee gate injects a random non-identity Pauli pair; for a
+  // ring every compiled circuit has at least one ee gate, and a Pauli on
+  // the support of the final state flips at least one stabilizer sign, so
+  // no shot can match the exact target... except when the error lands
+  // before a measurement that projects it away. Demand a clear degradation
+  // rather than strict zero.
+  const Graph g = make_ring(6);
+  const FrameworkResult r = compile_framework(g, FrameworkConfig{});
+  PauliMcConfig cfg;
+  cfg.shots = 60;
+  cfg.error_probability = 1.0;
+  const PauliMcResult mc =
+      sample_ee_noise(r.schedule.circuit, g, HardwareModel::quantum_dot(),
+                      cfg);
+  EXPECT_GE(mc.ee_gate_count, 1u);
+  EXPECT_LT(mc.fidelity.mean, 0.7);
+}
+
+TEST(NoiseMc, FidelityTracksProductBound) {
+  const Graph g = shuffle_labels(make_lattice(3, 3), 2);
+  const FrameworkResult r = compile_framework(g, FrameworkConfig{});
+  PauliMcConfig cfg;
+  cfg.shots = 400;
+  cfg.error_probability = 0.02;
+  cfg.seed = 5;
+  const PauliMcResult mc =
+      sample_ee_noise(r.schedule.circuit, g, HardwareModel::quantum_dot(),
+                      cfg);
+  // The exact-state fraction can exceed the product bound (some errors are
+  // projected away / act trivially) but must stay in a sane band around it.
+  EXPECT_GE(mc.fidelity.wilson_high, mc.product_bound - 0.05);
+  EXPECT_LE(mc.fidelity.mean, 1.0);
+}
+
+}  // namespace
+}  // namespace epg

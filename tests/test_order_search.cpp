@@ -1,0 +1,60 @@
+#include "graph/order_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace epg {
+namespace {
+
+TEST(OrderSearch, PathFindsHeightOne) {
+  // A shuffled path still admits an order with height 1.
+  const Graph g = shuffle_labels(make_linear_cluster(12), 5);
+  const OrderSearchResult r = search_emission_order(g);
+  EXPECT_EQ(r.max_height, 1u);
+  EXPECT_EQ(min_emitters_for_order(g, r.order), r.max_height);
+}
+
+TEST(OrderSearch, OrderIsPermutation) {
+  const Graph g = make_waxman(15, 3);
+  const OrderSearchResult r = search_emission_order(g);
+  std::vector<Vertex> sorted = r.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (Vertex v = 0; v < 15; ++v) EXPECT_EQ(sorted[v], v);
+}
+
+TEST(OrderSearch, NeverWorseThanNatural) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const Graph g = shuffle_labels(make_lattice(4, 4), seed);
+    std::vector<Vertex> natural(16);
+    for (Vertex v = 0; v < 16; ++v) natural[v] = v;
+    const OrderSearchResult r = search_emission_order(g);
+    EXPECT_LE(r.max_height, min_emitters_for_order(g, natural));
+  }
+}
+
+TEST(OrderSearch, LatticeReachesColumnBound) {
+  // A 3xK lattice admits height 3 (column-major-ish order).
+  const Graph g = shuffle_labels(make_lattice(3, 6), 9);
+  OrderSearchConfig cfg;
+  cfg.anneal_iterations = 3000;
+  const OrderSearchResult r = search_emission_order(g, cfg);
+  EXPECT_LE(r.max_height, 4u);  // at or near the structural bound of 3
+}
+
+TEST(OrderSearch, StarIsEasy) {
+  const Graph g = shuffle_labels(make_star(10), 2);
+  EXPECT_EQ(search_emission_order(g).max_height, 1u);
+}
+
+TEST(OrderSearch, SingleVertex) {
+  const OrderSearchResult r = search_emission_order(Graph(1));
+  EXPECT_EQ(r.order.size(), 1u);
+  EXPECT_LE(r.max_height, 1u);
+}
+
+}  // namespace
+}  // namespace epg

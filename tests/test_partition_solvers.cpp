@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "solver/anneal.hpp"
+#include "solver/partition_bnb.hpp"
+#include "solver/partition_refine.hpp"
+
+namespace epg {
+namespace {
+
+/// Exhaustive optimal cut for tiny instances (reference oracle).
+std::size_t brute_force_cut(const Graph& g, std::size_t cap, std::size_t k) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::uint32_t> labels(n, 0);
+  std::size_t best = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> size(k, 0);
+  const auto recurse = [&](auto&& self, std::size_t v) -> void {
+    if (v == n) {
+      best = std::min(best, cut_edge_count(g, labels));
+      return;
+    }
+    for (std::uint32_t p = 0; p < k; ++p) {
+      if (size[p] >= cap) continue;
+      labels[v] = p;
+      ++size[p];
+      self(self, v + 1);
+      --size[p];
+    }
+  };
+  recurse(recurse, 0);
+  return best;
+}
+
+TEST(PartitionRefine, ValidAndWithinCap) {
+  const Graph g = make_waxman(30, 4);
+  PartitionConfig cfg;
+  cfg.max_part_size = 7;
+  const PartitionLabels labels = partition_min_cut(g, cfg);
+  EXPECT_TRUE(partition_is_valid(g, labels, 7));
+}
+
+TEST(PartitionRefine, SinglePartTrivial) {
+  const Graph g = make_ring(5);
+  PartitionConfig cfg;
+  cfg.max_part_size = 7;
+  const PartitionLabels labels = partition_min_cut(g, cfg);
+  EXPECT_EQ(cut_edge_count(g, labels), 0u);
+}
+
+TEST(PartitionRefine, FindsObviousCut) {
+  // Two K4 cliques joined by one bridge: optimal cut = 1.
+  Graph g(8);
+  for (Vertex u = 0; u < 4; ++u)
+    for (Vertex v = u + 1; v < 4; ++v) g.add_edge(u, v);
+  for (Vertex u = 4; u < 8; ++u)
+    for (Vertex v = u + 1; v < 8; ++v) g.add_edge(u, v);
+  g.add_edge(3, 4);
+  PartitionConfig cfg;
+  cfg.max_part_size = 4;
+  cfg.restarts = 8;
+  const PartitionLabels labels = partition_min_cut(g, cfg);
+  EXPECT_EQ(cut_edge_count(g, labels), 1u);
+}
+
+TEST(PartitionBnb, MatchesBruteForce) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = make_erdos_renyi(8, 0.4, seed);
+    const auto exact = partition_exact(g, 4, 2);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_TRUE(partition_is_valid(g, *exact, 4));
+    EXPECT_EQ(cut_edge_count(g, *exact), brute_force_cut(g, 4, 2));
+  }
+}
+
+TEST(PartitionBnb, ThreeParts) {
+  const Graph g = make_ring(9);
+  const auto exact = partition_exact(g, 3, 3);
+  ASSERT_TRUE(exact.has_value());
+  // Ring of 9 into 3 arcs: 3 cut edges.
+  EXPECT_EQ(cut_edge_count(g, *exact), 3u);
+}
+
+TEST(PartitionBnb, BudgetExhaustionReturnsNullopt) {
+  const Graph g = make_erdos_renyi(14, 0.5, 1);
+  EXPECT_FALSE(partition_exact(g, 7, 2, /*node_budget=*/10).has_value());
+}
+
+TEST(PartitionRefine, HeuristicNearExactOnSmall) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = make_erdos_renyi(9, 0.35, 100 + seed);
+    PartitionConfig cfg;
+    cfg.max_part_size = 5;
+    cfg.num_parts = 2;
+    cfg.seed = seed;
+    cfg.restarts = 10;
+    const auto heur = partition_min_cut(g, cfg);
+    const auto exact = partition_exact(g, 5, 2);
+    ASSERT_TRUE(exact.has_value());
+    // Multi-restart refinement should be within one edge of optimal here.
+    EXPECT_LE(cut_edge_count(g, heur), cut_edge_count(g, *exact) + 1);
+  }
+}
+
+TEST(Anneal, AcceptanceFunction) {
+  EXPECT_DOUBLE_EQ(anneal_acceptance(-1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(anneal_acceptance(0.0, 1.0), 1.0);
+  EXPECT_NEAR(anneal_acceptance(1.0, 1.0), std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(anneal_acceptance(1.0, 0.0), 0.0);
+}
+
+TEST(Anneal, MinimizesQuadratic) {
+  Rng rng(5);
+  const std::function<double(const double&)> energy = [](const double& x) {
+    return (x - 3.0) * (x - 3.0);
+  };
+  const std::function<double(const double&, Rng&)> neighbor =
+      [](const double& x, Rng& r) { return x + (r.uniform() - 0.5); };
+  const double best = anneal<double>(-10.0, energy, neighbor, rng);
+  EXPECT_NEAR(best, 3.0, 0.5);
+}
+
+}  // namespace
+}  // namespace epg

@@ -1,0 +1,129 @@
+#include "stab/pauli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epg {
+namespace {
+
+TEST(Pauli, SingleConstruction) {
+  const auto p = PauliString::single(4, 2, PauliOp::Y);
+  EXPECT_EQ(p.op_at(2), PauliOp::Y);
+  EXPECT_EQ(p.op_at(0), PauliOp::I);
+  EXPECT_TRUE(p.is_hermitian());
+  EXPECT_EQ(p.sign(), 1);
+  EXPECT_EQ(p.weight(), 1u);
+  EXPECT_EQ(p.str(), "+IIYI");
+}
+
+TEST(Pauli, SetOpRoundTrip) {
+  PauliString p(3);
+  for (PauliOp op : {PauliOp::X, PauliOp::Y, PauliOp::Z, PauliOp::I}) {
+    p.set_op(1, op);
+    EXPECT_EQ(p.op_at(1), op);
+    EXPECT_TRUE(p.is_hermitian());
+    EXPECT_EQ(p.sign(), 1);
+  }
+}
+
+TEST(Pauli, OverwritingYKeepsPhaseConsistent) {
+  PauliString p(2);
+  p.set_op(0, PauliOp::Y);
+  p.set_op(0, PauliOp::X);  // must remove the implicit i of the old Y
+  EXPECT_TRUE(p.is_hermitian());
+  EXPECT_EQ(p.sign(), 1);
+  EXPECT_EQ(p.str(), "+XI");
+}
+
+TEST(Pauli, ProductXYisIZ) {
+  // X * Y = iZ: product is non-Hermitian with phase exponent 1 mod Y-count.
+  PauliString x = PauliString::single(1, 0, PauliOp::X);
+  PauliString y = PauliString::single(1, 0, PauliOp::Y);
+  x *= y;
+  EXPECT_EQ(x.op_at(0), PauliOp::Z);
+  EXPECT_FALSE(x.is_hermitian());  // iZ
+  EXPECT_EQ(x.str(), "+iZ");
+}
+
+TEST(Pauli, ProductYXisMinusIZ) {
+  PauliString y = PauliString::single(1, 0, PauliOp::Y);
+  PauliString x = PauliString::single(1, 0, PauliOp::X);
+  y *= x;
+  EXPECT_EQ(y.str(), "-iZ");
+}
+
+TEST(Pauli, SquareOfHermitianIsIdentity) {
+  for (PauliOp op : {PauliOp::X, PauliOp::Y, PauliOp::Z}) {
+    PauliString p = PauliString::single(3, 1, op);
+    PauliString q = p;
+    p *= q;
+    EXPECT_EQ(p.weight(), 0u);
+    EXPECT_EQ(p.sign(), 1);
+  }
+}
+
+TEST(Pauli, CommutationRules) {
+  const auto xz = [](std::size_t n, std::size_t qx, std::size_t qz) {
+    PauliString p(n);
+    p.set_op(qx, PauliOp::X);
+    PauliString q(n);
+    q.set_op(qz, PauliOp::Z);
+    return std::make_pair(p, q);
+  };
+  auto [same_x, same_z] = xz(2, 0, 0);
+  EXPECT_FALSE(same_x.commutes_with(same_z));  // X0 vs Z0 anticommute
+  auto [diff_x, diff_z] = xz(2, 0, 1);
+  EXPECT_TRUE(diff_x.commutes_with(diff_z));
+  // Two-qubit: X0X1 commutes with Z0Z1 (two anticommuting positions).
+  PauliString xx(2), zz(2);
+  xx.set_op(0, PauliOp::X);
+  xx.set_op(1, PauliOp::X);
+  zz.set_op(0, PauliOp::Z);
+  zz.set_op(1, PauliOp::Z);
+  EXPECT_TRUE(xx.commutes_with(zz));
+}
+
+TEST(Pauli, NegateFlipsSign) {
+  PauliString p = PauliString::single(2, 0, PauliOp::Z);
+  p.negate();
+  EXPECT_EQ(p.sign(), -1);
+  EXPECT_EQ(p.str(), "-ZI");
+  p.negate();
+  EXPECT_EQ(p.sign(), 1);
+}
+
+TEST(Pauli, SupportList) {
+  PauliString p(5);
+  p.set_op(1, PauliOp::X);
+  p.set_op(4, PauliOp::Z);
+  EXPECT_EQ(p.support(), (std::vector<std::size_t>{1, 4}));
+}
+
+TEST(Pauli, ITimesProductTable) {
+  // i * (X*Z) = i * (-iY) = Y.
+  const auto r = i_times_product({PauliOp::X, false}, {PauliOp::Z, false});
+  EXPECT_EQ(r.op, PauliOp::Y);
+  EXPECT_FALSE(r.negative);
+  // i * (Z*X) = i * (iY) = -Y.
+  const auto s = i_times_product({PauliOp::Z, false}, {PauliOp::X, false});
+  EXPECT_EQ(s.op, PauliOp::Y);
+  EXPECT_TRUE(s.negative);
+  // Signs propagate.
+  const auto t = i_times_product({PauliOp::X, true}, {PauliOp::Z, false});
+  EXPECT_TRUE(t.negative);
+}
+
+TEST(Pauli, MultiplyAccumulatesAcrossQubits) {
+  PauliString a(3), b(3);
+  a.set_op(0, PauliOp::X);
+  a.set_op(1, PauliOp::Z);
+  b.set_op(0, PauliOp::Z);
+  b.set_op(1, PauliOp::X);
+  a *= b;  // (X0 Z1)(Z0 X1) = (XZ)(ZX) = (-iY)(iY) = Y0 Y1
+  EXPECT_EQ(a.op_at(0), PauliOp::Y);
+  EXPECT_EQ(a.op_at(1), PauliOp::Y);
+  EXPECT_TRUE(a.is_hermitian());
+  EXPECT_EQ(a.sign(), 1);
+}
+
+}  // namespace
+}  // namespace epg

@@ -1,0 +1,77 @@
+#include "io/qasm_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compile/framework.hpp"
+#include "graph/generators.hpp"
+
+namespace epg {
+namespace {
+
+bool contains(const std::string& text, const std::string& needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+TEST(QasmExport, HeaderAndRegisters) {
+  Circuit c(3, 2);
+  c.local(QubitId::emitter(0), Clifford1::h());
+  c.emission(0, 1);
+  const std::string q = export_qasm3(c);
+  EXPECT_TRUE(contains(q, "OPENQASM 3.0;"));
+  EXPECT_TRUE(contains(q, "include \"stdgates.inc\";"));
+  EXPECT_TRUE(contains(q, "qubit[3] p;"));
+  EXPECT_TRUE(contains(q, "qubit[2] e;"));
+  EXPECT_FALSE(contains(q, "\nbit["));  // no measurements -> no bit register
+}
+
+TEST(QasmExport, GateSpellings) {
+  Circuit c(2, 2);
+  c.local(QubitId::emitter(0), Clifford1::h());
+  c.local(QubitId::emitter(1), Clifford1::h());
+  c.ee_cz(0, 1);
+  c.ee_cnot(0, 1);
+  c.emission(0, 0);
+  c.local(QubitId::photon(0), Clifford1::s());
+  const std::string q = export_qasm3(c);
+  EXPECT_TRUE(contains(q, "cz e[0], e[1];"));
+  EXPECT_TRUE(contains(q, "cx e[0], e[1];"));
+  EXPECT_TRUE(contains(q, "cx e[0], p[0];  // emission"));
+  EXPECT_TRUE(contains(q, "s p[0];"));
+}
+
+TEST(QasmExport, MeasurementWithFeedForward) {
+  Circuit c(1, 1);
+  c.emission(0, 0);
+  c.measure_reset(0, {{QubitId::photon(0), PauliOp::Z}});
+  const std::string q = export_qasm3(c);
+  EXPECT_TRUE(contains(q, "bit[1] m;"));
+  EXPECT_TRUE(contains(q, "m[0] = measure e[0];"));
+  EXPECT_TRUE(contains(q, "if (m[0]) z p[0];"));
+  EXPECT_TRUE(contains(q, "reset e[0];"));
+}
+
+TEST(QasmExport, CliffordDecompositionExpands) {
+  Circuit c(1, 1);
+  // HSH needs three primitive lines on the same wire.
+  c.local(QubitId::emitter(0),
+          Clifford1::h().then(Clifford1::s()).then(Clifford1::h()));
+  const std::string q = export_qasm3(c);
+  std::size_t lines = 0;
+  for (std::size_t at = q.find("e[0];"); at != std::string::npos;
+       at = q.find("e[0];", at + 1))
+    ++lines;
+  EXPECT_GE(lines, 3u);
+}
+
+TEST(QasmExport, FrameworkOutputExports) {
+  // A compiled circuit (emissions, stems, measurements, feed-forward, LC
+  // corrections) must export without throwing and mention every register.
+  const FrameworkResult r =
+      compile_framework(make_lattice(3, 3), FrameworkConfig{});
+  const std::string q = export_qasm3(r.schedule.circuit);
+  EXPECT_TRUE(contains(q, "qubit[9] p;"));
+  EXPECT_TRUE(contains(q, "// emission"));
+}
+
+}  // namespace
+}  // namespace epg

@@ -1,0 +1,236 @@
+#include "compile/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace epg {
+namespace {
+
+TEST(Reduction, SwapTurnsPhotonIntoEmitter) {
+  ReductionState st(SubgraphSpec(make_linear_cluster(3)), 2);
+  EXPECT_EQ(st.photons_left(), 3u);
+  EXPECT_TRUE(st.can_swap(1));
+  st.swap_photon(1);
+  EXPECT_EQ(st.role(1), Role::emitter);
+  EXPECT_EQ(st.photons_left(), 2u);
+  EXPECT_EQ(st.active_emitters(), 1u);
+  EXPECT_EQ(st.slot_of(1), 0u);
+}
+
+TEST(Reduction, SwapCapacityLimit) {
+  ReductionState st(SubgraphSpec(make_complete(4)), 1);
+  st.swap_photon(0);
+  EXPECT_FALSE(st.can_swap(1));
+  EXPECT_THROW(st.swap_photon(1), std::invalid_argument);
+}
+
+TEST(Reduction, LeafAbsorption) {
+  // Path 0-1-2: make 1 an emitter, absorb leaf 0.
+  ReductionState st(SubgraphSpec(make_linear_cluster(3)), 2);
+  st.swap_photon(1);
+  EXPECT_TRUE(st.can_absorb_leaf(1, 0));
+  EXPECT_TRUE(st.can_absorb_leaf(1, 2));   // 2 is a leaf on the emitter too
+  EXPECT_FALSE(st.can_absorb_leaf(1, 1));  // not a photon
+  st.absorb_leaf(1, 0);
+  EXPECT_EQ(st.role(0), Role::done);
+  EXPECT_FALSE(st.graph().has_edge(0, 1));
+}
+
+TEST(Reduction, DanglerAbsorptionInheritsNeighbors) {
+  // Path 0-1-2-3: emitter at 0 (dangling), absorbs 1 and inherits 2.
+  ReductionState st(SubgraphSpec(make_linear_cluster(4)), 2);
+  st.swap_photon(0);
+  EXPECT_TRUE(st.can_absorb_dangler(0, 1));
+  st.absorb_dangler(0, 1);
+  EXPECT_TRUE(st.graph().has_edge(0, 2));
+  EXPECT_EQ(st.role(1), Role::done);
+  EXPECT_EQ(st.graph().degree(0), 1u);
+}
+
+TEST(Reduction, TwinAbsorption) {
+  // C4 0-1-2-3: 0 and 2 share neighborhood {1,3}.
+  ReductionState st(SubgraphSpec(make_ring(4)), 2);
+  st.swap_photon(0);
+  EXPECT_TRUE(st.can_absorb_twin(0, 2));
+  st.absorb_twin(0, 2);
+  EXPECT_EQ(st.role(2), Role::done);
+  EXPECT_TRUE(st.graph().is_isolated(2));
+  EXPECT_EQ(st.graph().degree(0), 2u);
+}
+
+TEST(Reduction, DisconnectCostsTracked) {
+  ReductionState st(SubgraphSpec(make_linear_cluster(2)), 2);
+  st.swap_photon(0);
+  st.swap_photon(1);
+  EXPECT_TRUE(st.can_disconnect(0, 1));
+  st.disconnect(0, 1);
+  EXPECT_EQ(st.disconnect_count(), 1u);
+  // Both emitters became isolated and retire automatically.
+  EXPECT_EQ(st.active_emitters(), 0u);
+  EXPECT_TRUE(st.reduced());
+}
+
+TEST(Reduction, AutoRetireFreesSlotForReuse) {
+  ReductionState st(SubgraphSpec(make_linear_cluster(3)), 1);
+  st.swap_photon(2);
+  st.absorb_dangler(2, 1);
+  st.absorb_leaf(2, 0);  // emitter isolates -> auto retire
+  EXPECT_EQ(st.active_emitters(), 0u);
+  EXPECT_TRUE(st.reduced());
+  EXPECT_EQ(st.slots_used(), 1u);
+  // Ops: swap, dangler, leaf, retire.
+  ASSERT_EQ(st.ops().size(), 4u);
+  EXPECT_EQ(st.ops().back().kind, ReduceOpKind::retire_emitter);
+}
+
+TEST(Reduction, BoundaryPhotonExitRules) {
+  // Boundary photons may never be absorbed as leaves or twins (those
+  // emissions do not transfer the host's neighborhood, so stems cannot
+  // ride); they may leave via swap (dedicated anchor) or, when enabled,
+  // via absorb_dangler (stem CZs ride on the host's pre-emission window).
+  SubgraphSpec spec(make_linear_cluster(2), {true, false});
+  ReductionState st(spec, 2);
+  st.swap_photon(1);
+  EXPECT_FALSE(st.can_absorb_leaf(1, 0));    // 0 is boundary
+  EXPECT_TRUE(st.can_absorb_dangler(1, 0));  // dangler transfer carries stems
+  EXPECT_TRUE(st.can_swap(0));
+  st.swap_photon(0);
+  st.disconnect(0, 1);
+  // Anchor 0 remains (isolated), non-anchor 1 retired.
+  EXPECT_EQ(st.role(0), Role::emitter);
+  EXPECT_TRUE(st.reduced());
+  st.finalize();
+  EXPECT_EQ(st.role(0), Role::done);
+  EXPECT_TRUE(st.ops().back().anchor);
+}
+
+TEST(Reduction, BoundaryDanglerCanBeDisabled) {
+  SubgraphSpec spec(make_linear_cluster(2), {true, false});
+  ReductionState st(spec, 2, DanglerPolicy::anchors_only());
+  st.swap_photon(1);
+  EXPECT_FALSE(st.can_absorb_dangler(1, 0));  // anchor-only fallback mode
+  // Non-boundary photons are unaffected by the policy.
+  SubgraphSpec plain(make_linear_cluster(2));
+  ReductionState st2(plain, 2, DanglerPolicy::anchors_only());
+  st2.swap_photon(1);
+  EXPECT_TRUE(st2.can_absorb_dangler(1, 0));
+}
+
+TEST(Reduction, BoundaryDanglerPerSlotCap) {
+  // Path 0-1-2-3 with 0 and 1 boundary: one host slot may emit only one
+  // stem-carrying photon under cap 1.
+  SubgraphSpec spec(make_linear_cluster(4), {true, true, false, false});
+  ReductionState st(spec, 2, DanglerPolicy{1, false});
+  st.swap_photon(3);
+  st.absorb_dangler(3, 2);                    // plain: does not consume cap
+  EXPECT_TRUE(st.can_absorb_dangler(3, 1));
+  st.absorb_dangler(3, 1);                    // consumes the slot's budget
+  EXPECT_FALSE(st.can_absorb_dangler(3, 0));  // second boundary: refused
+  EXPECT_TRUE(st.can_swap(0));                // anchor path stays open
+}
+
+TEST(Reduction, BoundaryDanglerKeyOrder) {
+  // Keys must strictly decrease along the reverse sequence when the
+  // key-ordered policy is active (= increase along forward emission time).
+  SubgraphSpec spec(make_linear_cluster(4), {true, true, false, false},
+                    {5, 2, 0, 0});
+  ReductionState st(spec, 2, DanglerPolicy::key_ordered());
+  st.swap_photon(3);
+  st.absorb_dangler(3, 2);  // plain photon: no key constraint
+  EXPECT_TRUE(st.can_absorb_dangler(3, 1));
+  st.absorb_dangler(3, 1);  // watermark now 2
+  EXPECT_FALSE(st.can_absorb_dangler(3, 0));  // key 5 >= 2: refused
+  // The free-form policy accepts the same move.
+  ReductionState free_st(spec, 2, DanglerPolicy::free_form());
+  free_st.swap_photon(3);
+  free_st.absorb_dangler(3, 2);
+  free_st.absorb_dangler(3, 1);
+  EXPECT_TRUE(free_st.can_absorb_dangler(3, 0));
+}
+
+TEST(Reduction, MultiStemBoundaryMustSwapUnderKeyOrder) {
+  SubgraphSpec spec(make_linear_cluster(2), {true, false},
+                    {SubgraphSpec::must_swap, 0});
+  ReductionState st(spec, 2, DanglerPolicy::key_ordered());
+  st.swap_photon(1);
+  EXPECT_FALSE(st.can_absorb_dangler(1, 0));  // two stems: must anchor
+  EXPECT_TRUE(st.can_swap(0));
+  // Free form hosts multi-stem windows (several CZs in one window).
+  ReductionState free_st(spec, 2, DanglerPolicy::free_form());
+  free_st.swap_photon(1);
+  EXPECT_TRUE(free_st.can_absorb_dangler(1, 0));
+}
+
+TEST(Reduction, BoundaryDanglerRecordsStemCarrier) {
+  SubgraphSpec spec(make_linear_cluster(3), {true, false, false});
+  ReductionState st(spec, 2);
+  st.swap_photon(2);
+  st.absorb_dangler(2, 1);  // plain absorb: not a stem carrier
+  EXPECT_FALSE(st.ops().back().anchor);
+  const std::size_t idx = st.ops().size();
+  st.absorb_dangler(2, 0);  // boundary photon: op marked as stem-carrying
+  EXPECT_EQ(st.ops()[idx].kind, ReduceOpKind::absorb_dangler);
+  EXPECT_TRUE(st.ops()[idx].anchor);
+  // The host became isolated and auto-retired right after the absorb.
+  EXPECT_EQ(st.ops().back().kind, ReduceOpKind::retire_emitter);
+  EXPECT_TRUE(st.reduced());
+}
+
+TEST(Reduction, AnchorsUseDedicatedSlots) {
+  // Path 0-1-2-3 with both endpoints on stem edges. Anchors take dedicated
+  // slots and survive isolation; the interior emitter's slot is recycled the
+  // moment it disconnects.
+  SubgraphSpec spec(make_linear_cluster(4), {true, false, false, true});
+  ReductionState st(spec, 3);
+  st.swap_photon(0);                    // anchor slot 0
+  st.swap_photon(3);                    // anchor slot 1
+  st.swap_photon(1);                    // regular slot 2
+  EXPECT_EQ(st.active_emitters(), 3u);
+  st.disconnect(0, 1);                  // anchor 0 now isolated, keeps slot
+  EXPECT_EQ(st.active_emitters(), 3u);
+  st.absorb_dangler(3, 2);              // anchor 3 inherits the edge to 1
+  st.disconnect(1, 3);                  // emitter 1 isolated -> auto-retired
+  EXPECT_EQ(st.active_emitters(), 2u);  // only the two anchors remain
+  EXPECT_TRUE(st.reduced());
+  st.finalize();
+  EXPECT_EQ(st.active_emitters(), 0u);
+}
+
+TEST(Reduction, LocalComplementRules) {
+  SubgraphSpec spec(make_ring(4), {true, false, false, false});
+  ReductionState st(spec, 2);
+  EXPECT_FALSE(st.can_local_comp(0));  // boundary
+  EXPECT_TRUE(st.can_local_comp(1));
+  st.local_comp(1);
+  EXPECT_TRUE(st.graph().has_edge(0, 2));  // chord added
+  EXPECT_EQ(st.lc_count(), 1u);
+  const ReduceOp& op = st.ops().back();
+  EXPECT_EQ(op.kind, ReduceOpKind::local_comp);
+  EXPECT_EQ(op.lc_photon_neighbors.size(), 2u);  // 0 and 2 are photons
+}
+
+TEST(Reduction, FinalizeRequiresReduced) {
+  ReductionState st(SubgraphSpec(make_ring(4)), 2);
+  EXPECT_THROW(st.finalize(), std::invalid_argument);
+}
+
+TEST(Reduction, HashDistinguishesStates) {
+  ReductionState a(SubgraphSpec(make_ring(5)), 2);
+  ReductionState b = a;
+  b.swap_photon(0);
+  EXPECT_NE(a.state_hash(), b.state_hash());
+}
+
+TEST(Reduction, IsolatedPhotonSwapInstantRetire) {
+  Graph g(2);  // two isolated vertices
+  ReductionState st(SubgraphSpec(std::move(g)), 1);
+  st.swap_photon(0);
+  EXPECT_EQ(st.active_emitters(), 0u);  // retired immediately
+  st.swap_photon(1);
+  EXPECT_TRUE(st.reduced());
+  EXPECT_EQ(st.swap_count(), 2u);
+}
+
+}  // namespace
+}  // namespace epg

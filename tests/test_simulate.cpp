@@ -1,0 +1,98 @@
+#include "circuit/simulate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace epg {
+namespace {
+
+TEST(Simulate, EmissionCreatesLeafAfterHadamards) {
+  // H(e); emit(e->p); H(p); H(e) — produces the 2-vertex graph state
+  // (Bell-like p—"emitter carries the partner role").
+  Circuit c(1, 1);
+  c.local(QubitId::emitter(0), Clifford1::h());
+  c.emission(0, 0);
+  c.local(QubitId::photon(0), Clifford1::h());
+  Rng rng(1);
+  const SimulationResult r = simulate(c, rng);
+  // State: CNOT(e->p) H_e |00> then H_p: stabilizers {X_p Z_e, Z_p X_e}.
+  PauliString a(2), b(2);
+  a.set_op(0, PauliOp::X);  // photon wire 0
+  a.set_op(1, PauliOp::Z);  // emitter wire 1
+  b.set_op(0, PauliOp::Z);
+  b.set_op(1, PauliOp::X);
+  EXPECT_TRUE(r.state.stabilizes(a));
+  EXPECT_TRUE(r.state.stabilizes(b));
+}
+
+TEST(Simulate, MeasureResetTransfersState) {
+  // The forward image of the time-reversed swap: prepare the emitter in an
+  // arbitrary stabilizer state, emit + H + measure + conditional Z. The
+  // photon must inherit the emitter's state and the emitter must reset.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    for (Clifford1 prep :
+         {Clifford1::h(), Clifford1::s().then(Clifford1::h()),
+          Clifford1::sqrt_x(), Clifford1::x().then(Clifford1::h())}) {
+      Circuit c(1, 1);
+      c.local(QubitId::emitter(0), prep);
+      c.emission(0, 0);
+      c.local(QubitId::emitter(0), Clifford1::h());
+      c.measure_reset(0, {{QubitId::photon(0), PauliOp::Z}});
+      Rng rng(seed);
+      const SimulationResult r = simulate(c, rng);
+      // Photon wire 0 should now hold prep|0>, emitter wire 1 is |0>.
+      Tableau expected(2);
+      expected.apply(0, prep);
+      EXPECT_TRUE(r.state.same_state_as(expected))
+          << "prep " << prep.name() << " seed " << seed;
+    }
+  }
+}
+
+TEST(Simulate, MeasurementOutcomesRecorded) {
+  Circuit c(1, 1);
+  c.local(QubitId::emitter(0), Clifford1::h());
+  c.emission(0, 0);
+  c.local(QubitId::emitter(0), Clifford1::h());
+  c.measure_reset(0, {{QubitId::photon(0), PauliOp::Z}});
+  int ones = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const SimulationResult r = simulate(c, rng);
+    ASSERT_EQ(r.measurement_outcomes.size(), 1u);
+    ones += r.measurement_outcomes[0] ? 1 : 0;
+  }
+  EXPECT_GT(ones, 0);   // both branches exercised
+  EXPECT_LT(ones, 20);
+}
+
+TEST(Simulate, GraphStateGenerationByHand) {
+  // Generate the 3-star |G>: emitter holds the hub, emits 3 leaves, then is
+  // measured out as the hub photon... simpler: emitter emits leaves of a
+  // star and transfers itself into the hub photon.
+  const Graph star = make_star(4);
+  Circuit c(4, 1);
+  c.local(QubitId::emitter(0), Clifford1::h());
+  for (std::uint32_t leaf = 1; leaf < 4; ++leaf) {
+    c.emission(0, leaf);
+    c.local(QubitId::photon(leaf), Clifford1::h());
+  }
+  c.emission(0, 0);
+  c.local(QubitId::emitter(0), Clifford1::h());
+  c.measure_reset(0, {{QubitId::photon(0), PauliOp::Z}});
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed);
+    const SimulationResult r = simulate(c, rng);
+    EXPECT_TRUE(r.state.same_state_as(Tableau::graph_state(star, 1)));
+  }
+}
+
+TEST(Simulate, EmptyRegisterRejected) {
+  Circuit c(0, 0);
+  Rng rng(1);
+  EXPECT_THROW(simulate(c, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epg

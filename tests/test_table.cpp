@@ -1,0 +1,47 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace epg {
+namespace {
+
+TEST(Table, PrintsHeadersAndRows) {
+  Table t({"n", "value"});
+  t.add_row({"10", "3.14"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(std::size_t{42}), "42");
+  EXPECT_EQ(Table::num(-7), "-7");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epg

@@ -1,0 +1,98 @@
+#include "circuit/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/stats.hpp"
+
+namespace epg {
+namespace {
+
+const HardwareModel kHw = HardwareModel::quantum_dot();
+
+TEST(Timing, SequentialOnSharedQubit) {
+  Circuit c(0, 2);
+  c.ee_cz(0, 1);
+  c.ee_cz(0, 1);
+  const CircuitTiming t = analyze_timing(c, kHw);
+  EXPECT_EQ(t.gate_start[0], 0u);
+  EXPECT_EQ(t.gate_start[1], kHw.ee_cnot_ticks);
+  EXPECT_EQ(t.makespan, 2 * kHw.ee_cnot_ticks);
+}
+
+TEST(Timing, DisjointQubitsOverlap) {
+  Circuit c(0, 4);
+  c.ee_cz(0, 1);
+  c.ee_cz(2, 3);
+  const CircuitTiming t = analyze_timing(c, kHw);
+  EXPECT_EQ(t.gate_start[0], 0u);
+  EXPECT_EQ(t.gate_start[1], 0u);
+  EXPECT_EQ(t.makespan, kHw.ee_cnot_ticks);
+}
+
+TEST(Timing, EmissionTimesRecorded) {
+  Circuit c(2, 1);
+  c.emission(0, 0);
+  c.emission(0, 1);
+  const CircuitTiming t = analyze_timing(c, kHw);
+  EXPECT_EQ(t.photon_emit_time[0], kHw.emission_ticks);
+  EXPECT_EQ(t.photon_emit_time[1], 2 * kHw.emission_ticks);
+  const auto alive = t.photon_alive_ticks();
+  EXPECT_EQ(alive[0], t.makespan - kHw.emission_ticks);
+}
+
+TEST(Timing, CorrectionsOrderAfterMeasurement) {
+  Circuit c(1, 2);
+  c.emission(0, 0);
+  c.measure_reset(0, {{QubitId::photon(0), PauliOp::Z}});
+  // A later photon gate must not start before the measurement ends.
+  c.local(QubitId::photon(0), Clifford1::s());
+  const CircuitTiming t = analyze_timing(c, kHw);
+  EXPECT_GE(t.gate_start[2], t.gate_end[1]);
+}
+
+TEST(Timing, EmitterBusyIntervals) {
+  Circuit c(1, 2);
+  c.local(QubitId::emitter(1), Clifford1::h());
+  c.ee_cz(0, 1);
+  c.emission(1, 0);
+  const CircuitTiming t = analyze_timing(c, kHw);
+  EXPECT_TRUE(t.emitter_busy[0].used);
+  EXPECT_TRUE(t.emitter_busy[1].used);
+  EXPECT_EQ(t.emitter_busy[1].begin, 0u);
+  EXPECT_EQ(t.emitter_busy[0].begin, kHw.emitter_1q_ticks);
+  EXPECT_EQ(t.emitter_busy[1].end, t.makespan);
+}
+
+TEST(Timing, UsageCurveAndPeak) {
+  Circuit c(0, 3);
+  c.ee_cz(0, 1);   // both busy [0,20)
+  c.ee_cz(1, 2);   // busy [20,40): 1 and 2
+  const CircuitTiming t = analyze_timing(c, kHw);
+  // Busy intervals: emitter 0 [0,20), emitter 1 [0,40), emitter 2 [20,40).
+  const auto curve = t.usage_curve();
+  ASSERT_EQ(curve.size(), t.makespan);
+  EXPECT_EQ(curve[0], 2u);   // emitters 0 and 1
+  EXPECT_EQ(curve[25], 2u);  // emitters 1 and 2
+  EXPECT_EQ(t.peak_usage(), 2u);
+}
+
+TEST(Stats, CountsAndDerived) {
+  Circuit c(2, 2);
+  c.local(QubitId::emitter(0), Clifford1::h());
+  c.emission(0, 0);
+  c.ee_cz(0, 1);
+  c.emission(1, 1);
+  c.measure_reset(1, {{QubitId::photon(1), PauliOp::Z}});
+  const CircuitStats s = compute_stats(c, kHw);
+  EXPECT_EQ(s.ee_cnot_count, 1u);
+  EXPECT_EQ(s.emission_count, 2u);
+  EXPECT_EQ(s.local_count, 1u);
+  EXPECT_EQ(s.measure_count, 1u);
+  EXPECT_EQ(s.emitters_used, 2u);
+  EXPECT_GT(s.duration_tau, 0.0);
+  EXPECT_GT(s.t_loss_tau, 0.0);
+  EXPECT_FALSE(s.str().empty());
+}
+
+}  // namespace
+}  // namespace epg
