@@ -8,7 +8,9 @@
 // budget Ne_limit = factor * Ne_min.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,7 @@
 #include "compile/framework.hpp"
 #include "graph/generators.hpp"
 #include "metrics/report.hpp"
+#include "runtime/batch_compiler.hpp"
 
 namespace epg::bench {
 
@@ -93,6 +96,71 @@ inline ThreeWayRow run_three_way(const Graph& g, double ne_factor,
   return row;
 }
 
+/// Batch runtime shared by the figure benches: all cores, metrics only by
+/// default. The anytime searches keep their wall-clock budgets, exactly as
+/// the former serial loops did, so figures can shift slightly with machine
+/// load; set EPGC_BENCH_DETERMINISTIC=1 to lift the budgets and make every
+/// figure a pure function of (instance, seed) — at a large single-core
+/// cost on the biggest instances.
+inline BatchCompiler make_bench_batch(bool keep_results = false) {
+  BatchConfig cfg;
+  cfg.keep_results = keep_results;
+  const char* det = std::getenv("EPGC_BENCH_DETERMINISTIC");
+  cfg.deterministic = det != nullptr && det[0] != '\0' && det[0] != '0';
+  return BatchCompiler(cfg);
+}
+
+inline const JobResult& checked(const JobResult& r) {
+  if (!r.ok)
+    throw std::runtime_error("job '" + r.label + "' failed: " + r.error);
+  return r;
+}
+
+struct ThreeWayInstance {
+  std::string label;
+  Graph g;
+  double ne_factor = 1.5;
+  std::uint64_t seed = 1;
+};
+
+/// run_three_way fanned across the batch runtime: one framework phase for
+/// every instance, then both baseline strengths under the emitter budgets
+/// the first phase produced. Row i runs the same configurations as
+/// run_three_way(instance i); as in the serial loops, the anytime
+/// searches' wall-clock budgets can bind differently under load unless
+/// the batch runs in deterministic mode (see make_bench_batch).
+inline std::vector<ThreeWayRow> run_three_way_batch(
+    const std::vector<ThreeWayInstance>& instances, BatchCompiler& batch) {
+  std::vector<CompileJob> fw_jobs;
+  fw_jobs.reserve(instances.size());
+  for (const ThreeWayInstance& inst : instances)
+    fw_jobs.push_back(make_framework_job(
+        inst.label, inst.g, framework_config(inst.ne_factor, inst.seed)));
+  const std::vector<JobResult> ours = batch.run(fw_jobs);
+
+  std::vector<CompileJob> base_jobs;
+  base_jobs.reserve(2 * instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    base_jobs.push_back(make_baseline_job(
+        instances[i].label + "/faithful", instances[i].g,
+        faithful_baseline_config(instances[i].seed),
+        checked(ours[i]).ne_limit));
+    base_jobs.push_back(make_baseline_job(
+        instances[i].label + "/strong", instances[i].g,
+        baseline_config(instances[i].seed), ours[i].ne_limit));
+  }
+  const std::vector<JobResult> base = batch.run(base_jobs);
+
+  std::vector<ThreeWayRow> rows(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    rows[i].ours = ours[i].stats;
+    rows[i].stem_count = ours[i].stem_count;
+    rows[i].faithful = checked(base[2 * i]).stats;
+    rows[i].strong = checked(base[2 * i + 1]).stats;
+  }
+  return rows;
+}
+
 inline ComparisonRow run_comparison(const std::string& label, const Graph& g,
                                     double ne_factor, std::uint64_t seed) {
   return compare_compilers(label, g, framework_config(ne_factor, seed),
@@ -114,6 +182,51 @@ inline void emit(const Table& table, const std::string& title) {
   std::cout << "\n-- csv --\n";
   table.print_csv(std::cout);
   std::cout << std::endl;
+}
+
+/// Shared driver of the Fig. 10d/e/f duration figures: for every size, the
+/// instance is compiled under both emitter budgets Ne_limit in
+/// {1.5, 2} x Ne_min against the GraphiQ-faithful baseline, with the whole
+/// sweep fanned across the batch runtime.
+inline void run_duration_figure(const std::string& label,
+                                Graph (*make)(std::size_t, std::uint64_t),
+                                const std::vector<std::size_t>& sizes,
+                                const std::string& title) {
+  std::vector<ComparisonRequest> requests;
+  requests.reserve(2 * sizes.size());
+  for (std::size_t n : sizes) {
+    const Graph g = make(n, n);
+    requests.push_back(
+        {label, g, framework_config(1.5, n), faithful_baseline_config(n)});
+    requests.push_back({label, g, framework_config(2.0, n + 1),
+                        faithful_baseline_config(n + 1)});
+  }
+  BatchCompiler batch = make_bench_batch();
+  const std::vector<ComparisonRow> rows2 =
+      compare_compilers_batch(requests, batch);
+
+  Table table({"#qubit", "GraphiQ(1.5Ne)", "Ours(1.5Ne)", "Red1.5(%)",
+               "GraphiQ(2Ne)", "Ours(2Ne)", "Red2(%)"});
+  double red15 = 0.0, red20 = 0.0;
+  int rows = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const ComparisonRow& a = rows2[2 * i];
+    const ComparisonRow& b = rows2[2 * i + 1];
+    table.add_row({Table::num(sizes[i]),
+                   Table::num(a.baseline.duration_tau, 2),
+                   Table::num(a.ours.duration_tau, 2),
+                   Table::num(a.duration_reduction_pct(), 1),
+                   Table::num(b.baseline.duration_tau, 2),
+                   Table::num(b.ours.duration_tau, 2),
+                   Table::num(b.duration_reduction_pct(), 1)});
+    red15 += a.duration_reduction_pct();
+    red20 += b.duration_reduction_pct();
+    ++rows;
+  }
+  emit(table, title);
+  std::cout << "average reduction: 1.5Ne " << Table::num(red15 / rows, 1)
+            << "%, 2Ne " << Table::num(red20 / rows, 1) << "%\n";
+  std::cout << "batch: " << summary_line(batch.totals()) << '\n';
 }
 
 }  // namespace epg::bench

@@ -1,32 +1,11 @@
 // Fig. 10d: circuit duration (in tau_QD) on lattices under the two emitter
-// budgets Ne_limit in {1.5, 2} x Ne_min.
+// budgets Ne_limit in {1.5, 2} x Ne_min, swept through the batch runtime.
 #include "bench_common.hpp"
 
 int main() {
-  using namespace epg;
   using namespace epg::bench;
-  Table table({"#qubit", "GraphiQ(1.5Ne)", "Ours(1.5Ne)", "Red1.5(%)",
-               "GraphiQ(2Ne)", "Ours(2Ne)", "Red2(%)"});
-  double red15 = 0.0, red20 = 0.0;
-  int rows = 0;
-  for (std::size_t n : {10, 20, 30, 40, 50, 60}) {
-    const Graph g = lattice_instance(n, n);
-    const ComparisonRow a = run_comparison_faithful("lat", g, 1.5, n);
-    const ComparisonRow b = run_comparison_faithful("lat", g, 2.0, n + 1);
-    table.add_row({Table::num(n), Table::num(a.baseline.duration_tau, 2),
-                   Table::num(a.ours.duration_tau, 2),
-                   Table::num(a.duration_reduction_pct(), 1),
-                   Table::num(b.baseline.duration_tau, 2),
-                   Table::num(b.ours.duration_tau, 2),
-                   Table::num(b.duration_reduction_pct(), 1)});
-    red15 += a.duration_reduction_pct();
-    red20 += b.duration_reduction_pct();
-    ++rows;
-  }
-  emit(table,
-       "Fig 10d: circuit duration (x tau_QD), lattice "
-       "(paper: avg 33%/38% for 1.5/2 Ne, max 50%/54%)");
-  std::cout << "average reduction: 1.5Ne " << Table::num(red15 / rows, 1)
-            << "%, 2Ne " << Table::num(red20 / rows, 1) << "%\n";
+  run_duration_figure("lat", lattice_instance, {10, 20, 30, 40, 50, 60},
+                      "Fig 10d: circuit duration (x tau_QD), lattice "
+                      "(paper: avg 33%/38% for 1.5/2 Ne, max 50%/54%)");
   return 0;
 }

@@ -1,32 +1,11 @@
 // Fig. 10e: circuit duration (in tau_QD) on tree graphs under the two
-// emitter budgets.
+// emitter budgets, swept through the batch runtime.
 #include "bench_common.hpp"
 
 int main() {
-  using namespace epg;
   using namespace epg::bench;
-  Table table({"#qubit", "GraphiQ(1.5Ne)", "Ours(1.5Ne)", "Red1.5(%)",
-               "GraphiQ(2Ne)", "Ours(2Ne)", "Red2(%)"});
-  double red15 = 0.0, red20 = 0.0;
-  int rows = 0;
-  for (std::size_t n : {10, 16, 22, 28, 34, 40}) {
-    const Graph g = tree_instance(n, n);
-    const ComparisonRow a = run_comparison_faithful("tree", g, 1.5, n);
-    const ComparisonRow b = run_comparison_faithful("tree", g, 2.0, n + 1);
-    table.add_row({Table::num(n), Table::num(a.baseline.duration_tau, 2),
-                   Table::num(a.ours.duration_tau, 2),
-                   Table::num(a.duration_reduction_pct(), 1),
-                   Table::num(b.baseline.duration_tau, 2),
-                   Table::num(b.ours.duration_tau, 2),
-                   Table::num(b.duration_reduction_pct(), 1)});
-    red15 += a.duration_reduction_pct();
-    red20 += b.duration_reduction_pct();
-    ++rows;
-  }
-  emit(table,
-       "Fig 10e: circuit duration (x tau_QD), tree "
-       "(paper: avg 32%/38%, max 39%/47%)");
-  std::cout << "average reduction: 1.5Ne " << Table::num(red15 / rows, 1)
-            << "%, 2Ne " << Table::num(red20 / rows, 1) << "%\n";
+  run_duration_figure("tree", tree_instance, {10, 16, 22, 28, 34, 40},
+                      "Fig 10e: circuit duration (x tau_QD), tree "
+                      "(paper: avg 32%/38%, max 39%/47%)");
   return 0;
 }

@@ -1,32 +1,11 @@
 // Fig. 10f: circuit duration (in tau_QD) on Waxman random graphs under the
-// two emitter budgets.
+// two emitter budgets, swept through the batch runtime.
 #include "bench_common.hpp"
 
 int main() {
-  using namespace epg;
   using namespace epg::bench;
-  Table table({"#qubit", "GraphiQ(1.5Ne)", "Ours(1.5Ne)", "Red1.5(%)",
-               "GraphiQ(2Ne)", "Ours(2Ne)", "Red2(%)"});
-  double red15 = 0.0, red20 = 0.0;
-  int rows = 0;
-  for (std::size_t n : {10, 15, 20, 25, 30, 35}) {
-    const Graph g = waxman_instance(n, n);
-    const ComparisonRow a = run_comparison_faithful("wax", g, 1.5, n);
-    const ComparisonRow b = run_comparison_faithful("wax", g, 2.0, n + 1);
-    table.add_row({Table::num(n), Table::num(a.baseline.duration_tau, 2),
-                   Table::num(a.ours.duration_tau, 2),
-                   Table::num(a.duration_reduction_pct(), 1),
-                   Table::num(b.baseline.duration_tau, 2),
-                   Table::num(b.ours.duration_tau, 2),
-                   Table::num(b.duration_reduction_pct(), 1)});
-    red15 += a.duration_reduction_pct();
-    red20 += b.duration_reduction_pct();
-    ++rows;
-  }
-  emit(table,
-       "Fig 10f: circuit duration (x tau_QD), random (Waxman) "
-       "(paper: avg 39%/43%, max 56%/51%)");
-  std::cout << "average reduction: 1.5Ne " << Table::num(red15 / rows, 1)
-            << "%, 2Ne " << Table::num(red20 / rows, 1) << "%\n";
+  run_duration_figure("wax", waxman_instance, {10, 15, 20, 25, 30, 35},
+                      "Fig 10f: circuit duration (x tau_QD), random (Waxman) "
+                      "(paper: avg 39%/43%, max 56%/51%)");
   return 0;
 }

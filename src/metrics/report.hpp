@@ -1,11 +1,16 @@
 // Benchmark reporting helpers: run ours vs the baseline on one target and
-// collect the quantities the paper's figures plot.
+// collect the quantities the paper's figures plot — per instance
+// (compare_compilers) or fanned across the batch runtime
+// (compare_compilers_batch, batch_metrics_table, batch_csv/batch_json).
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "common/table.hpp"
 #include "compile/baseline_compiler.hpp"
 #include "compile/framework.hpp"
+#include "runtime/batch_compiler.hpp"
 
 namespace epg {
 
@@ -33,5 +38,32 @@ ComparisonRow compare_compilers(const std::string& label, const Graph& g,
                                 const BaselineConfig& base_cfg);
 
 double reduction_pct(double baseline, double ours);
+
+/// One ours-vs-baseline comparison to be fanned across the batch runtime.
+struct ComparisonRequest {
+  std::string label;
+  Graph graph;
+  FrameworkConfig framework;
+  BaselineConfig baseline;
+};
+
+/// Batch equivalent of compare_compilers: phase 1 compiles every framework
+/// job in parallel, phase 2 compiles every baseline under the emitter
+/// budget phase 1 produced (unless the request pins num_emitters). Rows
+/// match per-request serial compare_compilers calls exactly.
+std::vector<ComparisonRow> compare_compilers_batch(
+    const std::vector<ComparisonRequest>& requests, BatchCompiler& batch);
+
+/// Per-job metrics table (one row per JobResult, batch order).
+Table batch_metrics_table(const std::vector<JobResult>& results);
+
+/// Machine-readable renderings of a batch run; `batch_json` also embeds
+/// the aggregate summary.
+std::string batch_csv(const std::vector<JobResult>& results);
+std::string batch_json(const std::vector<JobResult>& results,
+                       const BatchSummary& summary);
+
+/// One-line human summary ("N jobs, M compiled, ...").
+std::string summary_line(const BatchSummary& summary);
 
 }  // namespace epg

@@ -1,9 +1,12 @@
 #include "noise/monte_carlo.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/assert.hpp"
 #include "hardware/loss_model.hpp"
+#include "runtime/graph_hash.hpp"
+#include "runtime/thread_pool.hpp"
 #include "stab/tableau.hpp"
 
 namespace epg {
@@ -29,33 +32,89 @@ McEstimate make_estimate(std::size_t successes, std::size_t shots) {
   return e;
 }
 
-LossMcResult sample_photon_loss(const HardwareModel& hw,
-                                const std::vector<Tick>& alive_ticks,
-                                std::size_t shots, std::uint64_t seed) {
-  EPG_REQUIRE(shots > 0, "photon-loss MC needs at least one shot");
-  LossMcResult out;
-  out.lost_histogram.assign(alive_ticks.size() + 1, 0);
+namespace {
 
-  std::vector<double> survival;
-  survival.reserve(alive_ticks.size());
-  for (Tick alive : alive_ticks)
-    survival.push_back(photon_survival(hw, alive));
-
-  Rng rng(seed);
+struct LossTally {
   std::size_t ok = 0;
   std::size_t total_lost = 0;
+  std::vector<std::size_t> histogram;
+};
+
+LossTally run_loss_shots(const std::vector<double>& survival,
+                         std::size_t shots, Rng& rng) {
+  LossTally tally;
+  tally.histogram.assign(survival.size() + 1, 0);
   for (std::size_t s = 0; s < shots; ++s) {
     std::size_t lost = 0;
     for (double p : survival)
       if (!rng.chance(p)) ++lost;
-    ++out.lost_histogram[lost];
-    total_lost += lost;
-    if (lost == 0) ++ok;
+    ++tally.histogram[lost];
+    tally.total_lost += lost;
+    if (lost == 0) ++tally.ok;
   }
-  out.state = make_estimate(ok, shots);
+  return tally;
+}
+
+std::vector<double> survival_probs(const HardwareModel& hw,
+                                   const std::vector<Tick>& alive_ticks) {
+  std::vector<double> survival;
+  survival.reserve(alive_ticks.size());
+  for (Tick alive : alive_ticks)
+    survival.push_back(photon_survival(hw, alive));
+  return survival;
+}
+
+LossMcResult finish_loss(const LossTally& tally, std::size_t shots) {
+  LossMcResult out;
+  out.lost_histogram = tally.histogram;
+  out.state = make_estimate(tally.ok, shots);
   out.mean_lost_photons =
-      static_cast<double>(total_lost) / static_cast<double>(shots);
+      static_cast<double>(tally.total_lost) / static_cast<double>(shots);
   return out;
+}
+
+}  // namespace
+
+LossMcResult sample_photon_loss(const HardwareModel& hw,
+                                const std::vector<Tick>& alive_ticks,
+                                std::size_t shots, std::uint64_t seed) {
+  EPG_REQUIRE(shots > 0, "photon-loss MC needs at least one shot");
+  const std::vector<double> survival = survival_probs(hw, alive_ticks);
+  Rng rng(seed);
+  return finish_loss(run_loss_shots(survival, shots, rng), shots);
+}
+
+LossMcResult sample_photon_loss_parallel(const HardwareModel& hw,
+                                         const std::vector<Tick>& alive_ticks,
+                                         std::size_t shots,
+                                         std::uint64_t seed,
+                                         ThreadPool* pool,
+                                         std::size_t chunk_shots) {
+  EPG_REQUIRE(shots > 0, "photon-loss MC needs at least one shot");
+  EPG_REQUIRE(chunk_shots > 0, "chunk size must be positive");
+  const std::vector<double> survival = survival_probs(hw, alive_ticks);
+  const std::size_t chunks = (shots + chunk_shots - 1) / chunk_shots;
+  std::vector<LossTally> tallies(chunks);
+  auto body = [&](std::size_t c) {
+    const std::size_t first = c * chunk_shots;
+    const std::size_t count = std::min(chunk_shots, shots - first);
+    Rng rng(HashStream().mix(seed).mix(std::uint64_t{c}).digest());
+    tallies[c] = run_loss_shots(survival, count, rng);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(chunks, body);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) body(c);
+  }
+  LossTally merged;
+  merged.histogram.assign(survival.size() + 1, 0);
+  for (const LossTally& t : tallies) {
+    merged.ok += t.ok;
+    merged.total_lost += t.total_lost;
+    for (std::size_t i = 0; i < t.histogram.size(); ++i)
+      merged.histogram[i] += t.histogram[i];
+  }
+  return finish_loss(merged, shots);
 }
 
 namespace {
@@ -79,73 +138,118 @@ void apply_pauli_pair(Tableau& t, std::size_t a, std::size_t b,
 
 }  // namespace
 
-PauliMcResult sample_ee_noise(const Circuit& c, const Graph& target,
-                              const HardwareModel& hw,
-                              const PauliMcConfig& cfg) {
-  EPG_REQUIRE(cfg.shots > 0, "Pauli MC needs at least one shot");
-  EPG_REQUIRE(target.vertex_count() == c.num_photons(),
-              "target size must match the circuit's photon register");
-  const double p = cfg.error_probability >= 0.0
-                       ? cfg.error_probability
-                       : 1.0 - hw.ee_cnot_fidelity;
-  EPG_REQUIRE(p >= 0.0 && p <= 1.0, "error probability out of range");
+namespace {
 
+/// One noisy replay of `c`; true when the final state is exactly `want`.
+bool replay_noisy_shot(const Circuit& c, const Tableau& want, double p,
+                       Rng& rng) {
+  const std::size_t n = c.num_photons() + c.num_emitters();
+  auto wire = [&](QubitId q) -> std::size_t {
+    return q.kind == QubitKind::photon ? q.index
+                                       : c.num_photons() + q.index;
+  };
+  Tableau t(n);
+  for (const Gate& g : c.gates()) {
+    switch (g.kind) {
+      case GateKind::emission:
+        t.cnot(wire(g.a), wire(g.b));
+        break;
+      case GateKind::ee_cz:
+      case GateKind::ee_cnot: {
+        if (g.kind == GateKind::ee_cz)
+          t.cz(wire(g.a), wire(g.b));
+        else
+          t.cnot(wire(g.a), wire(g.b));
+        if (rng.chance(p))
+          apply_pauli_pair(t, wire(g.a), wire(g.b),
+                           static_cast<std::uint32_t>(rng.range(1, 15)));
+        break;
+      }
+      case GateKind::local:
+        t.apply(wire(g.a), g.local);
+        break;
+      case GateKind::measure_reset: {
+        const MeasureResult m = t.measure_z(wire(g.a), rng);
+        if (m.outcome) {
+          t.x(wire(g.a));
+          for (const auto& corr : g.if_one) {
+            switch (corr.op) {
+              case PauliOp::X: t.x(wire(corr.target)); break;
+              case PauliOp::Y: t.y(wire(corr.target)); break;
+              case PauliOp::Z: t.z(wire(corr.target)); break;
+              case PauliOp::I: break;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  return t.same_state_as(want);
+}
+
+PauliMcResult prepare_pauli_result(const Circuit& c, const HardwareModel& hw,
+                                   const PauliMcConfig& cfg, double& p) {
+  EPG_REQUIRE(cfg.shots > 0, "Pauli MC needs at least one shot");
+  p = cfg.error_probability >= 0.0 ? cfg.error_probability
+                                   : 1.0 - hw.ee_cnot_fidelity;
+  EPG_REQUIRE(p >= 0.0 && p <= 1.0, "error probability out of range");
   PauliMcResult out;
   for (const Gate& g : c.gates())
     if (g.kind == GateKind::ee_cz || g.kind == GateKind::ee_cnot)
       ++out.ee_gate_count;
   out.product_bound =
       std::pow(1.0 - p, static_cast<double>(out.ee_gate_count));
+  return out;
+}
 
-  const std::size_t n = c.num_photons() + c.num_emitters();
+}  // namespace
+
+PauliMcResult sample_ee_noise(const Circuit& c, const Graph& target,
+                              const HardwareModel& hw,
+                              const PauliMcConfig& cfg) {
+  EPG_REQUIRE(target.vertex_count() == c.num_photons(),
+              "target size must match the circuit's photon register");
+  double p = 0.0;
+  PauliMcResult out = prepare_pauli_result(c, hw, cfg, p);
   const Tableau want = Tableau::graph_state(target, c.num_emitters());
-  auto wire = [&](QubitId q) -> std::size_t {
-    return q.kind == QubitKind::photon ? q.index
-                                       : c.num_photons() + q.index;
-  };
-
   Rng rng(cfg.seed);
   std::size_t ok = 0;
-  for (std::size_t shot = 0; shot < cfg.shots; ++shot) {
-    Tableau t(n);
-    for (const Gate& g : c.gates()) {
-      switch (g.kind) {
-        case GateKind::emission:
-          t.cnot(wire(g.a), wire(g.b));
-          break;
-        case GateKind::ee_cz:
-        case GateKind::ee_cnot: {
-          if (g.kind == GateKind::ee_cz)
-            t.cz(wire(g.a), wire(g.b));
-          else
-            t.cnot(wire(g.a), wire(g.b));
-          if (rng.chance(p))
-            apply_pauli_pair(t, wire(g.a), wire(g.b),
-                             static_cast<std::uint32_t>(rng.range(1, 15)));
-          break;
-        }
-        case GateKind::local:
-          t.apply(wire(g.a), g.local);
-          break;
-        case GateKind::measure_reset: {
-          const MeasureResult m = t.measure_z(wire(g.a), rng);
-          if (m.outcome) {
-            t.x(wire(g.a));
-            for (const auto& corr : g.if_one) {
-              switch (corr.op) {
-                case PauliOp::X: t.x(wire(corr.target)); break;
-                case PauliOp::Y: t.y(wire(corr.target)); break;
-                case PauliOp::Z: t.z(wire(corr.target)); break;
-                case PauliOp::I: break;
-              }
-            }
-          }
-          break;
-        }
-      }
-    }
-    if (t.same_state_as(want)) ++ok;
+  for (std::size_t shot = 0; shot < cfg.shots; ++shot)
+    if (replay_noisy_shot(c, want, p, rng)) ++ok;
+  out.fidelity = make_estimate(ok, cfg.shots);
+  return out;
+}
+
+PauliMcResult sample_ee_noise_parallel(const Circuit& c, const Graph& target,
+                                       const HardwareModel& hw,
+                                       const PauliMcConfig& cfg,
+                                       ThreadPool* pool,
+                                       std::size_t chunk_shots) {
+  EPG_REQUIRE(target.vertex_count() == c.num_photons(),
+              "target size must match the circuit's photon register");
+  EPG_REQUIRE(chunk_shots > 0, "chunk size must be positive");
+  double p = 0.0;
+  PauliMcResult out = prepare_pauli_result(c, hw, cfg, p);
+  const Tableau want = Tableau::graph_state(target, c.num_emitters());
+  const std::size_t chunks = (cfg.shots + chunk_shots - 1) / chunk_shots;
+  std::vector<std::size_t> ok_per_chunk(chunks, 0);
+  auto body = [&](std::size_t chunk) {
+    const std::size_t first = chunk * chunk_shots;
+    const std::size_t count = std::min(chunk_shots, cfg.shots - first);
+    Rng rng(HashStream().mix(cfg.seed).mix(std::uint64_t{chunk}).digest());
+    std::size_t ok = 0;
+    for (std::size_t s = 0; s < count; ++s)
+      if (replay_noisy_shot(c, want, p, rng)) ++ok;
+    ok_per_chunk[chunk] = ok;
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(chunks, body);
+  } else {
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) body(chunk);
   }
+  std::size_t ok = 0;
+  for (std::size_t k : ok_per_chunk) ok += k;
   out.fidelity = make_estimate(ok, cfg.shots);
   return out;
 }

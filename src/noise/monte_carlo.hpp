@@ -71,4 +71,29 @@ PauliMcResult sample_ee_noise(const Circuit& c, const Graph& target,
 /// Wilson 95% score interval for k successes out of n.
 McEstimate make_estimate(std::size_t successes, std::size_t shots);
 
+// ---- Parallel engines -----------------------------------------------------
+//
+// Chunked variants for the batch runtime: shots are partitioned into
+// fixed-size chunks, chunk c draws from an independent RNG seeded by
+// hash(seed, c), and chunk tallies are merged by summation. The merged
+// counts are therefore identical for ANY execution order and thread count
+// — `pool == nullptr` runs the same chunks serially and reproduces the
+// parallel result bit-for-bit (and vice versa). Note the chunked stream
+// differs from the legacy single-stream engines above by design.
+
+class ThreadPool;
+
+LossMcResult sample_photon_loss_parallel(const HardwareModel& hw,
+                                         const std::vector<Tick>& alive_ticks,
+                                         std::size_t shots,
+                                         std::uint64_t seed,
+                                         ThreadPool* pool,
+                                         std::size_t chunk_shots = 256);
+
+PauliMcResult sample_ee_noise_parallel(const Circuit& c, const Graph& target,
+                                       const HardwareModel& hw,
+                                       const PauliMcConfig& cfg,
+                                       ThreadPool* pool,
+                                       std::size_t chunk_shots = 32);
+
 }  // namespace epg

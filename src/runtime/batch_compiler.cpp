@@ -1,0 +1,299 @@
+#include "runtime/batch_compiler.hpp"
+
+#include <stdexcept>
+
+#include "common/stopwatch.hpp"
+#include "runtime/graph_hash.hpp"
+
+namespace epg {
+
+namespace {
+
+// Large enough that no anytime search ever hits it, small enough that the
+// double arithmetic in the budget checks stays exact.
+constexpr double kUnboundedBudgetMs = 1e15;
+
+void mix_hardware(HashStream& h, const HardwareModel& hw) {
+  h.mix(hw.name);
+  h.mix(static_cast<std::uint64_t>(hw.tau_ticks));
+  h.mix(static_cast<std::uint64_t>(hw.ee_cnot_ticks));
+  h.mix(static_cast<std::uint64_t>(hw.emission_ticks));
+  h.mix(static_cast<std::uint64_t>(hw.emitter_1q_ticks));
+  h.mix(static_cast<std::uint64_t>(hw.photon_1q_ticks));
+  h.mix(static_cast<std::uint64_t>(hw.measure_ticks));
+  h.mix(hw.ee_cnot_fidelity);
+  h.mix(hw.loss_rate_per_tau);
+}
+
+}  // namespace
+
+std::uint64_t config_fingerprint(const FrameworkConfig& cfg) {
+  HashStream h;
+  h.mix(std::uint64_t{0xF3A3E});  // domain separation vs BaselineConfig
+  mix_hardware(h, cfg.hw);
+  h.mix(static_cast<std::uint64_t>(cfg.partition.g_max));
+  h.mix(static_cast<std::uint64_t>(cfg.partition.max_lc_ops));
+  h.mix(static_cast<std::uint64_t>(cfg.partition.beam_width));
+  h.mix(cfg.partition.time_budget_ms);
+  h.mix(cfg.partition.seed);
+  h.mix(static_cast<std::uint64_t>(cfg.partition.quick_restarts));
+  h.mix(static_cast<std::uint64_t>(cfg.partition.final_restarts));
+  h.mix(static_cast<std::uint64_t>(cfg.partition.exact_small));
+  h.mix(static_cast<std::uint64_t>(cfg.partition.exact_vertex_limit));
+  h.mix(static_cast<std::uint64_t>(cfg.subgraph.ne_limit));
+  h.mix(static_cast<std::uint64_t>(cfg.subgraph.node_budget));
+  h.mix(static_cast<std::uint64_t>(cfg.subgraph.max_lc_ops));
+  h.mix(static_cast<std::uint64_t>(cfg.subgraph.keep_candidates));
+  h.mix(cfg.subgraph.time_budget_ms);
+  mix_hardware(h, cfg.subgraph.hw);
+  h.mix(static_cast<std::uint64_t>(cfg.subgraph.verify));
+  h.mix(static_cast<std::uint64_t>(cfg.subgraph.dangler.cap));
+  h.mix(static_cast<std::uint64_t>(cfg.subgraph.dangler.key_order));
+  h.mix(cfg.ne_limit_factor);
+  h.mix(static_cast<std::uint64_t>(cfg.ne_limit_override));
+  h.mix(static_cast<std::uint64_t>(cfg.alap_tetris));
+  h.mix(static_cast<std::uint64_t>(cfg.flexible_ne));
+  h.mix(static_cast<std::uint64_t>(cfg.verify_seeds));
+  h.mix(cfg.seed);
+  return h.digest();
+}
+
+std::uint64_t config_fingerprint(const BaselineConfig& cfg) {
+  HashStream h;
+  h.mix(std::uint64_t{0xBA5E});
+  mix_hardware(h, cfg.hw);
+  h.mix(static_cast<std::uint64_t>(cfg.order_restarts));
+  h.mix(cfg.seed);
+  h.mix(cfg.time_budget_ms);
+  h.mix(static_cast<std::uint64_t>(cfg.num_emitters));
+  h.mix(static_cast<std::uint64_t>(cfg.verify));
+  h.mix(static_cast<std::uint64_t>(cfg.row_thinning));
+  return h.digest();
+}
+
+std::vector<CompileJob> sweep_seeds(const CompileJob& base,
+                                    std::uint64_t first_seed,
+                                    std::size_t count) {
+  std::vector<CompileJob> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    CompileJob job = base;
+    const std::uint64_t seed = first_seed + i;
+    job.label = base.label + "#" + std::to_string(seed);
+    job.framework.seed = seed;
+    job.baseline.seed = seed;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+CompileJob make_framework_job(std::string label, Graph graph,
+                              FrameworkConfig cfg) {
+  CompileJob job;
+  job.label = std::move(label);
+  job.graph = std::move(graph);
+  job.kind = CompilerKind::framework;
+  job.framework = std::move(cfg);
+  return job;
+}
+
+CompileJob make_baseline_job(std::string label, Graph graph,
+                             BaselineConfig cfg,
+                             std::size_t inherited_ne_limit) {
+  CompileJob job;
+  job.label = std::move(label);
+  job.graph = std::move(graph);
+  job.kind = CompilerKind::baseline;
+  job.baseline = std::move(cfg);
+  if (job.baseline.num_emitters == 0)
+    job.baseline.num_emitters = inherited_ne_limit;
+  return job;
+}
+
+BatchCompiler::BatchCompiler(BatchConfig cfg)
+    : cfg_(cfg),
+      // The calling thread participates in every parallel_for, so a batch
+      // with total parallelism N runs on N-1 pool workers; threads == 1 is
+      // genuinely serial.
+      pool_((cfg.threads == 0 ? ThreadPool::hardware_default()
+                              : cfg.threads) -
+            1) {}
+
+std::size_t BatchCompiler::cache_size() const {
+  std::size_t total = 0;
+  for (const auto& [key, entries] : cache_) total += entries.size();
+  return total;
+}
+
+void BatchCompiler::clear_cache() { cache_.clear(); }
+
+JobResult BatchCompiler::compile_one(const CompileJob& job) const {
+  JobResult r;
+  r.label = job.label;
+  r.kind = job.kind;
+  r.num_qubits = job.graph.vertex_count();
+  r.num_edges = job.graph.edge_count();
+  Stopwatch watch;
+  try {
+    if (job.kind == CompilerKind::framework) {
+      FrameworkConfig cfg = job.framework;
+      if (cfg_.deterministic) {
+        cfg.partition.time_budget_ms = kUnboundedBudgetMs;
+        cfg.subgraph.time_budget_ms = kUnboundedBudgetMs;
+      }
+      auto result = std::make_shared<FrameworkResult>(
+          compile_framework(job.graph, cfg));
+      r.stats = result->stats();
+      r.ne_min = result->ne_min;
+      r.ne_limit = result->ne_limit;
+      r.stem_count = result->stem_count;
+      r.verified = result->verified;
+      r.ok = true;
+      if (cfg_.keep_results) r.framework_result = std::move(result);
+    } else {
+      BaselineConfig cfg = job.baseline;
+      if (cfg_.deterministic) cfg.time_budget_ms = kUnboundedBudgetMs;
+      auto result = std::make_shared<BaselineResult>(
+          compile_baseline(job.graph, cfg));
+      if (!result->success)
+        throw std::runtime_error("baseline compilation failed");
+      r.stats = result->stats;
+      r.ne_min = result->ne_min;
+      r.ne_limit = static_cast<std::uint32_t>(
+          cfg.num_emitters ? cfg.num_emitters : result->ne_min);
+      r.verified = cfg.verify;
+      r.ok = true;
+      if (cfg_.keep_results) r.baseline_result = std::move(result);
+    }
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  r.wall_ms = watch.elapsed_ms();
+  return r;
+}
+
+const BatchCompiler::CacheEntry* BatchCompiler::find_cached(
+    std::uint64_t key, const CompileJob& job,
+    std::uint64_t config_hash) const {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return nullptr;
+  for (const CacheEntry& entry : it->second)
+    if (entry.kind == job.kind && entry.config_hash == config_hash &&
+        entry.graph == job.graph)
+      return &entry;
+  return nullptr;
+}
+
+std::vector<JobResult> BatchCompiler::run(
+    const std::vector<CompileJob>& jobs) {
+  Stopwatch batch_watch;
+  summary_ = BatchSummary{};
+  summary_.jobs = jobs.size();
+
+  struct Keyed {
+    std::uint64_t cache_key = 0;
+    std::uint64_t graph_hash = 0;
+    std::uint64_t canonical_hash = 0;
+    std::uint64_t config_hash = 0;
+    // Index of the first identical job, or self if this job compiles.
+    std::size_t representative = 0;
+    bool from_cache = false;
+  };
+  std::vector<Keyed> keyed(jobs.size());
+  std::vector<JobResult> results(jobs.size());
+
+  // Key every job and group exact duplicates behind a representative.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+  std::vector<std::size_t> to_compile;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    Keyed& k = keyed[i];
+    k.graph_hash = labelled_graph_hash(jobs[i].graph);
+    k.canonical_hash = canonical_graph_hash(jobs[i].graph);
+    k.config_hash = jobs[i].kind == CompilerKind::framework
+                        ? config_fingerprint(jobs[i].framework)
+                        : config_fingerprint(jobs[i].baseline);
+    k.cache_key = HashStream()
+                      .mix(k.graph_hash)
+                      .mix(k.config_hash)
+                      .mix(static_cast<std::uint64_t>(jobs[i].kind))
+                      .digest();
+    k.representative = i;
+    if (!cfg_.use_cache) {
+      to_compile.push_back(i);
+      continue;
+    }
+    if (find_cached(k.cache_key, jobs[i], k.config_hash) != nullptr) {
+      k.from_cache = true;
+      continue;
+    }
+    auto& members = groups[k.cache_key];
+    bool joined = false;
+    for (std::size_t m : members) {
+      // Guard against 64-bit collisions: only join a group whose graph
+      // is really identical.
+      if (jobs[m].graph == jobs[i].graph) {
+        k.representative = m;
+        joined = true;
+        break;
+      }
+    }
+    if (!joined) {
+      members.push_back(i);
+      to_compile.push_back(i);
+    }
+  }
+
+  // Compile the representatives across the pool; each writes its own
+  // slot, so the result set is independent of scheduling order.
+  pool_.parallel_for(to_compile.size(), [&](std::size_t t) {
+    const std::size_t i = to_compile[t];
+    results[i] = compile_one(jobs[i]);
+  });
+
+  // Publish fresh results to the cache, then fill duplicates and hits.
+  if (cfg_.use_cache) {
+    for (std::size_t i : to_compile) {
+      if (!results[i].ok) continue;  // never cache failures
+      CacheEntry entry;
+      entry.graph = jobs[i].graph;
+      entry.config_hash = keyed[i].config_hash;
+      entry.kind = jobs[i].kind;
+      entry.result = results[i];
+      cache_[keyed[i].cache_key].push_back(std::move(entry));
+    }
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    JobResult& r = results[i];
+    if (keyed[i].from_cache) {
+      const CacheEntry* hit =
+          find_cached(keyed[i].cache_key, jobs[i], keyed[i].config_hash);
+      r = hit->result;
+      r.label = jobs[i].label;
+      r.cache_hit = true;
+      r.wall_ms = 0.0;
+    } else if (keyed[i].representative != i) {
+      r = results[keyed[i].representative];
+      r.label = jobs[i].label;
+      r.cache_hit = true;
+      r.wall_ms = 0.0;
+    }
+    r.index = i;
+    r.graph_hash = keyed[i].graph_hash;
+    r.canonical_hash = keyed[i].canonical_hash;
+    if (r.cache_hit) ++summary_.cache_hits;
+    if (!r.ok) ++summary_.failures;
+    summary_.compile_ms += r.wall_ms;
+  }
+  summary_.compiled = to_compile.size();
+  summary_.wall_ms = batch_watch.elapsed_ms();
+  totals_.jobs += summary_.jobs;
+  totals_.compiled += summary_.compiled;
+  totals_.cache_hits += summary_.cache_hits;
+  totals_.failures += summary_.failures;
+  totals_.wall_ms += summary_.wall_ms;
+  totals_.compile_ms += summary_.compile_ms;
+  return results;
+}
+
+}  // namespace epg

@@ -1,0 +1,159 @@
+// Batch compilation runtime (the paper's scalability claim, made
+// operational): fan a set of compile jobs — many graphs, or one graph
+// under a sweep of configurations — across a work-stealing thread pool,
+// deduplicate repeated instances through a result cache, and collect
+// structured per-job metrics.
+//
+// Guarantees:
+//   * Determinism. Every job is compiled with exactly the configuration it
+//     carries; results land in input order; the cache deduplicates only
+//     jobs whose labelled graph AND configuration fingerprint match (the
+//     compilers are deterministic per (graph, config, seed), so members of
+//     such a group are interchangeable). A parallel run therefore
+//     reproduces a serial run bit-for-bit. With `deterministic = true`
+//     the wall-clock search budgets are additionally lifted to
+//     effectively-infinite values, so the anytime searches always run to
+//     their structural budgets (beam width, node budget, restarts) and
+//     results are independent of machine load as well.
+//   * Isolation. A job that throws is recorded as a failed JobResult with
+//     the exception text; it never takes down the batch.
+//
+// The cache is keyed on the exact labelled adjacency, not the
+// isomorphism-invariant hash: compiled schedules are label-dependent and
+// batch output must match serial output per instance. The WL canonical
+// hash is still computed and reported per job so sweeps can count how many
+// distinct graph *shapes* they contain (see graph_hash.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "compile/baseline_compiler.hpp"
+#include "compile/framework.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace epg {
+
+enum class CompilerKind { framework, baseline };
+
+struct CompileJob {
+  std::string label;
+  Graph graph;
+  CompilerKind kind = CompilerKind::framework;
+  FrameworkConfig framework;  ///< used when kind == framework
+  BaselineConfig baseline;    ///< used when kind == baseline
+};
+
+struct JobResult {
+  std::size_t index = 0;  ///< position in the submitted batch
+  std::string label;
+  CompilerKind kind = CompilerKind::framework;
+
+  bool ok = false;
+  std::string error;      ///< exception text when !ok
+  bool cache_hit = false;
+  double wall_ms = 0.0;   ///< this job's compile time (0 for cache hits)
+
+  std::size_t num_qubits = 0;
+  std::size_t num_edges = 0;
+  std::uint64_t graph_hash = 0;      ///< labelled (cache identity)
+  std::uint64_t canonical_hash = 0;  ///< isomorphism-invariant (WL)
+
+  CircuitStats stats;
+  std::size_t ne_min = 0;
+  std::uint32_t ne_limit = 0;
+  std::size_t stem_count = 0;  ///< framework only
+  bool verified = false;
+
+  /// Full compiler outputs (circuits, schedules); populated when
+  /// BatchConfig::keep_results is set. Shared between cache-hit copies.
+  std::shared_ptr<const FrameworkResult> framework_result;
+  std::shared_ptr<const BaselineResult> baseline_result;
+};
+
+struct BatchConfig {
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  bool use_cache = true;
+  /// Retain the full FrameworkResult/BaselineResult per job (needed by
+  /// consumers that sample the circuits, e.g. the noise benches).
+  bool keep_results = true;
+  /// Lift per-job wall-clock budgets so results are load-independent.
+  bool deterministic = false;
+};
+
+struct BatchSummary {
+  std::size_t jobs = 0;
+  std::size_t compiled = 0;    ///< jobs that actually ran a compiler
+  std::size_t cache_hits = 0;
+  std::size_t failures = 0;
+  double wall_ms = 0.0;        ///< whole-batch wall time
+  double compile_ms = 0.0;     ///< sum of per-job compile times
+  double speedup() const {     ///< aggregate parallel+cache speedup
+    return wall_ms > 0.0 ? compile_ms / wall_ms : 1.0;
+  }
+};
+
+/// One graph x a seed sweep: copies of `base` with seeds first..first+count-1
+/// (both the framework and baseline seed fields are set) and labels
+/// "<label>#<seed>". The canonical fan-out for Monte-Carlo noise sweeps.
+std::vector<CompileJob> sweep_seeds(const CompileJob& base,
+                                    std::uint64_t first_seed,
+                                    std::size_t count);
+
+/// Job builders for the common two-phase pattern: compile every framework
+/// job first, then every baseline under the emitter budget phase 1
+/// produced. `inherited_ne_limit` fills baseline num_emitters only when
+/// the config leaves it 0 (the shared-budget convention of the paper's
+/// comparisons).
+CompileJob make_framework_job(std::string label, Graph graph,
+                              FrameworkConfig cfg);
+CompileJob make_baseline_job(std::string label, Graph graph,
+                             BaselineConfig cfg,
+                             std::size_t inherited_ne_limit = 0);
+
+class BatchCompiler {
+ public:
+  explicit BatchCompiler(BatchConfig cfg = {});
+
+  /// Compile the batch; results are in job order. Not thread-safe (one
+  /// run at a time), but reusable — the cache persists across runs.
+  std::vector<JobResult> run(const std::vector<CompileJob>& jobs);
+
+  const BatchSummary& summary() const { return summary_; }  ///< last run()
+  const BatchSummary& totals() const { return totals_; }    ///< all runs
+  const BatchConfig& config() const { return cfg_; }
+  /// Total concurrency (pool workers + the calling thread).
+  std::size_t parallelism() const { return pool_.thread_count() + 1; }
+  std::size_t cache_size() const;
+  void clear_cache();
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  struct CacheEntry {
+    Graph graph;
+    std::uint64_t config_hash = 0;
+    CompilerKind kind = CompilerKind::framework;
+    JobResult result;
+  };
+
+  JobResult compile_one(const CompileJob& job) const;
+  const CacheEntry* find_cached(std::uint64_t key, const CompileJob& job,
+                                std::uint64_t config_hash) const;
+
+  BatchConfig cfg_;
+  ThreadPool pool_;
+  BatchSummary summary_;
+  BatchSummary totals_;
+  std::unordered_map<std::uint64_t, std::vector<CacheEntry>> cache_;
+};
+
+/// Fingerprint of every result-relevant configuration field (exposed for
+/// the cache tests).
+std::uint64_t config_fingerprint(const FrameworkConfig& cfg);
+std::uint64_t config_fingerprint(const BaselineConfig& cfg);
+
+}  // namespace epg

@@ -1,0 +1,69 @@
+#include "runtime/graph_hash.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace epg {
+
+std::uint64_t labelled_graph_hash(const Graph& g) {
+  HashStream h;
+  h.mix(static_cast<std::uint64_t>(g.vertex_count()));
+  // edges() is lexicographically sorted, so the stream is canonical for
+  // the labelled graph.
+  for (const Edge& e : g.edges()) {
+    h.mix(static_cast<std::uint64_t>(e.first));
+    h.mix(static_cast<std::uint64_t>(e.second));
+  }
+  return h.digest();
+}
+
+std::uint64_t canonical_graph_hash(const Graph& g, std::size_t rounds) {
+  const std::size_t n = g.vertex_count();
+  if (n == 0) return HashStream().mix(std::uint64_t{0}).digest();
+  if (rounds == 0) rounds = n;
+
+  // WL color refinement: a vertex's next color hashes its current color
+  // together with the sorted multiset of its neighbors' colors. Sorting
+  // makes each round label-order independent.
+  std::vector<std::uint64_t> color(n), next(n);
+  for (Vertex v = 0; v < n; ++v)
+    color[v] = HashStream()
+                   .mix(std::uint64_t{0x5747})
+                   .mix(static_cast<std::uint64_t>(g.degree(v)))
+                   .digest();
+
+  auto distinct_count = [](std::vector<std::uint64_t> c) {
+    std::sort(c.begin(), c.end());
+    return static_cast<std::size_t>(
+        std::unique(c.begin(), c.end()) - c.begin());
+  };
+
+  std::size_t classes = distinct_count(color);
+  std::vector<std::uint64_t> neighbor_colors;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (Vertex v = 0; v < n; ++v) {
+      neighbor_colors.clear();
+      for (Vertex u : g.neighbors(v)) neighbor_colors.push_back(color[u]);
+      std::sort(neighbor_colors.begin(), neighbor_colors.end());
+      HashStream h;
+      h.mix(color[v]);
+      for (std::uint64_t c : neighbor_colors) h.mix(c);
+      next[v] = h.digest();
+    }
+    color.swap(next);
+    const std::size_t refined = distinct_count(color);
+    if (refined == classes) break;  // partition is stable
+    classes = refined;
+  }
+
+  // The final fingerprint hashes the sorted color multiset — invariant
+  // under any vertex relabelling.
+  std::sort(color.begin(), color.end());
+  HashStream h;
+  h.mix(static_cast<std::uint64_t>(n));
+  h.mix(static_cast<std::uint64_t>(g.edge_count()));
+  for (std::uint64_t c : color) h.mix(c);
+  return h.digest();
+}
+
+}  // namespace epg

@@ -1,0 +1,72 @@
+// Graph hashing for the batch-compilation result cache.
+//
+// Two hashes with different contracts:
+//
+//   * `labelled_graph_hash` — a strong 64-bit hash of the exact labelled
+//     adjacency (vertex count + sorted edge stream). Two graphs share it
+//     (modulo astronomically unlikely collisions, which the cache removes
+//     by comparing the stored graph) iff they are equal vertex-by-vertex.
+//     This is the cache identity: the compilers are deterministic per
+//     (graph, config, seed), so equal labelled graphs reproduce equal
+//     results and may safely share a cache entry.
+//
+//   * `canonical_graph_hash` — an isomorphism-invariant fingerprint built
+//     by iterated Weisfeiler-Leman color refinement. Relabelled copies of
+//     a graph always share it (the converse can fail on WL-equivalent
+//     non-isomorphic graphs, which is fine for grouping/diagnostics). The
+//     batch runtime reports it so sweeps over shuffled instances can see
+//     how many distinct shapes they actually contain — but does NOT key
+//     the cache on it: compiled metrics (emission order, schedule) are
+//     label-dependent, and a batch run must reproduce serial per-instance
+//     results bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace epg {
+
+/// Incremental 64-bit mixer (splitmix64 finalizer over a running state);
+/// used for graph, config and cache-key fingerprints.
+class HashStream {
+ public:
+  HashStream& mix(std::uint64_t v) {
+    state_ += 0x9e3779b97f4a7c15ULL + v;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    state_ = z ^ (z >> 31);
+    return *this;
+  }
+
+  HashStream& mix(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return mix(bits);
+  }
+
+  HashStream& mix(const std::string& s) {
+    mix(static_cast<std::uint64_t>(s.size()));
+    for (char c : s) mix(static_cast<std::uint64_t>(
+        static_cast<unsigned char>(c)));
+    return *this;
+  }
+
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x6a09e667f3bcc908ULL;
+};
+
+/// Exact labelled-adjacency hash (see above).
+std::uint64_t labelled_graph_hash(const Graph& g);
+
+/// Isomorphism-invariant WL-refinement hash. `rounds` = 0 refines until
+/// the color partition stabilizes (at most n rounds).
+std::uint64_t canonical_graph_hash(const Graph& g, std::size_t rounds = 0);
+
+}  // namespace epg

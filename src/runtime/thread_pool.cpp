@@ -1,0 +1,162 @@
+#include "runtime/thread_pool.hpp"
+
+#include <exception>
+
+namespace epg {
+
+namespace {
+
+// Identifies the pool/worker the current thread belongs to, so submit()
+// can push to the local deque and parallel_for can detect re-entrancy.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_worker_id = 0;
+
+}  // namespace
+
+std::size_t ThreadPool::hardware_default() {
+  const std::size_t n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  stop_.store(true, std::memory_order_release);
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::on_worker_thread() const { return tls_pool == this; }
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (queues_.empty()) {  // zero-worker pool: degrade to inline execution
+    task();
+    return;
+  }
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  const std::size_t target =
+      on_worker_thread()
+          ? tls_worker_id
+          : round_robin_.fetch_add(1, std::memory_order_relaxed) %
+                queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_acq_rel);
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_acquire(std::size_t self, std::function<void()>& out) {
+  // Own deque first, newest task (LIFO keeps nested work depth-first)...
+  {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  // ...then steal the oldest task from the first non-empty victim.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    WorkerQueue& q = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  tls_pool = this;
+  tls_worker_id = id;
+  std::function<void()> task;
+  while (true) {
+    if (try_acquire(id, task)) {
+      task();
+      task = nullptr;
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(wake_mu_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire)) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  idle_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || thread_count() == 0) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::mutex mu;
+    std::condition_variable done;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  // The caller waits for all *indices* to complete, never for the helper
+  // tasks themselves: a helper that only gets scheduled later (e.g. when
+  // the caller is itself the sole worker) finds `next >= count` and exits
+  // without touching `fn`, whose lifetime ends with this call.
+  auto drain = [state, count, &fn] {
+    std::size_t i;
+    while ((i = state->next.fetch_add(1, std::memory_order_relaxed)) <
+           count) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+      }
+      if (state->completed.fetch_add(1, std::memory_order_acq_rel) ==
+          count - 1) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->done.notify_all();
+      }
+    }
+  };
+  const std::size_t helpers = std::min(thread_count(), count - 1);
+  for (std::size_t h = 0; h < helpers; ++h) submit(drain);
+  drain();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done.wait(lock, [&] {
+      return state->completed.load(std::memory_order_acquire) == count;
+    });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+}  // namespace epg

@@ -1,0 +1,301 @@
+#include "runtime/batch_compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "noise/monte_carlo.hpp"
+#include "runtime/graph_hash.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace epg {
+namespace {
+
+// ---- ThreadPool ----------------------------------------------------------
+
+TEST(ThreadPool, ParallelForRunsEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  std::vector<int> hits(17, 0);  // no atomics needed: everything is inline
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  bool ran = false;
+  pool.submit([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(16,
+                        [&](std::size_t i) {
+                          if (i == 7) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleDrainsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) pool.submit([&] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 64);
+}
+
+// ---- Graph hashing -------------------------------------------------------
+
+TEST(GraphHash, LabelledHashSeparatesLabellings) {
+  const Graph g = make_waxman(12, 3);
+  const Graph same = make_waxman(12, 3);
+  const Graph relabelled = shuffle_labels(g, 5);
+  EXPECT_EQ(labelled_graph_hash(g), labelled_graph_hash(same));
+  ASSERT_FALSE(g == relabelled);  // the shuffle must actually move labels
+  EXPECT_NE(labelled_graph_hash(g), labelled_graph_hash(relabelled));
+}
+
+TEST(GraphHash, CanonicalHashIsIsomorphismInvariant) {
+  const Graph g = make_waxman(14, 9);
+  for (std::uint64_t s = 1; s <= 5; ++s)
+    EXPECT_EQ(canonical_graph_hash(g),
+              canonical_graph_hash(shuffle_labels(g, s)));
+}
+
+TEST(GraphHash, CanonicalHashSeparatesShapes) {
+  // Same vertex and edge count, different structure (P4 vs K3+isolated).
+  Graph path(4);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  path.add_edge(2, 3);
+  Graph triangle(4);
+  triangle.add_edge(0, 1);
+  triangle.add_edge(1, 2);
+  triangle.add_edge(0, 2);
+  EXPECT_NE(canonical_graph_hash(path), canonical_graph_hash(triangle));
+  EXPECT_NE(canonical_graph_hash(make_star(8)),
+            canonical_graph_hash(make_ring(8)));
+}
+
+// ---- BatchCompiler -------------------------------------------------------
+
+FrameworkConfig quick_framework(std::uint64_t seed) {
+  FrameworkConfig cfg;
+  cfg.partition.time_budget_ms = 500;
+  cfg.subgraph.node_budget = 8000;
+  cfg.subgraph.time_budget_ms = 80;
+  cfg.verify_seeds = 1;
+  cfg.seed = seed;
+  return cfg;
+}
+
+CompileJob framework_job(const std::string& label, Graph g,
+                         std::uint64_t seed) {
+  CompileJob job;
+  job.label = label;
+  job.graph = std::move(g);
+  job.kind = CompilerKind::framework;
+  job.framework = quick_framework(seed);
+  return job;
+}
+
+std::vector<CompileJob> mixed_jobs() {
+  std::vector<CompileJob> jobs;
+  jobs.push_back(framework_job("lat", make_lattice(3, 4), 1));
+  jobs.push_back(framework_job("wax", make_waxman(11, 4), 2));
+  jobs.push_back(
+      framework_job("tree", make_random_tree(12, 5, 3), 3));
+  CompileJob base;
+  base.label = "base";
+  base.graph = make_ring(8);
+  base.kind = CompilerKind::baseline;
+  base.baseline.seed = 4;
+  jobs.push_back(std::move(base));
+  return jobs;
+}
+
+void expect_same_metrics(const JobResult& a, const JobResult& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.stats.ee_cnot_count, b.stats.ee_cnot_count);
+  EXPECT_EQ(a.stats.emission_count, b.stats.emission_count);
+  EXPECT_EQ(a.stats.local_count, b.stats.local_count);
+  EXPECT_EQ(a.stats.measure_count, b.stats.measure_count);
+  EXPECT_EQ(a.stats.emitters_used, b.stats.emitters_used);
+  EXPECT_EQ(a.stats.makespan_ticks, b.stats.makespan_ticks);
+  EXPECT_EQ(a.ne_min, b.ne_min);
+  EXPECT_EQ(a.ne_limit, b.ne_limit);
+  EXPECT_EQ(a.stem_count, b.stem_count);
+}
+
+TEST(BatchCompiler, ParallelMatchesSerialBitForBit) {
+  BatchConfig serial_cfg;
+  serial_cfg.threads = 1;
+  serial_cfg.deterministic = true;
+  BatchConfig parallel_cfg;
+  parallel_cfg.threads = 4;
+  parallel_cfg.deterministic = true;
+
+  BatchCompiler serial(serial_cfg);
+  BatchCompiler parallel(parallel_cfg);
+  EXPECT_EQ(serial.parallelism(), 1u);
+  EXPECT_EQ(parallel.parallelism(), 4u);
+
+  const std::vector<JobResult> a = serial.run(mixed_jobs());
+  const std::vector<JobResult> b = parallel.run(mixed_jobs());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].ok) << a[i].error;
+    expect_same_metrics(a[i], b[i]);
+  }
+}
+
+TEST(BatchCompiler, MatchesDirectSerialCompile) {
+  // A batch job must reproduce exactly what a plain compile_framework call
+  // with the same configuration produces (the epgc_compile path).
+  const Graph g = shuffle_labels(make_lattice(3, 4), 2);
+  BatchConfig cfg;
+  cfg.threads = 3;  // deterministic defaults to false: configs untouched
+  BatchCompiler batch(cfg);
+  const std::vector<JobResult> res =
+      batch.run({framework_job("direct", g, 7)});
+  ASSERT_TRUE(res[0].ok) << res[0].error;
+
+  const FrameworkResult direct = compile_framework(g, quick_framework(7));
+  EXPECT_EQ(res[0].stats.ee_cnot_count, direct.stats().ee_cnot_count);
+  EXPECT_EQ(res[0].stats.makespan_ticks, direct.stats().makespan_ticks);
+  EXPECT_EQ(res[0].ne_limit, direct.ne_limit);
+  EXPECT_EQ(res[0].stem_count, direct.stem_count);
+}
+
+TEST(BatchCompiler, CacheHitsIdenticalJobsWithinAndAcrossRuns) {
+  BatchConfig cfg;
+  cfg.threads = 2;
+  BatchCompiler batch(cfg);
+  const Graph g = make_waxman(10, 6);
+
+  // Within one run: 4 identical jobs compile once.
+  std::vector<CompileJob> jobs;
+  for (int i = 0; i < 4; ++i)
+    jobs.push_back(framework_job("j" + std::to_string(i), g, 5));
+  const std::vector<JobResult> first = batch.run(jobs);
+  EXPECT_EQ(batch.summary().compiled, 1u);
+  EXPECT_EQ(batch.summary().cache_hits, 3u);
+  for (const JobResult& r : first) expect_same_metrics(first[0], r);
+  EXPECT_FALSE(first[0].cache_hit);
+  EXPECT_TRUE(first[3].cache_hit);
+
+  // Across runs: the persistent cache serves the repeat instantly.
+  const std::vector<JobResult> second =
+      batch.run({framework_job("again", g, 5)});
+  EXPECT_EQ(batch.summary().compiled, 0u);
+  EXPECT_TRUE(second[0].cache_hit);
+  expect_same_metrics(first[0], second[0]);
+}
+
+TEST(BatchCompiler, IsomorphicByHashGraphsShareCanonicalHashButNotCache) {
+  // A relabelled copy is isomorphic — same WL canonical hash — but the
+  // compiled schedule is label-dependent, so it must NOT be served from
+  // the other labelling's cache entry.
+  BatchConfig cfg;
+  cfg.threads = 2;
+  BatchCompiler batch(cfg);
+  const Graph g = make_waxman(10, 8);
+  const Graph relabelled = shuffle_labels(g, 3);
+  ASSERT_FALSE(g == relabelled);
+
+  const std::vector<JobResult> res = batch.run(
+      {framework_job("a", g, 5), framework_job("b", relabelled, 5)});
+  EXPECT_EQ(batch.summary().compiled, 2u);
+  EXPECT_EQ(batch.summary().cache_hits, 0u);
+  EXPECT_EQ(res[0].canonical_hash, res[1].canonical_hash);
+  EXPECT_NE(res[0].graph_hash, res[1].graph_hash);
+}
+
+TEST(BatchCompiler, DifferentConfigsDoNotShareCacheEntries) {
+  BatchConfig cfg;
+  cfg.threads = 2;
+  BatchCompiler batch(cfg);
+  const Graph g = make_ring(9);
+  batch.run({framework_job("s5", g, 5), framework_job("s6", g, 6)});
+  EXPECT_EQ(batch.summary().compiled, 2u);  // seeds differ -> both compile
+  EXPECT_NE(config_fingerprint(quick_framework(5)),
+            config_fingerprint(quick_framework(6)));
+}
+
+TEST(BatchCompiler, FailedJobsAreIsolatedAndNeverCached) {
+  BatchConfig cfg;
+  cfg.threads = 2;
+  BatchCompiler batch(cfg);
+  std::vector<CompileJob> jobs;
+  jobs.push_back(framework_job("empty", Graph(0), 1));  // throws
+  jobs.push_back(framework_job("good", make_ring(8), 1));
+  const std::vector<JobResult> res = batch.run(jobs);
+  EXPECT_FALSE(res[0].ok);
+  EXPECT_FALSE(res[0].error.empty());
+  EXPECT_TRUE(res[1].ok) << res[1].error;
+  EXPECT_EQ(batch.summary().failures, 1u);
+  EXPECT_EQ(batch.cache_size(), 1u);  // only the success was cached
+}
+
+TEST(BatchCompiler, SweepSeedsFansOutConfigs) {
+  CompileJob base = framework_job("mc", make_ring(8), 0);
+  const std::vector<CompileJob> jobs = sweep_seeds(base, 10, 5);
+  ASSERT_EQ(jobs.size(), 5u);
+  EXPECT_EQ(jobs[0].label, "mc#10");
+  EXPECT_EQ(jobs[4].label, "mc#14");
+  EXPECT_EQ(jobs[2].framework.seed, 12u);
+  EXPECT_EQ(jobs[2].baseline.seed, 12u);
+}
+
+// ---- Deterministic parallel Monte-Carlo ----------------------------------
+
+TEST(ParallelMc, PhotonLossMatchesSerialChunking) {
+  const HardwareModel hw = HardwareModel::quantum_dot();
+  std::vector<Tick> alive;
+  for (int i = 0; i < 14; ++i) alive.push_back(40 + 13 * i);
+  ThreadPool pool(3);
+  const LossMcResult par =
+      sample_photon_loss_parallel(hw, alive, 1000, 42, &pool);
+  const LossMcResult ser =
+      sample_photon_loss_parallel(hw, alive, 1000, 42, nullptr);
+  EXPECT_EQ(par.state.successes, ser.state.successes);
+  EXPECT_EQ(par.lost_histogram, ser.lost_histogram);
+  EXPECT_DOUBLE_EQ(par.mean_lost_photons, ser.mean_lost_photons);
+}
+
+TEST(ParallelMc, EeNoiseMatchesSerialChunking) {
+  const Graph g = make_ring(6);
+  const FrameworkResult r = compile_framework(g, quick_framework(3));
+  const HardwareModel hw = HardwareModel::quantum_dot();
+  PauliMcConfig cfg;
+  cfg.shots = 200;
+  cfg.seed = 9;
+  ThreadPool pool(3);
+  const PauliMcResult par =
+      sample_ee_noise_parallel(r.schedule.circuit, g, hw, cfg, &pool);
+  const PauliMcResult ser =
+      sample_ee_noise_parallel(r.schedule.circuit, g, hw, cfg, nullptr);
+  EXPECT_EQ(par.fidelity.successes, ser.fidelity.successes);
+  EXPECT_EQ(par.ee_gate_count, ser.ee_gate_count);
+}
+
+}  // namespace
+}  // namespace epg
