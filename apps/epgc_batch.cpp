@@ -40,6 +40,7 @@ manifest: one job per line ('-' reads stdin); '#' starts a comment.
     lc=N        max local complementations ne-factor=X emitter budget factor
     ne=N        absolute emitter cap       verify=0|1  end-to-end check
     budget-ms=X partition search budget    shuffle=S   relabel with seed S
+    strategy=S  partition strategy: beam|anneal|portfolio (sweepable)
 
 example (100-instance Monte-Carlo sweep, compiled once each per config):
   mc gen:waxman n=20 gseed=1..100 seed=7
@@ -47,6 +48,12 @@ example (100-instance Monte-Carlo sweep, compiled once each per config):
 options:
   --jobs N          worker threads (default: hardware concurrency)
   --serial          shorthand for --jobs 1
+  --partition-strategy S  default strategy for jobs without strategy=
+  --inner-threads N intra-compile lanes per job, drawn from the shared
+                    batch pool so nesting never oversubscribes (default
+                    0 = serial inner pipeline; metrics are identical at
+                    any count when wall-clock budgets don't bind — pair
+                    with --deterministic for a hard guarantee)
   --no-cache        disable the repeated-instance result cache
   --deterministic   lift wall-clock search budgets (load-independent output)
   --csv FILE        write per-job metrics as CSV
@@ -167,7 +174,8 @@ epg::HardwareModel hardware_by_name(const std::string& name) {
 }
 
 epg::CompileJob make_job(const std::string& label, const std::string& source,
-                         const std::map<std::string, std::string>& kv) {
+                         const std::map<std::string, std::string>& kv,
+                         const std::string& default_strategy) {
   using namespace epg;
   CompileJob job;
   job.label = label;
@@ -194,6 +202,9 @@ epg::CompileJob make_job(const std::string& label, const std::string& source,
     job.framework.partition.max_lc_ops = parse_u64(kv, "lc", 15);
     job.framework.partition.time_budget_ms =
         parse_double(kv, "budget-ms", 800.0);
+    const auto strategy_it = kv.find("strategy");
+    job.framework.partition.strategy =
+        strategy_it == kv.end() ? default_strategy : strategy_it->second;
     job.framework.ne_limit_factor = parse_double(kv, "ne-factor", 1.5);
     job.framework.ne_limit_override =
         static_cast<std::uint32_t>(parse_u64(kv, "ne", 0));
@@ -211,7 +222,8 @@ epg::CompileJob make_job(const std::string& label, const std::string& source,
   return job;
 }
 
-std::vector<epg::CompileJob> parse_manifest(std::istream& in) {
+std::vector<epg::CompileJob> parse_manifest(
+    std::istream& in, const std::string& default_strategy) {
   std::vector<epg::CompileJob> jobs;
   std::string line;
   std::size_t line_no = 0;
@@ -246,7 +258,8 @@ std::vector<epg::CompileJob> parse_manifest(std::istream& in) {
           suffix += "/" + sweep[k].key + "=" + sweep[k].values[pick[k]];
       }
       try {
-        jobs.push_back(make_job(label + suffix, source, kv));
+        jobs.push_back(
+            make_job(label + suffix, source, kv, default_strategy));
       } catch (const std::exception& e) {
         throw ManifestError("line " + std::to_string(line_no) + ": " +
                             e.what());
@@ -269,14 +282,16 @@ int main(int argc, char** argv) {
   if (args.positional().size() != 1) args.fail("exactly one manifest file");
 
   std::vector<CompileJob> jobs;
+  const std::string default_strategy =
+      args.get("partition-strategy", "beam");
   try {
     const std::string path = args.positional()[0];
     if (path == "-") {
-      jobs = parse_manifest(std::cin);
+      jobs = parse_manifest(std::cin, default_strategy);
     } else {
       std::ifstream in(path);
       if (!in) args.fail("cannot open manifest '" + path + "'");
-      jobs = parse_manifest(in);
+      jobs = parse_manifest(in, default_strategy);
     }
   } catch (const std::exception& e) {
     args.fail(e.what());
@@ -285,6 +300,7 @@ int main(int argc, char** argv) {
 
   BatchConfig cfg;
   cfg.threads = args.has("serial") ? 1 : args.get_u64("jobs", 0);
+  cfg.inner_threads = args.get_u64("inner-threads", 0);
   cfg.use_cache = !args.has("no-cache");
   cfg.deterministic = args.has("deterministic");
   cfg.keep_results = false;  // metrics only: don't hold 100 circuits alive

@@ -35,6 +35,10 @@ options:
   --ne N                  override Ne_limit with an absolute count
   --seed N                search seed (default 1)
   --budget-ms X           partition search budget (default 800)
+  --partition-strategy S  beam (default) | anneal | portfolio
+  --inner-threads N       intra-compile worker threads (default 0 = serial;
+                          identical metrics at any count unless the wall-
+                          clock --budget-ms truncates the search earlier)
   --no-verify             skip the stabilizer end-to-end verification
   --qasm FILE             write the circuit as OpenQASM 3
   --epgc FILE             write the circuit in the native text format
@@ -89,6 +93,8 @@ int main(int argc, char** argv) {
       cfg.partition.g_max = args.get_u64("gmax", 7);
       cfg.partition.max_lc_ops = args.get_u64("lc", 15);
       cfg.partition.time_budget_ms = args.get_double("budget-ms", 800.0);
+      cfg.partition.strategy = args.get("partition-strategy", "beam");
+      cfg.inner_threads = args.get_u64("inner-threads", 0);
       cfg.ne_limit_factor = args.get_double("ne-factor", 1.5);
       cfg.ne_limit_override =
           static_cast<std::uint32_t>(args.get_u64("ne", 0));
@@ -98,7 +104,8 @@ int main(int argc, char** argv) {
       if (!args.has("quiet"))
         std::cout << "partition: " << r.partition.parts.size()
                   << " subgraphs, " << r.stem_count << " stems, LC depth "
-                  << r.partition.lc_sequence.size() << '\n';
+                  << r.partition.lc_sequence.size() << " ("
+                  << r.strategy << " strategy)\n";
       print_stats(r.stats(), r.ne_limit);
       std::cout << "verified        " << (r.verified ? "yes" : "skipped")
                 << '\n';

@@ -1,243 +1,21 @@
 #include "compile/framework.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "common/assert.hpp"
-#include "compile/stem.hpp"
-#include "graph/local_complement.hpp"
-#include "graph/metrics.hpp"
+#include "compile/pipeline.hpp"
 
 namespace epg {
-namespace {
-
-std::vector<Vertex> natural_order(const Graph& g) {
-  std::vector<Vertex> order(g.vertex_count());
-  for (Vertex v = 0; v < g.vertex_count(); ++v) order[v] = v;
-  return order;
-}
-
-/// One subgraph compiled at every feasible flexible-ne variant, cheapest
-/// (fewest ee-CZs, then shortest) first as the scheduling default.
-struct PartVariants {
-  std::vector<SubgraphCircuit> variants;
-  std::size_t chosen = 0;
-  std::size_t nodes = 0;
-};
-
-PartVariants compile_variants(const SubgraphSpec& spec,
-                              const SubgraphCompileConfig& base,
-                              std::uint32_t ne_cap) {
-  PartVariants out;
-  const std::uint32_t ne_min = subgraph_ne_min(spec.graph);
-  const bool has_boundary =
-      std::find(spec.boundary.begin(), spec.boundary.end(), true) !=
-      spec.boundary.end();
-  auto add_variants = [&](const SubgraphCompileConfig& policy_cfg) {
-    for (std::uint32_t extra = 0; extra < 3; ++extra) {
-      const std::uint32_t ne = ne_min + extra;
-      if (extra > 0 && ne > ne_cap) break;
-      SubgraphCompileConfig cfg = policy_cfg;
-      cfg.ne_limit = ne;
-      const SubgraphCompileResult r = compile_subgraph(spec, cfg);
-      out.nodes += r.nodes_explored;
-      if (!r.success) continue;
-      const bool duplicate = std::any_of(
-          out.variants.begin(), out.variants.end(),
-          [&](const SubgraphCircuit& v) {
-            return v.ne_used == r.best.ne_used &&
-                   v.stats.ee_cnot_count == r.best.stats.ee_cnot_count &&
-                   v.stats.makespan_ticks == r.best.stats.makespan_ticks;
-          });
-      if (!duplicate) out.variants.push_back(r.best);
-    }
-  };
-  add_variants(base);
-  // Dangler hosting serializes stem CZs on shared wires; the anchors-only
-  // compilation trades (possibly) more ee-CZs for parallel stem windows.
-  // Offer it as an alternative so the makespan-driven variant swap in the
-  // scheduler can pick whichever shape wins globally.
-  if (has_boundary && base.dangler.cap != 0) {
-    SubgraphCompileConfig anchors = base;
-    anchors.dangler = DanglerPolicy::anchors_only();
-    add_variants(anchors);
-  }
-  EPG_CHECK(!out.variants.empty(), "subgraph compilation failed");
-  // Default pick: fewest ee-CZs, then shortest duration.
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < out.variants.size(); ++i) {
-    const auto key = [](const SubgraphCircuit& c) {
-      return std::make_pair(c.stats.ee_cnot_count, c.stats.makespan_ticks);
-    };
-    if (key(out.variants[i]) < key(out.variants[best])) best = i;
-  }
-  out.chosen = best;
-  return out;
-}
-
-/// Per-photon Cliffords undoing the LC sequence: with
-/// |G_i> = U_i |G_{i-1}>, U_i = sqrt(X)^dag_{v_i} (x) S_{N_{i-1}(v_i)}, the
-/// circuit generates |G_k> and |G> = U_1^dag ... U_k^dag |G_k>.
-std::vector<Clifford1> lc_correction_frames(
-    const Graph& original, const std::vector<Vertex>& lc_sequence) {
-  std::vector<std::vector<Vertex>> neighborhoods;
-  Graph g = original;
-  neighborhoods.reserve(lc_sequence.size());
-  for (Vertex v : lc_sequence) {
-    neighborhoods.push_back(g.neighbors(v));
-    local_complement(g, v);
-  }
-  std::vector<Clifford1> frame(original.vertex_count(),
-                               Clifford1::identity());
-  for (std::size_t i = lc_sequence.size(); i-- > 0;) {
-    // U_i^dag = sqrt(X) on v_i, S^dag on its recorded neighborhood; applied
-    // chronologically after the later (larger i) corrections.
-    frame[lc_sequence[i]] = frame[lc_sequence[i]].then(Clifford1::sqrt_x());
-    for (Vertex w : neighborhoods[i])
-      frame[w] = frame[w].then(Clifford1::sdg());
-  }
-  return frame;
-}
-
-}  // namespace
 
 FrameworkResult compile_framework(const Graph& target,
                                   const FrameworkConfig& cfg) {
-  EPG_REQUIRE(target.vertex_count() > 0, "empty target graph");
-  FrameworkResult result;
+  if (cfg.inner_threads == 0)
+    return run_pipeline(target, cfg, Executor::serial());
+  const Executor exec(cfg.inner_threads);
+  return run_pipeline(target, cfg, exec);
+}
 
-  // ---- emitter budget ------------------------------------------------------
-  result.ne_min = std::max<std::size_t>(
-      min_emitters_for_order(target, natural_order(target)), 1);
-  result.ne_limit =
-      cfg.ne_limit_override > 0
-          ? cfg.ne_limit_override
-          : static_cast<std::uint32_t>(std::max<double>(
-                1.0, std::ceil(cfg.ne_limit_factor *
-                               static_cast<double>(result.ne_min))));
-
-  // ---- 1. partition + LC ---------------------------------------------------
-  LcPartitionConfig pcfg = cfg.partition;
-  pcfg.seed ^= cfg.seed;
-  result.partition = search_lc_partition(target, pcfg);
-  const StemPlan plan = plan_stems(result.partition);
-  result.stem_count = plan.stem_edges.size();
-
-  // ---- 2. subgraph compilation ----------------------------------------------
-  SubgraphCompileConfig scfg = cfg.subgraph;
-  scfg.hw = cfg.hw;
-  std::vector<PartVariants> all_variants;
-  all_variants.reserve(plan.parts.size());
-  for (const PartPlan& part : plan.parts) {
-    all_variants.push_back(
-        compile_variants(part.spec, scfg, result.ne_limit));
-    result.subgraph_nodes += all_variants.back().nodes;
-  }
-
-  // ---- 3. recombination + scheduling ----------------------------------------
-  ScheduleConfig sched;
-  sched.ne_limit = result.ne_limit;
-  sched.hw = cfg.hw;
-  sched.alap_tetris = cfg.alap_tetris;
-
-  auto run_schedule = [&](const std::vector<PartVariants>& vars) {
-    std::vector<CompiledPart> parts;
-    parts.reserve(vars.size());
-    for (std::size_t p = 0; p < vars.size(); ++p)
-      parts.push_back(
-          {vars[p].variants[vars[p].chosen], plan.parts[p].to_global});
-    return schedule_parts(parts, plan.stem_edges, plan.part_of,
-                          plan.local_of, target.vertex_count(), sched);
-  };
-
-  GlobalSchedule best = run_schedule(all_variants);
-  // Deadlock ladder. Crossing dangler-host stem windows can form a
-  // precedence cycle that admits no placement; tighten the offending parts
-  // first to key-ordered windows (removes most cross-part cycles), then to
-  // anchor-only, which cannot deadlock.
-  const DanglerPolicy ladder[] = {DanglerPolicy::key_ordered(),
-                                  DanglerPolicy::anchors_only()};
-  std::vector<std::size_t> part_level(plan.parts.size(), 0);
-  for (std::size_t level = 0; level < std::size(ladder); ++level) {
-    std::size_t rounds = plan.parts.size() + 1;
-    while (best.deadlocked && rounds-- > 0) {
-      result.dangler_fallback = true;
-      std::vector<std::uint32_t> targets = best.deadlock_parts;
-      if (targets.empty())  // defensive: tighten everything at this level
-        for (std::uint32_t p = 0; p < plan.parts.size(); ++p)
-          targets.push_back(p);
-      bool tightened = false;
-      for (std::uint32_t p : targets) {
-        if (part_level[p] > level) continue;
-        part_level[p] = level + 1;
-        SubgraphCompileConfig tight = scfg;
-        tight.dangler = ladder[level];
-        all_variants[p] =
-            compile_variants(plan.parts[p].spec, tight, result.ne_limit);
-        result.subgraph_nodes += all_variants[p].nodes;
-        tightened = true;
-      }
-      if (!tightened) break;  // nothing left at this level: escalate
-      best = run_schedule(all_variants);
-    }
-    if (!best.deadlocked) break;
-  }
-  EPG_CHECK(!best.deadlocked, "anchor-only schedule cannot deadlock");
-  if (cfg.flexible_ne) {
-    // Full-utilization pass: longest parts first, try the roomier variants
-    // and keep any swap that shrinks the makespan within the cap.
-    std::vector<std::size_t> by_duration(all_variants.size());
-    for (std::size_t i = 0; i < by_duration.size(); ++i) by_duration[i] = i;
-    std::sort(by_duration.begin(), by_duration.end(),
-              [&](std::size_t a, std::size_t b) {
-                const auto dur = [&](std::size_t p) {
-                  const PartVariants& v = all_variants[p];
-                  return v.variants[v.chosen].stats.makespan_ticks;
-                };
-                return dur(a) > dur(b);
-              });
-    for (std::size_t p : by_duration) {
-      PartVariants& pv = all_variants[p];
-      const std::size_t original = pv.chosen;
-      for (std::size_t alt = 0; alt < pv.variants.size(); ++alt) {
-        if (alt == original) continue;
-        pv.chosen = alt;
-        const GlobalSchedule trial = run_schedule(all_variants);
-        // Accept only swaps that shorten the schedule without paying more
-        // ee-CZs — #CNOT stays the primary objective (paper Section IV.B).
-        if (!trial.deadlocked &&
-            trial.stats.ee_cnot_count <= best.stats.ee_cnot_count &&
-            trial.makespan < best.makespan &&
-            trial.limit_respected >= best.limit_respected) {
-          best = trial;
-          break;
-        }
-        pv.chosen = original;
-      }
-    }
-  }
-  result.schedule = std::move(best);
-
-  // ---- 4. LC output corrections ---------------------------------------------
-  const std::vector<Clifford1> frames =
-      lc_correction_frames(target, result.partition.lc_sequence);
-  for (Vertex v = 0; v < target.vertex_count(); ++v) {
-    if (frames[v].is_identity()) continue;
-    result.schedule.circuit.local(QubitId::photon(v), frames[v]);
-    result.schedule.gate_start.push_back(result.schedule.makespan);
-    result.schedule.gate_end.push_back(result.schedule.makespan);
-    ++result.schedule.stats.local_count;
-  }
-
-  // ---- 5. verification --------------------------------------------------------
-  if (cfg.verify_seeds > 0) {
-    const VerifyReport report = verify_generates(
-        result.schedule.circuit, target, cfg.verify_seeds, cfg.seed + 17);
-    EPG_CHECK(report.ok, "framework output failed verification: " +
-                             report.message);
-    result.verified = true;
-  }
-  return result;
+FrameworkResult compile_framework(const Graph& target,
+                                  const FrameworkConfig& cfg,
+                                  const Executor& exec) {
+  return run_pipeline(target, cfg, exec);
 }
 
 }  // namespace epg

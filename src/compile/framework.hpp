@@ -1,6 +1,7 @@
 // The full compilation framework (paper Fig. 6):
 //   1. partition the target graph state into subgraphs, co-optimizing a
-//      depth-limited local-complementation sequence (Section IV.A);
+//      depth-limited local-complementation sequence (Section IV.A) with a
+//      pluggable PartitionStrategy (beam | anneal | portfolio);
 //   2. compile every subgraph under flexible emitter limits
 //      ne in {ne_min, ne_min+1, ne_min+2} (Section IV.B);
 //   3. recombine: stem edges become anchor-anchor CZs, subcircuits are
@@ -10,12 +11,22 @@
 //   4. append the photon-local Cliffords that map the LC-transformed graph
 //      state back to the exact requested |G>;
 //   5. verify the result end-to-end on the stabilizer simulator.
+//
+// The stages run as an explicit pipeline (compile/pipeline.hpp). Intra-
+// compile parallelism — LC-candidate scoring in the partition search and
+// the per-part subgraph fan-out — goes through an Executor: serial by
+// default, a private pool when cfg.inner_threads > 0, or a pool the caller
+// already owns (the BatchCompiler shares its own). Metrics are
+// bit-identical at any thread count; see docs/architecture.md.
 #pragma once
+
+#include <string>
 
 #include "compile/scheduler.hpp"
 #include "compile/subgraph_compiler.hpp"
 #include "compile/verify.hpp"
 #include "partition/lc_partition_search.hpp"
+#include "runtime/executor.hpp"
 
 namespace epg {
 
@@ -30,6 +41,19 @@ struct FrameworkConfig {
   bool flexible_ne = true;   ///< ablation: flexible resource constraint
   int verify_seeds = 2;      ///< 0 disables the final verification
   std::uint64_t seed = 1;
+  /// Worker threads for the intra-compile executor when compile_framework
+  /// builds its own (0 = serial inner pipeline). Ignored by the overload
+  /// that takes an Executor. Never changes the compiled result as long as
+  /// the wall-clock search budgets don't bind (a binding anytime deadline
+  /// truncates at a lane-speed-dependent point, exactly as machine load
+  /// already does; lift the budgets for a hard guarantee).
+  std::size_t inner_threads = 0;
+};
+
+/// Wall time one pipeline stage took (diagnostic only).
+struct StageTiming {
+  std::string stage;
+  double ms = 0.0;
 };
 
 struct FrameworkResult {
@@ -43,11 +67,21 @@ struct FrameworkResult {
   /// the anchor-only mode (diagnostic; the output is still verified).
   bool dangler_fallback = false;
   bool verified = false;
+  std::string strategy;                 ///< partition strategy that ran
+  std::vector<StageTiming> stage_ms;    ///< per-stage wall time
 
   const CircuitStats& stats() const { return schedule.stats; }
 };
 
+/// Compile with an executor built from cfg.inner_threads (0 = serial).
 FrameworkResult compile_framework(const Graph& target,
                                   const FrameworkConfig& cfg);
+
+/// Compile on a caller-supplied executor — the sharing path: the batch
+/// runtime passes a view of its own pool so outer and inner fan-out draw
+/// from one set of workers and never oversubscribe.
+FrameworkResult compile_framework(const Graph& target,
+                                  const FrameworkConfig& cfg,
+                                  const Executor& exec);
 
 }  // namespace epg

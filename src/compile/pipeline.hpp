@@ -1,0 +1,74 @@
+// The staged compile pipeline behind compile_framework.
+//
+// Five stages run in order, each reading and extending one shared
+// PipelineContext:
+//
+//   PartitionStage   — emitter budget; dispatches the configured
+//                      PartitionStrategy; plans stems.
+//                      writes: result.{ne_min, ne_limit, partition,
+//                      stem_count, strategy}, ctx.plan
+//   SubgraphStage    — per-part flexible-ne variant compilation, fanned
+//                      across the executor (one part per index, reduced in
+//                      index order). writes: ctx.variants,
+//                      result.subgraph_nodes
+//   ScheduleStage    — Tetris recombination, dangler-deadlock ladder,
+//                      flexible-ne variant swaps. writes: result.schedule,
+//                      result.dangler_fallback
+//   CorrectionStage  — photon-local Cliffords undoing the LC sequence.
+//                      appends to result.schedule
+//   VerifyStage      — stabilizer end-to-end check (cfg.verify_seeds).
+//                      writes: result.verified
+//
+// Stage contract: a stage may only consume what earlier stages produced,
+// must be deterministic in (target, cfg) — executor lane count and task
+// scheduling never change its output, except through a *binding*
+// wall-clock budget, whose cooperative deadline truncates the anytime
+// searches at a lane-speed-dependent point (machine load already has the
+// same effect; lifted budgets give a hard guarantee) — and reports
+// failures by throwing
+// (EPG_CHECK/EPG_REQUIRE), which aborts the pipeline. run_pipeline records
+// per-stage wall time in result.stage_ms.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "compile/framework.hpp"
+#include "compile/stem.hpp"
+
+namespace epg {
+
+/// One subgraph compiled at every feasible flexible-ne variant, cheapest
+/// (fewest ee-CZs, then shortest) first as the scheduling default.
+struct PartVariants {
+  std::vector<SubgraphCircuit> variants;
+  std::size_t chosen = 0;
+  std::size_t nodes = 0;
+};
+
+struct PipelineContext {
+  const Graph& target;
+  const FrameworkConfig& cfg;
+  const Executor& exec;
+  FrameworkResult result;
+  StemPlan plan;
+  std::vector<PartVariants> variants;
+  SubgraphCompileConfig scfg;  ///< effective per-part config (hw applied)
+};
+
+class PipelineStage {
+ public:
+  virtual ~PipelineStage() = default;
+  virtual std::string_view name() const = 0;
+  virtual void run(PipelineContext& ctx) const = 0;
+};
+
+/// The five framework stages, in execution order.
+std::vector<std::unique_ptr<PipelineStage>> make_framework_pipeline();
+
+/// Run the staged pipeline on `exec`; equivalent to compile_framework.
+FrameworkResult run_pipeline(const Graph& target, const FrameworkConfig& cfg,
+                             const Executor& exec);
+
+}  // namespace epg

@@ -1,11 +1,7 @@
 #include "partition/lc_partition_search.hpp"
 
-#include <algorithm>
-#include <unordered_set>
-
 #include "common/assert.hpp"
-#include "common/stopwatch.hpp"
-#include "graph/local_complement.hpp"
+#include "partition/partition_strategy.hpp"
 #include "solver/partition_bnb.hpp"
 
 namespace epg {
@@ -15,8 +11,11 @@ std::size_t parts_needed(std::size_t n, std::size_t g_max) {
   return (n + g_max - 1) / g_max;
 }
 
-PartitionLabels solve_partition(const Graph& g, const LcPartitionConfig& cfg,
-                                int restarts, std::uint64_t seed) {
+}  // namespace
+
+PartitionLabels lc_partition_solve(const Graph& g,
+                                   const LcPartitionConfig& cfg,
+                                   int restarts, std::uint64_t seed) {
   const std::size_t k = parts_needed(g.vertex_count(), cfg.g_max);
   if (k <= 1) return PartitionLabels(g.vertex_count(), 0);
   if (cfg.exact_small && g.vertex_count() <= cfg.exact_vertex_limit) {
@@ -30,77 +29,36 @@ PartitionLabels solve_partition(const Graph& g, const LcPartitionConfig& cfg,
   return partition_min_cut(g, pc);
 }
 
-struct BeamEntry {
-  Graph graph;
-  std::vector<Vertex> lc_sequence;
-  std::size_t score = 0;  // quick-partition cut
-};
+std::size_t lc_partition_quick_cut(const Graph& g,
+                                   const LcPartitionConfig& cfg,
+                                   std::uint64_t seed) {
+  return cut_edge_count(
+      g, lc_partition_solve(g, cfg, cfg.quick_restarts, seed));
+}
 
-}  // namespace
+PartitionOutcome lc_partition_finalize(const Graph& original,
+                                       Graph best_graph,
+                                       std::vector<Vertex> lc_sequence,
+                                       const LcPartitionConfig& cfg) {
+  const std::uint64_t polish_seed = cfg.seed * 31 + 7;
+  PartitionOutcome lc_out = make_outcome(
+      best_graph, lc_sequence,
+      lc_partition_solve(best_graph, cfg, cfg.final_restarts, polish_seed));
+  if (lc_sequence.empty()) return lc_out;
+  PartitionOutcome id_out = make_outcome(
+      original, {},
+      lc_partition_solve(original, cfg, cfg.final_restarts, polish_seed));
+  return id_out.stem_edge_count <= lc_out.stem_edge_count ? id_out : lc_out;
+}
 
 PartitionOutcome search_lc_partition(const Graph& g,
                                      const LcPartitionConfig& cfg) {
   EPG_REQUIRE(cfg.g_max >= 1, "g_max must be positive");
-  Stopwatch clock;
-
-  auto quick_score = [&](const Graph& graph, std::uint64_t seed) {
-    return cut_edge_count(
-        graph, solve_partition(graph, cfg, cfg.quick_restarts, seed));
-  };
-
-  // Track the best candidate graph seen (by quick score); polish at the end.
-  BeamEntry best{g, {}, quick_score(g, cfg.seed)};
-  std::vector<BeamEntry> beam{best};
-  std::unordered_set<std::uint64_t> seen{g.fingerprint()};
-
-  for (std::size_t step = 0; step < cfg.max_lc_ops; ++step) {
-    if (clock.expired(cfg.time_budget_ms)) break;
-    std::vector<BeamEntry> candidates;
-    for (const BeamEntry& entry : beam) {
-      for (Vertex v = 0; v < entry.graph.vertex_count(); ++v) {
-        // LC at a vertex of degree < 2 is the identity on edges.
-        if (entry.graph.degree(v) < 2) continue;
-        if (!entry.lc_sequence.empty() && entry.lc_sequence.back() == v)
-          continue;  // immediate repeat cancels
-        Graph next = entry.graph;
-        local_complement(next, v);
-        if (!seen.insert(next.fingerprint()).second) continue;
-        BeamEntry cand;
-        cand.lc_sequence = entry.lc_sequence;
-        cand.lc_sequence.push_back(v);
-        cand.score =
-            quick_score(next, cfg.seed ^ (step * 1315423911ULL + v));
-        cand.graph = std::move(next);
-        candidates.push_back(std::move(cand));
-        if (clock.expired(cfg.time_budget_ms)) break;
-      }
-      if (clock.expired(cfg.time_budget_ms)) break;
-    }
-    if (candidates.empty()) break;
-    std::sort(candidates.begin(), candidates.end(),
-              [](const BeamEntry& a, const BeamEntry& b) {
-                if (a.score != b.score) return a.score < b.score;
-                return a.lc_sequence.size() < b.lc_sequence.size();
-              });
-    if (candidates.size() > cfg.beam_width)
-      candidates.resize(cfg.beam_width);
-    if (candidates.front().score < best.score) best = candidates.front();
-    beam = std::move(candidates);
-  }
-
-  // Polish the winner with the thorough partitioner. The quick score is a
-  // noisy proxy (fewer restarts), so polish the untransformed graph as well
-  // and keep the better outcome; ties prefer the identity, which needs no
-  // LC correction gates. LC therefore never loses to not using LC.
-  PartitionOutcome lc_out = make_outcome(
-      best.graph, best.lc_sequence,
-      solve_partition(best.graph, cfg, cfg.final_restarts,
-                      cfg.seed * 31 + 7));
-  if (best.lc_sequence.empty()) return lc_out;
-  PartitionOutcome id_out = make_outcome(
-      g, {},
-      solve_partition(g, cfg, cfg.final_restarts, cfg.seed * 31 + 7));
-  return id_out.stem_edge_count <= lc_out.stem_edge_count ? id_out : lc_out;
+  const PartitionStrategy* strategy =
+      find_partition_strategy(cfg.strategy);
+  EPG_REQUIRE(strategy != nullptr,
+              "unknown partition strategy '" + cfg.strategy + "'");
+  return strategy->run(g, cfg, Executor::serial());
 }
 
 }  // namespace epg

@@ -1,14 +1,22 @@
 // Depth-limited LC + partition co-search — the anytime substitute for the
 // paper's Gurobi MIP (Section IV.A).
 //
-// Beam search over local-complementation sequences of length <= l; each
+// The search explores local-complementation sequences of length <= l; each
 // candidate graph is scored by the min-cut of a (fast) balanced partition.
 // Small graphs are certified with exact branch-and-bound. Setting
 // max_lc_ops = 0 disables the LC transformation, which is the paper's
 // Fig. 11b ablation baseline.
+//
+// Which *engine* explores the LC space is pluggable (see
+// partition/partition_strategy.hpp): a beam search, a simulated-annealing
+// chain (solver/anneal.hpp), or a seed portfolio that races restarts of
+// both. `search_lc_partition` dispatches on `LcPartitionConfig::strategy`
+// with a serial executor; callers with a thread pool go through the
+// strategy interface directly.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "partition/partition_problem.hpp"
 #include "solver/partition_refine.hpp"
@@ -27,9 +35,39 @@ struct LcPartitionConfig {
   /// Use exact branch-and-bound when the graph is small enough.
   bool exact_small = true;
   std::size_t exact_vertex_limit = 13;
+  /// Registered PartitionStrategy name: "beam" | "anneal" | "portfolio"
+  /// (see partition/partition_strategy.hpp).
+  std::string strategy = "beam";
+  /// Simulated-annealing chain length ("anneal" and portfolio members).
+  int anneal_iterations = 1500;
+  /// Concurrent restarts the "portfolio" strategy races.
+  std::size_t portfolio_width = 4;
 };
 
 PartitionOutcome search_lc_partition(const Graph& g,
                                      const LcPartitionConfig& cfg);
+
+// ---- shared building blocks of every strategy ------------------------------
+
+/// Balanced min-cut partition with the search's solver stack: exact
+/// branch-and-bound on small graphs, multi-restart refinement otherwise.
+PartitionLabels lc_partition_solve(const Graph& g,
+                                   const LcPartitionConfig& cfg,
+                                   int restarts, std::uint64_t seed);
+
+/// Cut size of a quick (few-restart) partition — the noisy score every
+/// search ranks candidate LC-transformed graphs by.
+std::size_t lc_partition_quick_cut(const Graph& g,
+                                   const LcPartitionConfig& cfg,
+                                   std::uint64_t seed);
+
+/// Polish a search winner with the thorough partitioner and compare it
+/// against the untransformed graph polished the same way; ties prefer the
+/// identity, which needs no LC correction gates. LC therefore never loses
+/// to not using LC, whichever strategy produced `best_graph`.
+PartitionOutcome lc_partition_finalize(const Graph& original,
+                                       Graph best_graph,
+                                       std::vector<Vertex> lc_sequence,
+                                       const LcPartitionConfig& cfg);
 
 }  // namespace epg

@@ -1,0 +1,269 @@
+#include "partition/partition_strategy.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <tuple>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "common/stopwatch.hpp"
+#include "graph/local_complement.hpp"
+#include "solver/anneal.hpp"
+
+namespace epg {
+namespace {
+
+/// splitmix64-style mix: one derived, statistically independent seed per
+/// (search position, candidate) pair, so parallel scoring draws the same
+/// stream a serial loop would.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t a,
+                          std::uint64_t b) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (a * 1315423911ULL + b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Search-state dedup keyed on (fingerprint, edge count, labelled degree-
+/// sequence hash): a candidate is discarded only when all three match a
+/// seen graph, so a 64-bit Graph::fingerprint() collision alone can never
+/// silently prune a genuinely new candidate — while memory stays at a few
+/// words per candidate instead of retaining full graph copies across the
+/// whole search.
+class GraphSeenSet {
+ public:
+  /// True when `g` is new; false when a matching graph was seen before.
+  bool insert(const Graph& g) {
+    std::vector<Confirm>& bucket = buckets_[g.fingerprint()];
+    const Confirm key{g.edge_count(), degree_sequence_hash(g)};
+    for (const Confirm& existing : bucket)
+      if (existing == key) return false;
+    bucket.push_back(key);
+    return true;
+  }
+
+ private:
+  using Confirm = std::pair<std::size_t, std::uint64_t>;
+
+  static std::uint64_t degree_sequence_hash(const Graph& g) {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      h ^= g.degree(v) + 0x100;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+  std::unordered_map<std::uint64_t, std::vector<Confirm>> buckets_;
+};
+
+// ---- beam ------------------------------------------------------------------
+
+class BeamStrategy final : public PartitionStrategy {
+ public:
+  std::string_view name() const override { return "beam"; }
+
+  PartitionOutcome run(const Graph& g, const LcPartitionConfig& cfg,
+                       const Executor& exec) const override {
+    EPG_REQUIRE(cfg.g_max >= 1, "g_max must be positive");
+    Stopwatch clock;
+
+    struct Entry {
+      Graph graph;
+      std::vector<Vertex> lc_sequence;
+      std::uint64_t seed = 0;
+      std::size_t score = 0;
+    };
+
+    Entry best{g, {}, 0, lc_partition_quick_cut(g, cfg, cfg.seed)};
+    std::vector<Entry> beam;
+    beam.push_back(best);
+    GraphSeenSet seen;
+    seen.insert(g);
+
+    for (std::size_t step = 0; step < cfg.max_lc_ops; ++step) {
+      // Cooperative deadlines: checked between steps, between beam
+      // entries while expanding, and between scoring chunks — the anytime
+      // property survives, overshoot is bounded by one chunk, and at any
+      // truncation point the work done is still a pure function of
+      // (g, cfg): lane count only changes how fast a chunk finishes,
+      // never what it computes.
+      if (clock.expired(cfg.time_budget_ms)) break;
+
+      // 1. Expand serially in fixed (entry, vertex) order — graph copies
+      //    are cheap next to scoring, and determinism needs a fixed
+      //    candidate list before the parallel phase.
+      std::vector<Entry> candidates;
+      for (const Entry& entry : beam) {
+        if (clock.expired(cfg.time_budget_ms)) break;
+        for (Vertex v = 0; v < entry.graph.vertex_count(); ++v) {
+          // LC at a vertex of degree < 2 is the identity on edges.
+          if (entry.graph.degree(v) < 2) continue;
+          if (!entry.lc_sequence.empty() && entry.lc_sequence.back() == v)
+            continue;  // immediate repeat cancels
+          Graph next = entry.graph;
+          local_complement(next, v);
+          if (!seen.insert(next)) continue;
+          Entry cand;
+          cand.lc_sequence = entry.lc_sequence;
+          cand.lc_sequence.push_back(v);
+          cand.seed = derive_seed(cfg.seed, step, v);
+          cand.graph = std::move(next);
+          candidates.push_back(std::move(cand));
+        }
+      }
+      if (candidates.empty()) break;
+
+      // 2. Quick-score in parallel, a fixed-size chunk per barrier: every
+      //    index owns its slot and its derived seed, so scores are
+      //    lane-count independent; an expired deadline drops the unscored
+      //    tail (anytime truncation at a chunk boundary).
+      constexpr std::size_t kScoreChunk = 16;
+      std::size_t scored = 0;
+      while (scored < candidates.size()) {
+        const std::size_t chunk_end =
+            std::min(scored + kScoreChunk, candidates.size());
+        exec.parallel_for(chunk_end - scored, [&](std::size_t i) {
+          Entry& cand = candidates[scored + i];
+          cand.score = lc_partition_quick_cut(cand.graph, cfg, cand.seed);
+        });
+        scored = chunk_end;
+        if (scored < candidates.size() &&
+            clock.expired(cfg.time_budget_ms)) {
+          candidates.resize(scored);
+          break;
+        }
+      }
+
+      // 3. Deterministic selection: total order with a generation-index
+      //    tie-break, so equal-score candidates never reorder.
+      std::vector<std::size_t> order(candidates.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return std::make_tuple(candidates[a].score,
+                                         candidates[a].lc_sequence.size(),
+                                         a) <
+                         std::make_tuple(candidates[b].score,
+                                         candidates[b].lc_sequence.size(),
+                                         b);
+                });
+      const std::size_t keep =
+          std::min<std::size_t>(cfg.beam_width, order.size());
+      std::vector<Entry> next_beam;
+      next_beam.reserve(keep);
+      for (std::size_t k = 0; k < keep; ++k)
+        next_beam.push_back(std::move(candidates[order[k]]));
+      if (next_beam.front().score < best.score) best = next_beam.front();
+      beam = std::move(next_beam);
+    }
+
+    return lc_partition_finalize(g, std::move(best.graph),
+                                 std::move(best.lc_sequence), cfg);
+  }
+};
+
+// ---- anneal ----------------------------------------------------------------
+
+class AnnealStrategy final : public PartitionStrategy {
+ public:
+  std::string_view name() const override { return "anneal"; }
+
+  PartitionOutcome run(const Graph& g, const LcPartitionConfig& cfg,
+                       const Executor& exec) const override {
+    EPG_REQUIRE(cfg.g_max >= 1, "g_max must be positive");
+    return search_lc_partition_anneal(g, cfg, exec);
+  }
+};
+
+// ---- portfolio -------------------------------------------------------------
+
+class PortfolioStrategy final : public PartitionStrategy {
+ public:
+  std::string_view name() const override { return "portfolio"; }
+
+  PartitionOutcome run(const Graph& g, const LcPartitionConfig& cfg,
+                       const Executor& exec) const override {
+    EPG_REQUIRE(cfg.g_max >= 1, "g_max must be positive");
+    const std::size_t width = std::max<std::size_t>(1, cfg.portfolio_width);
+    const PartitionStrategy* beam = find_partition_strategy("beam");
+    const PartitionStrategy* anneal = find_partition_strategy("anneal");
+    EPG_CHECK(beam != nullptr && anneal != nullptr,
+              "built-in strategies missing from the registry");
+
+    // Race restarts: slots 0/1 are the plain beam and anneal runs at the
+    // caller's seed (the portfolio can only improve on either), slots >= 2
+    // re-seed. Members run serial chains — the racing itself is the
+    // parallelism, and each member stays deterministic on its own.
+    std::vector<PartitionOutcome> outcomes(width);
+    exec.parallel_for(width, [&](std::size_t slot) {
+      LcPartitionConfig member = cfg;
+      if (slot >= 2)
+        member.seed = derive_seed(cfg.seed, 0x5EEDF0110ULL, slot);
+      const PartitionStrategy* engine = slot % 2 == 0 ? beam : anneal;
+      outcomes[slot] = engine->run(g, member, Executor::serial());
+    });
+
+    // Deterministic reduction: best cut, then fewest LC corrections, then
+    // the lowest slot index — independent of completion order.
+    std::size_t winner = 0;
+    for (std::size_t slot = 1; slot < width; ++slot) {
+      const auto key = [&](std::size_t s) {
+        return std::make_tuple(outcomes[s].stem_edge_count,
+                               outcomes[s].lc_sequence.size(), s);
+      };
+      if (key(slot) < key(winner)) winner = slot;
+    }
+    return std::move(outcomes[winner]);
+  }
+};
+
+// ---- registry --------------------------------------------------------------
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<PartitionStrategy>, std::less<>>
+      by_name;
+};
+
+Registry& registry() {
+  static Registry* instance = [] {
+    auto* r = new Registry;
+    r->by_name.emplace("beam", std::make_unique<BeamStrategy>());
+    r->by_name.emplace("anneal", std::make_unique<AnnealStrategy>());
+    r->by_name.emplace("portfolio", std::make_unique<PortfolioStrategy>());
+    return r;
+  }();
+  return *instance;
+}
+
+}  // namespace
+
+const PartitionStrategy* find_partition_strategy(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.by_name.find(name);
+  return it == r.by_name.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> partition_strategy_names() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.by_name.size());
+  for (const auto& [name, strategy] : r.by_name) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+void register_partition_strategy(std::unique_ptr<PartitionStrategy> s) {
+  EPG_REQUIRE(s != nullptr, "null strategy");
+  const std::string name(s->name());
+  EPG_REQUIRE(!name.empty(), "strategy needs a name");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.by_name[name] = std::move(s);
+}
+
+}  // namespace epg

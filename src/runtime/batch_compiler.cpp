@@ -40,6 +40,11 @@ std::uint64_t config_fingerprint(const FrameworkConfig& cfg) {
   h.mix(static_cast<std::uint64_t>(cfg.partition.final_restarts));
   h.mix(static_cast<std::uint64_t>(cfg.partition.exact_small));
   h.mix(static_cast<std::uint64_t>(cfg.partition.exact_vertex_limit));
+  h.mix(cfg.partition.strategy);
+  h.mix(static_cast<std::uint64_t>(cfg.partition.anneal_iterations));
+  h.mix(static_cast<std::uint64_t>(cfg.partition.portfolio_width));
+  // cfg.inner_threads is deliberately NOT mixed: inner lane count never
+  // changes the compiled result, so it must not split the cache.
   h.mix(static_cast<std::uint64_t>(cfg.subgraph.ne_limit));
   h.mix(static_cast<std::uint64_t>(cfg.subgraph.node_budget));
   h.mix(static_cast<std::uint64_t>(cfg.subgraph.max_lc_ops));
@@ -127,7 +132,7 @@ std::size_t BatchCompiler::cache_size() const {
 
 void BatchCompiler::clear_cache() { cache_.clear(); }
 
-JobResult BatchCompiler::compile_one(const CompileJob& job) const {
+JobResult BatchCompiler::compile_one(const CompileJob& job) {
   JobResult r;
   r.label = job.label;
   r.kind = job.kind;
@@ -141,8 +146,15 @@ JobResult BatchCompiler::compile_one(const CompileJob& job) const {
         cfg.partition.time_budget_ms = kUnboundedBudgetMs;
         cfg.subgraph.time_budget_ms = kUnboundedBudgetMs;
       }
+      // Inner pipeline stages fan out on the batch's own pool (capped at
+      // inner_threads extra lanes), so outer and inner parallelism share
+      // one set of workers and never oversubscribe. Inner lanes never
+      // change results, so cached entries stay valid across lane counts.
+      const Executor shared_pool(pool_, cfg_.inner_threads + 1);
+      const Executor& inner =
+          cfg_.inner_threads == 0 ? Executor::serial() : shared_pool;
       auto result = std::make_shared<FrameworkResult>(
-          compile_framework(job.graph, cfg));
+          compile_framework(job.graph, cfg, inner));
       r.stats = result->stats();
       r.ne_min = result->ne_min;
       r.ne_limit = result->ne_limit;

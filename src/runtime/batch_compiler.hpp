@@ -77,6 +77,15 @@ struct JobResult {
 struct BatchConfig {
   /// Worker threads; 0 = hardware concurrency.
   std::size_t threads = 0;
+  /// Intra-compile (pipeline) worker lanes per job, drawn from the SAME
+  /// batch pool — sharing one pool is what keeps nested parallelism free
+  /// of oversubscription. 0 = each job runs its inner pipeline serially
+  /// (a batch wider than the pool saturates it anyway); N caps a job's
+  /// inner fan-out at N extra lanes. Never changes compiled results when
+  /// wall-clock budgets don't bind (lane count can only shift where a
+  /// binding anytime deadline truncates — `deterministic` removes that
+  /// too, as it already does for machine load).
+  std::size_t inner_threads = 0;
   bool use_cache = true;
   /// Retain the full FrameworkResult/BaselineResult per job (needed by
   /// consumers that sample the circuits, e.g. the noise benches).
@@ -140,7 +149,7 @@ class BatchCompiler {
     JobResult result;
   };
 
-  JobResult compile_one(const CompileJob& job) const;
+  JobResult compile_one(const CompileJob& job);
   const CacheEntry* find_cached(std::uint64_t key, const CompileJob& job,
                                 std::uint64_t config_hash) const;
 

@@ -1,0 +1,48 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+
+namespace epg {
+
+Executor::Executor(ThreadPool& pool, std::size_t max_lanes)
+    : pool_(&pool), max_lanes_(max_lanes) {}
+
+Executor::Executor(std::size_t threads)
+    : owned_(threads > 0 ? std::make_unique<ThreadPool>(threads) : nullptr),
+      pool_(owned_.get()) {}
+
+std::size_t Executor::parallelism() const {
+  if (pool_ == nullptr) return 1;
+  const std::size_t full = pool_->thread_count() + 1;
+  return max_lanes_ == 0 ? full : std::min(full, std::max<std::size_t>(
+                                                     max_lanes_, 1));
+}
+
+void Executor::parallel_for(
+    std::size_t count, const std::function<void(std::size_t)>& fn) const {
+  const std::size_t lanes = std::min(parallelism(), count);
+  if (lanes <= 1 || pool_ == nullptr) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  if (lanes == pool_->thread_count() + 1) {
+    pool_->parallel_for(count, fn);
+    return;
+  }
+  // Capped fan-out on a wider shared pool: split the index space into
+  // `lanes` contiguous chunks so at most that many lanes run at once.
+  // Chunks are claimed atomically by the pool, each index still runs
+  // exactly once.
+  pool_->parallel_for(lanes, [&](std::size_t lane) {
+    const std::size_t begin = lane * count / lanes;
+    const std::size_t end = (lane + 1) * count / lanes;
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+const Executor& Executor::serial() {
+  static const Executor instance;
+  return instance;
+}
+
+}  // namespace epg

@@ -1,6 +1,13 @@
-// Generic simulated-annealing driver, the second MIP-substitute engine.
-// Used by the LC/partition co-search when the beam search stalls; kept
-// generic so ablation benches can plug alternative objectives.
+// Simulated annealing, the second MIP-substitute engine (Section IV.A).
+//
+// Two layers: a generic driver (`anneal<S>`) that ablation benches can
+// plug alternative objectives into, and the concrete LC/partition
+// co-search chain behind the "anneal" PartitionStrategy —
+// `search_lc_partition_anneal` walks the space of local-complementation
+// sequences with append / pop / replace moves, scoring each visited graph
+// by its quick balanced-partition cut. Local complementation is an
+// involution, so every move (and every rejection) is undone in O(deg^2)
+// without recomputing the graph from scratch.
 #pragma once
 
 #include <cmath>
@@ -8,6 +15,8 @@
 #include <utility>
 
 #include "common/rng.hpp"
+#include "partition/lc_partition_search.hpp"
+#include "runtime/executor.hpp"
 
 namespace epg {
 
@@ -19,6 +28,19 @@ struct AnnealSchedule {
 
 /// Probability of accepting a move with energy delta at temperature t.
 double anneal_acceptance(double delta, double temperature);
+
+/// LC + partition co-search by simulated annealing: a single deterministic
+/// chain of cfg.anneal_iterations moves seeded by cfg.seed, truncated at
+/// cooperative per-iteration deadline checks when cfg.time_budget_ms
+/// binds. The winner is polished and compared against the untransformed
+/// graph exactly like the beam search (lc_partition_finalize), so the
+/// anneal engine also never loses to not using LC. The chain itself is
+/// inherently sequential; `exec` is accepted for interface symmetry and
+/// future multi-chain variants (the portfolio strategy races whole chains
+/// instead).
+PartitionOutcome search_lc_partition_anneal(const Graph& g,
+                                            const LcPartitionConfig& cfg,
+                                            const Executor& exec);
 
 /// Minimizes `energy` over states of type S. `neighbor` proposes a mutated
 /// copy. Returns the best state seen.
