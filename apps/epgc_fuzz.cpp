@@ -1,0 +1,148 @@
+// epgc-fuzz: differential fuzzing driver.
+//
+// Mutates generator-family (and golden-corpus) graphs, compiles every
+// mutant through all registered partition strategies plus the baseline
+// compiler on the batch runtime, and cross-checks the results with the
+// differential oracle. Violations are minimized by the ddmin shrinker and
+// persisted as JSON crash reports plus corpus entries, so they replay
+// forever via `--replay` and tests/test_fuzz_corpus.
+#include <iostream>
+#include <sstream>
+
+#include "cli_common.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "io/graph_io.hpp"
+#include "partition/partition_strategy.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: epgc_fuzz [options]
+       epgc_fuzz --replay FILE
+
+Differential fuzzing of the graph-state compilers: random mutants are
+compiled through every partition strategy plus the baseline and
+cross-checked (stabilizer replay, LC-sequence replay on GraphSim, metric
+recounts, emitter caps). Exit code 0 = no violations, 1 = violations.
+
+budgets:
+  --time-budget-s X       wall budget for the mutation loop (default 60)
+  --mutants N             stop after N mutants (default: time budget only)
+  --mutations N           catalog moves per mutant (default 3)
+  --max-vertices N        mutant size cap (default 28)
+  --seed N                master seed; the whole run replays from it
+
+oracle:
+  --strategies a,b,c      partition strategies to race (default: all)
+  --no-baseline           skip the Li/GraphiQ-class baseline leg
+  --gmax N                subgraph size cap handed to the framework (default 6)
+  --lc N                  LC budget for the partition search (default 6)
+  --verify-seeds N        independent stabilizer replay seeds (default 1)
+
+output:
+  --corpus DIR            golden corpus: extra seeds in, minimized repros out
+  --report-dir DIR        JSON crash reports (default: none)
+  --no-shrink             keep violating mutants unminimized
+  --threads N             batch workers (default: hardware)
+  --quiet                 suppress per-round progress
+
+replay:
+  --replay FILE           run the oracle once on a saved graph/corpus entry
+)";
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+epg::fuzz::OracleConfig oracle_from_args(const epg::cli::Args& args) {
+  // The defaults are shared with test_fuzz_corpus, so corpus entries
+  // found here replay under the identical configuration.
+  epg::fuzz::OracleConfig oracle = epg::fuzz::default_oracle_config();
+  oracle.base.partition.g_max =
+      args.get_u64("gmax", oracle.base.partition.g_max);
+  oracle.base.partition.max_lc_ops =
+      args.get_u64("lc", oracle.base.partition.max_lc_ops);
+  oracle.verify_seeds = static_cast<int>(
+      args.get_u64("verify-seeds", oracle.verify_seeds));
+  oracle.include_baseline = !args.has("no-baseline");
+  if (args.has("strategies")) {
+    oracle.strategies = split_csv(args.get("strategies", ""));
+    for (const std::string& s : oracle.strategies)
+      if (epg::find_partition_strategy(s) == nullptr)
+        args.fail("unknown partition strategy '" + s + "'");
+  }
+  return oracle;
+}
+
+int replay(const epg::cli::Args& args) {
+  const std::string path = args.get("replay", "");
+  epg::Graph g(0);
+  try {
+    g = epg::load_graph_file(path);
+  } catch (const std::exception& e) {
+    args.fail(e.what());
+  }
+  const epg::fuzz::OracleConfig oracle = oracle_from_args(args);
+  std::cout << "replaying " << path << ": " << g.vertex_count()
+            << " vertices, " << g.edge_count() << " edges\n";
+  const epg::fuzz::OracleReport report = epg::fuzz::run_oracle(g, oracle);
+  if (report.ok()) {
+    std::cout << "oracle: clean (" << report.compiles << " compiler legs)\n";
+    return 0;
+  }
+  std::cout << "oracle: " << report.violations.size() << " violation(s), "
+            << "signature " << report.signature() << '\n';
+  for (const auto& v : report.violations)
+    std::cout << "  [" << v.check << "] " << v.compiler << ": " << v.message
+              << '\n';
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace epg;
+  cli::Args args(argc, argv, {"no-baseline", "no-shrink", "quiet"}, kUsage);
+  if (!args.positional().empty()) args.fail("epgc_fuzz takes no positionals");
+  if (args.has("replay")) return replay(args);
+
+  fuzz::FuzzConfig cfg;
+  cfg.seed = args.get_u64("seed", 1);
+  cfg.time_budget_s = args.get_double("time-budget-s", 60.0);
+  cfg.max_mutants = args.get_u64("mutants", 0);
+  cfg.mutations = args.get_u64("mutations", 3);
+  cfg.max_vertices = args.get_u64("max-vertices", 28);
+  cfg.oracle = oracle_from_args(args);
+  cfg.shrink = !args.has("no-shrink");
+  cfg.corpus_dir = args.get("corpus", "");
+  cfg.report_dir = args.get("report-dir", "");
+  cfg.batch.threads = args.get_u64("threads", 0);
+
+  std::ostream* log = args.has("quiet") ? nullptr : &std::cout;
+  if (log) {
+    *log << "epgc_fuzz: seed " << cfg.seed << ", budget "
+         << cfg.time_budget_s << "s, strategies";
+    for (const std::string& s : fuzz::oracle_strategies(cfg.oracle))
+      *log << ' ' << s;
+    if (cfg.oracle.include_baseline) *log << " baseline";
+    *log << '\n';
+  }
+
+  const fuzz::FuzzOutcome outcome = fuzz::run_fuzzer(cfg, log);
+  std::cout << "fuzzed " << outcome.stats.mutants << " mutants ("
+            << outcome.stats.compiles << " compiler legs, "
+            << outcome.stats.seeds << " seeds) in "
+            << static_cast<int>(outcome.stats.elapsed_s) << "s: "
+            << outcome.crashes.size() << " violation(s)\n";
+  for (const auto& crash : outcome.crashes) {
+    std::cout << "  " << crash.report.signature() << " minimized to "
+              << crash.minimized.vertex_count() << " vertices";
+    if (!crash.json_path.empty()) std::cout << " -> " << crash.json_path;
+    std::cout << '\n';
+  }
+  return outcome.ok() ? 0 : 1;
+}

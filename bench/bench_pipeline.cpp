@@ -17,6 +17,7 @@
 #include <sstream>
 
 #include "bench_common.hpp"
+#include "common/json.hpp"
 #include "common/stopwatch.hpp"
 #include "partition/partition_strategy.hpp"
 
@@ -50,16 +51,6 @@ FrameworkConfig bench_config(std::uint64_t seed) {
   cfg.partition.max_lc_ops = 8;
   cfg.verify_seeds = 1;
   return cfg;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s)
-    if (c == '"' || c == '\\')
-      (out += '\\') += c;
-    else
-      out += c;
-  return out;
 }
 
 void write_json(std::ostream& os, const std::vector<Cell>& cells,

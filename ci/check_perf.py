@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over bench_pipeline JSON.
+
+Compares a fresh bench_pipeline run against the checked-in
+bench/baseline.json:
+
+  * compiled metrics (ee-CNOTs, makespan, emitters, stems, verified) must
+    match the baseline EXACTLY — they are deterministic functions of
+    (instance, strategy), so any drift is a compiler-behavior regression;
+  * per-cell wall latency may regress by at most --max-regress (default
+    15%) *after normalizing out the host speed*: each cell's
+    current/baseline ratio is divided by the geometric mean of the OTHER
+    cells in its serial/parallel group — per group, because a runner with
+    more cores than the baseline host speeds up only the parallel legs;
+    leave-one-out, so a genuinely regressing cell does not dilute its own
+    reference. A uniformly faster or slower runner (the baseline is
+    checked in, CI VMs vary) cancels, while one code path regressing
+    relative to its peers stands out on any host. An absolute noise floor
+    (--floor-ms) keeps micro-cells from tripping the gate on scheduler
+    jitter, and a global-slowdown advisory is printed (not gated — on
+    shared CI it cannot be told apart from a slow VM; the per-cell metric
+    equality and the normalized gate carry the enforcement).
+
+Cells are keyed by (instance, strategy, serial|parallel): the parallel leg
+uses the machine's hardware lane count, which differs across hosts, so the
+raw inner_threads value is normalized out of the key.
+
+Refresh the baseline with one command after an intentional perf change:
+
+    ./ci/refresh_perf_baseline.sh
+
+Exit code: 0 clean, 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+METRICS = ("ee_cnot", "makespan_ticks", "emitters", "stems", "verified")
+
+
+def load_cells(path):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    cells = {}
+    for cell in doc.get("results", []):
+        key = (
+            cell["instance"],
+            cell["strategy"],
+            "serial" if cell["inner_threads"] == 0 else "parallel",
+        )
+        if key in cells:
+            print(f"error: duplicate cell {key} in {path}", file=sys.stderr)
+            sys.exit(2)
+        cells[key] = cell
+    if not cells:
+        print(f"error: {path} holds no result cells", file=sys.stderr)
+        sys.exit(2)
+    return cells
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="checked-in bench/baseline.json")
+    parser.add_argument("current", help="fresh bench_pipeline --json output")
+    parser.add_argument("--max-regress", type=float, default=0.15,
+                        help="allowed fractional latency growth (default .15)")
+    parser.add_argument("--floor-ms", type=float, default=20.0,
+                        help="ignore latency growth below this absolute "
+                             "delta (default 20ms)")
+    args = parser.parse_args()
+
+    baseline = load_cells(args.baseline)
+    current = load_cells(args.current)
+
+    failures = []
+    cells = []
+    for key, base in sorted(baseline.items()):
+        cur = current.get(key)
+        label = "/".join(key)
+        if cur is None:
+            failures.append(f"{label}: cell missing from current run")
+            continue
+        for metric in METRICS:
+            if base[metric] != cur[metric]:
+                failures.append(
+                    f"{label}: {metric} changed {base[metric]} -> "
+                    f"{cur[metric]} (deterministic metric regression)")
+        cells.append((label, key[2], base["wall_ms"], cur["wall_ms"]))
+    for key in sorted(current.keys() - baseline.keys()):
+        print(f"note: new cell {'/'.join(key)} has no baseline "
+              "(refresh to start tracking it)")
+
+    def geomean(values):
+        return math.exp(sum(math.log(max(v, 1e-9)) for v in values)
+                        / len(values)) if values else 1.0
+
+    # Host-speed factors per serial/parallel group (a runner with more
+    # cores than the baseline host speeds up only the parallel legs), and
+    # leave-one-out per cell so a regressing cell cannot dilute its own
+    # reference.
+    ratio_of = lambda base_ms, cur_ms: (cur_ms / base_ms
+                                        if base_ms > 0 else 1.0)
+    groups = {}
+    for _, mode, base_ms, cur_ms in cells:
+        groups.setdefault(mode, []).append(ratio_of(base_ms, cur_ms))
+    for mode, ratios in sorted(groups.items()):
+        print(f"host speed factor ({mode}, geomean cur/base): "
+              f"{geomean(ratios):.2f}x")
+
+    print(f"{'cell':<40} {'base ms':>9} {'cur ms':>9} {'norm':>7}")
+    for label, mode, base_ms, cur_ms in cells:
+        raw = ratio_of(base_ms, cur_ms)
+        peers = list(groups[mode])
+        peers.remove(raw)  # leave-one-out (falls back to 1.0 if alone)
+        speed = geomean(peers)
+        norm = raw / speed
+        slow = (cur_ms - base_ms * speed > args.floor_ms
+                and norm > 1.0 + args.max_regress)
+        flag = "  << REGRESSION" if slow else ""
+        print(f"{label:<40} {base_ms:>9.1f} {cur_ms:>9.1f} "
+              f"{norm:>6.2f}x{flag}")
+        if slow:
+            failures.append(
+                f"{label}: latency {base_ms:.1f}ms -> {cur_ms:.1f}ms, "
+                f"{(norm - 1) * 100:+.1f}% after removing the {speed:.2f}x "
+                f"host factor of its {mode} peers "
+                f"(gate {args.max_regress * 100:.0f}%)")
+    overall = geomean([ratio_of(b, c) for _, _, b, c in cells])
+    if overall > 1.0 + args.max_regress:
+        print(f"note: this run is uniformly {overall:.2f}x the baseline — "
+              "a slower VM or an across-the-board slowdown; compare the "
+              "uploaded bench JSON against the previous run's artifact "
+              "if the latter is suspected")
+
+    if failures:
+        print(f"\nperf gate FAILED ({len(failures)} issue(s)):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print("\nIf the change is intentional, refresh with: "
+              "./ci/refresh_perf_baseline.sh", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed: {len(cells)} cells within "
+          f"{args.max_regress * 100:.0f}% of baseline "
+          "(host speed normalized)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# One-command refresh of the perf-gate baseline (bench/baseline.json).
+#
+# Run after an intentional performance or metrics change, from the repo
+# root, with a Release build in ./build. Commit the regenerated JSON
+# together with the change that motivated it — the CI perf gate
+# (ci/check_perf.py) compares every future run against this file.
+set -eu
+cd "$(dirname "$0")/.."
+if [ ! -x build/bench_pipeline ]; then
+  echo "build/bench_pipeline missing: cmake -B build -S . && cmake --build build -j" >&2
+  exit 2
+fi
+# Same cells and reps as the CI gate: quick instances, best-of-5 so the
+# recorded latency is a stable per-machine floor, not a noisy single shot.
+./build/bench_pipeline --quick --reps 5 --json bench/baseline.json
+echo "bench/baseline.json refreshed; commit it with your change."

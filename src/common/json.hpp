@@ -1,0 +1,37 @@
+// Minimal JSON string escaping, shared by every hand-rolled JSON writer
+// (crash reports, bench output). Escapes the two mandatory characters and
+// ALL control bytes < 0x20 — oracle violation messages embed arbitrary
+// exception text, including raw bytes quoted back from malformed input,
+// and an artifact that strict parsers reject is worthless.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace epg {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace epg

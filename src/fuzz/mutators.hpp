@@ -1,0 +1,75 @@
+// Composable graph mutators — the input half of the differential fuzzer.
+//
+// A mutant starts from a seed graph (one of the generator families, or a
+// corpus entry) and applies a short random sequence of structure-changing
+// moves: edge flips, local complementations at random vertices, vertex
+// insertion/deletion, and crossover splices that graft a slice of a fresh
+// generator-family graph onto the current mutant. Every move is recorded,
+// so a crash report can say exactly how a violating graph was derived, and
+// the whole derivation is a pure function of (seed graph, rng seed).
+//
+// Mutants are kept inside the compilers' supported envelope: connected,
+// at least 3 vertices, and no larger than `max_vertices` (moves that would
+// leave the envelope repair the graph or are skipped). The *oracle* treats
+// each mutant as its own compilation target, so a mutator is free to
+// change the state the graph represents — only graph validity matters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace epg::fuzz {
+
+/// One applied mutation, for crash-report provenance.
+struct MutationRecord {
+  std::string op;      ///< mutator name
+  std::string detail;  ///< human-readable operands ("flip 3-7", "lc @5", …)
+};
+
+class Mutator {
+ public:
+  virtual ~Mutator() = default;
+  virtual std::string_view name() const = 0;
+  /// Mutate `g` in place. Returns false when the move does not apply to
+  /// this graph (caller picks another mutator); on success `detail` is
+  /// filled with the operands. `max_vertices` caps growth moves.
+  virtual bool apply(Graph& g, Rng& rng, std::size_t max_vertices,
+                     std::string* detail) const = 0;
+};
+
+/// The built-in mutator catalog (static storage, stable order):
+/// edge_flip, lc_move, vertex_add, vertex_delete, crossover.
+const std::vector<const Mutator*>& mutator_catalog();
+
+/// Seed families drawn from graph/generators (lattice, balanced tree,
+/// random tree, waxman, erdos_renyi, ring, star, repeater, linear).
+std::size_t seed_family_count();
+std::string seed_family_name(std::size_t family);
+/// A representative of `family`, sized by `size_class` (0 = smallest) and
+/// label-shuffled by `seed`. Always connected with >= 3 vertices.
+Graph make_seed_graph(std::size_t family, std::size_t size_class,
+                      std::uint64_t seed);
+
+/// A mutant plus its provenance.
+struct MutantSpec {
+  Graph graph;
+  std::string origin;                  ///< seed description
+  std::vector<MutationRecord> trace;   ///< moves applied, in order
+};
+
+/// Apply `mutations` random catalog moves to `base`. Connectivity is
+/// repaired after every move (bridge edges between components, recorded in
+/// the trace), so the result is always a valid compilation target.
+MutantSpec make_mutant(const Graph& base, std::string origin,
+                       std::size_t mutations, std::size_t max_vertices,
+                       Rng& rng);
+
+/// Join disconnected components with random bridge edges; returns the
+/// number of edges added (0 when already connected).
+std::size_t reconnect(Graph& g, Rng& rng);
+
+}  // namespace epg::fuzz

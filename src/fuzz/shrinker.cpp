@@ -1,0 +1,97 @@
+#include "fuzz/shrinker.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/assert.hpp"
+
+namespace epg::fuzz {
+namespace {
+
+/// The induced subgraph with vertices [start, start+len) removed.
+Graph drop_range(const Graph& g, std::size_t start, std::size_t len) {
+  std::vector<Vertex> keep;
+  keep.reserve(g.vertex_count() - len);
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    if (v < start || v >= start + len) keep.push_back(v);
+  return g.induced(keep);
+}
+
+}  // namespace
+
+ShrinkResult shrink_graph(const Graph& g,
+                          const std::function<bool(const Graph&)>& still_fails,
+                          const ShrinkConfig& cfg) {
+  ShrinkResult out;
+  out.graph = g;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(cfg.time_budget_ms));
+  bool exhausted = false;  // test budget spent or deadline passed
+  auto test = [&](const Graph& candidate) {
+    if (exhausted || out.tests >= cfg.max_tests) {
+      exhausted = true;
+      return false;
+    }
+    if (out.tests > 0 && std::chrono::steady_clock::now() >= deadline) {
+      exhausted = true;
+      return false;
+    }
+    ++out.tests;
+    return still_fails(candidate);
+  };
+  EPG_REQUIRE(test(g), "shrink_graph: the input graph must fail");
+  const auto budget_left = [&] {
+    return !exhausted && out.tests < cfg.max_tests;
+  };
+
+  bool progress = true;
+  while (progress && budget_left()) {
+    progress = false;
+    ++out.rounds;
+
+    // Vertex ddmin: delete chunks, halving the chunk size. After an
+    // accepted deletion restart at the same chunk size — indices shifted.
+    for (std::size_t chunk = std::max<std::size_t>(1, out.graph.vertex_count() / 2);
+         chunk >= 1; chunk /= 2) {
+      bool removed = true;
+      while (removed && out.graph.vertex_count() > cfg.min_vertices) {
+        removed = false;
+        const std::size_t n = out.graph.vertex_count();
+        if (n <= cfg.min_vertices) break;
+        for (std::size_t start = 0; start + chunk <= n; start += chunk) {
+          if (n - chunk < cfg.min_vertices) break;
+          Graph candidate = drop_range(out.graph, start, chunk);
+          if (test(candidate)) {
+            out.graph = std::move(candidate);
+            progress = removed = true;
+            break;  // indices shifted; rescan at this chunk size
+          }
+          if (!budget_left()) break;
+        }
+        if (!budget_left()) break;
+      }
+      if (chunk == 1 || !budget_left()) break;
+    }
+
+    // Edge pass: try deleting each edge of the current minimum.
+    bool removed = true;
+    while (removed && budget_left()) {
+      removed = false;
+      for (const auto& [u, v] : out.graph.edges()) {
+        Graph candidate = out.graph;
+        candidate.remove_edge(u, v);
+        if (test(candidate)) {
+          out.graph = std::move(candidate);
+          progress = removed = true;
+          break;  // edge list invalidated; rescan
+        }
+        if (!budget_left()) break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace epg::fuzz

@@ -1,0 +1,43 @@
+// Delta-debugging minimizer for oracle-violating graphs.
+//
+// Given a graph on which a predicate holds (normally: "the oracle reports
+// the same violation signature"), the shrinker searches for a small
+// subgraph that still triggers it, ddmin-style: vertex chunks are deleted
+// first (halving chunk sizes down to single vertices, via induced()), then
+// single edges, iterating to a fixpoint. Every accepted step keeps the
+// predicate true, so the result is a genuine minimal-ish reproducer, not a
+// guess — crash reports embed it next to the original mutant.
+//
+// The predicate must be deterministic; each call typically re-runs the
+// oracle, so `max_tests` bounds total shrink cost.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "graph/graph.hpp"
+
+namespace epg::fuzz {
+
+struct ShrinkConfig {
+  std::size_t max_tests = 400;  ///< predicate evaluation budget
+  /// Wall-clock cap: no new predicate test starts after this. Each test
+  /// re-runs the full oracle, so without a cap a late crash could shrink
+  /// for minutes past the fuzzer's own time budget.
+  double time_budget_ms = 120000.0;
+  std::size_t min_vertices = 1;
+};
+
+struct ShrinkResult {
+  Graph graph;               ///< smallest failing graph found
+  std::size_t tests = 0;     ///< predicate evaluations spent
+  std::size_t rounds = 0;    ///< vertex/edge passes until fixpoint
+};
+
+/// Minimize `g` while `still_fails` stays true. `still_fails(g)` must be
+/// true on entry (EPG_REQUIRE enforced).
+ShrinkResult shrink_graph(const Graph& g,
+                          const std::function<bool(const Graph&)>& still_fails,
+                          const ShrinkConfig& cfg = {});
+
+}  // namespace epg::fuzz

@@ -163,18 +163,177 @@ Graph load_graph_file(const std::string& path) {
   if (!in) throw std::invalid_argument("cannot open graph file: " + path);
   std::stringstream buf;
   buf << in.rdbuf();
-  if (path.size() >= 3 && path.compare(path.size() - 3, 3, ".g6") == 0)
-    return read_graph6(buf.str());
+  if (path.ends_with(".g6")) return read_graph6(buf.str());
+  if (path.ends_with(".epgc")) return read_corpus_entry(buf.str()).graph;
   return read_edge_list(buf.str());
 }
 
 void save_graph_file(const Graph& g, const std::string& path) {
+  if (path.ends_with(".epgc")) {
+    // Keep the loader/saver symmetric: a bare graph saved as .epgc
+    // becomes a minimal corpus entry named after the file.
+    CorpusEntry entry;
+    std::size_t start = path.find_last_of("/\\");
+    start = start == std::string::npos ? 0 : start + 1;
+    for (std::size_t i = start; i + 5 < path.size(); ++i) {
+      const char c = path[i];
+      entry.name += std::isalnum(static_cast<unsigned char>(c)) ||
+                            c == '.' || c == '_' || c == '-'
+                        ? c
+                        : '-';
+    }
+    if (entry.name.empty()) entry.name = "graph";
+    entry.graph = g;
+    save_corpus_file(entry, path);
+    return;
+  }
   std::ofstream out(path);
   if (!out) throw std::invalid_argument("cannot write graph file: " + path);
-  if (path.size() >= 3 && path.compare(path.size() - 3, 3, ".g6") == 0)
+  if (path.ends_with(".g6"))
     out << write_graph6(g) << '\n';
   else
     out << write_edge_list(g);
+}
+
+// ---------------------------------------------------------------------------
+// corpus entries
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void bad_corpus(const std::string& what, std::size_t line) {
+  throw std::invalid_argument("corpus parse error (line " +
+                              std::to_string(line) + "): " + what);
+}
+
+bool valid_corpus_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '_' && c != '-')
+      return false;
+  return true;
+}
+
+}  // namespace
+
+std::string write_corpus_entry(const CorpusEntry& entry) {
+  EPG_REQUIRE(valid_corpus_name(entry.name),
+              "corpus entry names are non-empty [A-Za-z0-9._-]");
+  std::ostringstream os;
+  os << "epgc-corpus " << kCorpusFormatVersion << '\n';
+  os << "name " << entry.name << '\n';
+  for (const auto& [key, value] : entry.meta) {
+    EPG_REQUIRE(!key.empty() && key.find_first_of(" \n") == std::string::npos,
+                "corpus meta keys are non-empty and space-free");
+    EPG_REQUIRE(value.find('\n') == std::string::npos,
+                "corpus meta values are single-line");
+    os << "meta " << key << ' ' << value << '\n';
+  }
+  os << "graph " << write_graph6(entry.graph) << '\n';
+  os << "end\n";
+  return os.str();
+}
+
+CorpusEntry read_corpus_entry(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      ++line_no;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      std::size_t i = 0;
+      while (i < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+      if (i == line.size() || line[i] == '#') continue;  // blank / comment
+      return true;
+    }
+    return false;
+  };
+
+  if (!next_line()) bad_corpus("empty input, expected 'epgc-corpus' magic", 1);
+  {
+    std::istringstream ls(line);
+    std::string magic, extra;
+    long version = -1;
+    ls >> magic;
+    if (magic != "epgc-corpus")
+      bad_corpus("bad magic '" + magic + "', expected 'epgc-corpus'",
+                 line_no);
+    if (!(ls >> version))
+      bad_corpus("missing corpus format version", line_no);
+    if (ls >> extra)
+      bad_corpus("trailing token '" + extra + "' after the version",
+                 line_no);
+    if (version != kCorpusFormatVersion)
+      bad_corpus("unsupported corpus format version " +
+                     std::to_string(version) + " (this build reads version " +
+                     std::to_string(kCorpusFormatVersion) + ")",
+                 line_no);
+  }
+
+  CorpusEntry entry;
+  bool have_graph = false;
+  bool have_end = false;
+  while (next_line()) {
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "name") {
+      if (!entry.name.empty()) bad_corpus("duplicate 'name'", line_no);
+      std::string extra;
+      if (!(ls >> entry.name) || !valid_corpus_name(entry.name) ||
+          (ls >> extra))
+        bad_corpus("'name' needs one [A-Za-z0-9._-] token", line_no);
+    } else if (keyword == "meta") {
+      std::string key;
+      if (!(ls >> key)) bad_corpus("'meta' needs a key", line_no);
+      std::string value;
+      std::getline(ls, value);
+      if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+      entry.meta.emplace_back(std::move(key), std::move(value));
+    } else if (keyword == "graph") {
+      if (have_graph) bad_corpus("duplicate 'graph'", line_no);
+      std::string g6, extra;
+      if (!(ls >> g6) || (ls >> extra))
+        bad_corpus("'graph' needs exactly one graph6 string", line_no);
+      try {
+        entry.graph = read_graph6(g6);
+      } catch (const std::exception& e) {
+        bad_corpus(e.what(), line_no);
+      }
+      have_graph = true;
+    } else if (keyword == "end") {
+      have_end = true;
+      break;
+    } else {
+      bad_corpus("unknown keyword '" + keyword + "'", line_no);
+    }
+  }
+  if (!have_end)
+    bad_corpus("truncated entry: no 'end' marker", line_no + 1);
+  if (entry.name.empty()) bad_corpus("entry has no 'name'", line_no);
+  if (!have_graph) bad_corpus("entry has no 'graph'", line_no);
+  // Blank lines and comments stay legal after 'end'; anything else is
+  // trailing garbage.
+  if (next_line()) bad_corpus("trailing content after 'end'", line_no);
+  return entry;
+}
+
+CorpusEntry load_corpus_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open corpus file: " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return read_corpus_entry(buf.str());
+}
+
+void save_corpus_file(const CorpusEntry& entry, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::invalid_argument("cannot write corpus file: " + path);
+  out << write_corpus_entry(entry);
 }
 
 }  // namespace epg

@@ -1,12 +1,15 @@
 // Graph file formats.
 //
-// Two interchange formats are supported:
+// Three interchange formats are supported:
 //   * a plain text edge list — line oriented, `#` comments, an optional
 //     `n <count>` header for isolated trailing vertices, then one `u v`
 //     pair per line;
 //   * graph6 — Brendan McKay's compact ASCII encoding used by nauty,
 //     geng and most graph repositories (6 bits per character, the upper
-//     triangle of the adjacency matrix in column order).
+//     triangle of the adjacency matrix in column order);
+//   * the versioned corpus-entry format of the fuzzing subsystem: a graph
+//     plus provenance metadata, used for the golden regression corpus
+//     under corpus/ (spec in docs/fuzzing.md).
 //
 // All parsers validate their input and throw std::invalid_argument with
 // the offending line/character on malformed data.
@@ -14,6 +17,8 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "graph/graph.hpp"
 
@@ -33,8 +38,40 @@ std::string write_graph6(const Graph& g);
 /// ">>graph6<<" prefix are accepted).
 Graph read_graph6(const std::string& text);
 
-/// File helpers; format chosen by extension (.g6 = graph6, else edge list).
+/// File helpers; format chosen by extension (.g6 = graph6, .epgc = corpus
+/// entry — the graph is extracted — else edge list).
 Graph load_graph_file(const std::string& path);
 void save_graph_file(const Graph& g, const std::string& path);
+
+// ---- corpus entries (fuzzing golden corpus) --------------------------------
+
+/// Bumped whenever the on-disk layout changes; readers reject any other
+/// version instead of guessing.
+inline constexpr int kCorpusFormatVersion = 1;
+
+/// A graph with provenance: how the fuzzer derived it, which oracle check
+/// it violated, the replay seed — free-form key/value pairs, order kept.
+struct CorpusEntry {
+  std::string name;  ///< non-empty; [A-Za-z0-9._-] only
+  std::vector<std::pair<std::string, std::string>> meta;
+  Graph graph;
+};
+
+/// Serialize an entry:
+///   epgc-corpus <version>
+///   name <name>
+///   meta <key> <value…>        (zero or more)
+///   graph <graph6>
+///   end
+std::string write_corpus_entry(const CorpusEntry& entry);
+
+/// Parse an entry. Rejects (std::invalid_argument, with the reason and
+/// line): bad magic, version mismatch, missing/invalid name, malformed
+/// meta lines, a missing or undecodable graph, truncation (no `end`), and
+/// trailing garbage after `end`.
+CorpusEntry read_corpus_entry(const std::string& text);
+
+CorpusEntry load_corpus_file(const std::string& path);
+void save_corpus_file(const CorpusEntry& entry, const std::string& path);
 
 }  // namespace epg

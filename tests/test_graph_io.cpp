@@ -111,5 +111,124 @@ TEST(GraphIo, FileRoundTripBothFormats) {
                std::invalid_argument);
 }
 
+// ---- corpus entries -------------------------------------------------------
+
+TEST(CorpusIo, RoundTripEveryGeneratorFamily) {
+  const std::vector<std::pair<std::string, Graph>> families = {
+      {"lattice", make_lattice(3, 4)},
+      {"linear", make_linear_cluster(9)},
+      {"ring", make_ring(7)},
+      {"star", make_star(6)},
+      {"complete", make_complete(5)},
+      {"balanced_tree", make_balanced_tree(2, 3)},
+      {"random_tree", make_random_tree(12, 4, 3)},
+      {"waxman", make_waxman(11, 5)},
+      {"erdos_renyi", make_erdos_renyi(10, 0.35, 6)},
+      {"repeater", make_repeater_graph_state(3)},
+  };
+  for (const auto& [name, g] : families) {
+    CorpusEntry entry;
+    entry.name = name;
+    entry.meta.emplace_back("origin", "generator " + name);
+    entry.meta.emplace_back("note", "value with spaces, kept verbatim");
+    entry.graph = g;
+    const CorpusEntry back = read_corpus_entry(write_corpus_entry(entry));
+    EXPECT_EQ(back.name, name);
+    EXPECT_TRUE(back.graph == g) << name;
+    ASSERT_EQ(back.meta.size(), 2u);
+    EXPECT_EQ(back.meta[1].second, "value with spaces, kept verbatim");
+  }
+}
+
+TEST(CorpusIo, FileRoundTripAndGraphExtraction) {
+  CorpusEntry entry;
+  entry.name = "file-trip";
+  entry.graph = make_lattice(2, 5);
+  const std::string path = ::testing::TempDir() + "/epgc_corpus_test.epgc";
+  save_corpus_file(entry, path);
+  EXPECT_TRUE(load_corpus_file(path).graph == entry.graph);
+  // load_graph_file understands .epgc and extracts the embedded graph.
+  EXPECT_EQ(load_graph_file(path), entry.graph);
+}
+
+TEST(CorpusIo, SaveGraphFileWritesLoadableEpgcEntries) {
+  // save_graph_file/load_graph_file must stay symmetric for .epgc: the
+  // saver wraps a bare graph in a minimal corpus entry named after the
+  // file (epgc_graphgen --out x.epgc must be readable by epgc_compile).
+  const Graph g = make_waxman(10, 4);
+  const std::string path = ::testing::TempDir() + "/bare graph!.epgc";
+  save_graph_file(g, path);
+  EXPECT_EQ(load_graph_file(path), g);
+  const CorpusEntry entry = load_corpus_file(path);
+  EXPECT_EQ(entry.name, "bare-graph-");  // sanitized file stem
+}
+
+TEST(CorpusIo, RejectsBadMagicAndVersionMismatch) {
+  EXPECT_THROW(read_corpus_entry(""), std::invalid_argument);
+  EXPECT_THROW(read_corpus_entry("graphml 1\nname x\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(read_corpus_entry("epgc-corpus\nname x\nend\n"),
+               std::invalid_argument);
+  // A future (or past) version must be rejected, not half-parsed.
+  EXPECT_THROW(read_corpus_entry("epgc-corpus 2\nname x\ngraph D?{\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(read_corpus_entry("epgc-corpus 0\nname x\ngraph D?{\nend\n"),
+               std::invalid_argument);
+  // ... as must junk riding on the version line.
+  EXPECT_THROW(
+      read_corpus_entry("epgc-corpus 1 v2-draft\nname x\ngraph D?{\nend\n"),
+      std::invalid_argument);
+}
+
+TEST(CorpusIo, RejectsTruncatedAndMalformedEntries) {
+  const std::string good = "epgc-corpus 1\nname ok\ngraph D?{\nend\n";
+  EXPECT_NO_THROW(read_corpus_entry(good));
+  // Truncated: the end marker is missing.
+  EXPECT_THROW(read_corpus_entry("epgc-corpus 1\nname ok\ngraph D?{\n"),
+               std::invalid_argument);
+  // Missing mandatory fields.
+  EXPECT_THROW(read_corpus_entry("epgc-corpus 1\ngraph D?{\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(read_corpus_entry("epgc-corpus 1\nname ok\nend\n"),
+               std::invalid_argument);
+  // Malformed pieces: bad name token, unknown keyword, undecodable
+  // graph6 payload, meta without a key, trailing garbage after end.
+  EXPECT_THROW(read_corpus_entry("epgc-corpus 1\nname bad name\n"
+                                 "graph D?{\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(read_corpus_entry("epgc-corpus 1\nname ok\nbogus 1\n"
+                                 "graph D?{\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(read_corpus_entry("epgc-corpus 1\nname ok\ngraph \x01\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(read_corpus_entry("epgc-corpus 1\nname ok\nmeta\n"
+                                 "graph D?{\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(read_corpus_entry(good + "leftover\n"),
+               std::invalid_argument);
+  // Comments and blank lines are legal anywhere — including after end.
+  EXPECT_NO_THROW(read_corpus_entry("# header note\n" + good +
+                                    "\n  # fixed by PR 42\n"));
+  // Duplicates.
+  EXPECT_THROW(read_corpus_entry("epgc-corpus 1\nname a\nname b\n"
+                                 "graph D?{\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(read_corpus_entry("epgc-corpus 1\nname a\ngraph D?{\n"
+                                 "graph D?{\nend\n"),
+               std::invalid_argument);
+}
+
+TEST(CorpusIo, WriterRejectsInvalidEntries) {
+  CorpusEntry entry;
+  entry.name = "has space";
+  entry.graph = make_ring(4);
+  EXPECT_THROW(write_corpus_entry(entry), std::invalid_argument);
+  entry.name = "ok";
+  entry.meta.emplace_back("key with space", "v");
+  EXPECT_THROW(write_corpus_entry(entry), std::invalid_argument);
+  entry.meta.back() = {"key", "multi\nline"};
+  EXPECT_THROW(write_corpus_entry(entry), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace epg
