@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/build_info.hpp"
+
 namespace epg::cli {
 
 class Args {
@@ -29,6 +31,12 @@ class Args {
       }
       token.erase(0, 2);
       if (token == "help") fail("");
+      if (token == "version") {
+        // Shared across every CLI: the result-schema revision is what keys
+        // persisted results, so it is part of the user-visible identity.
+        std::cout << version_line() << '\n';
+        std::exit(0);
+      }
       if (bool_flags.count(token) > 0) {
         values_[token] = "1";
         continue;

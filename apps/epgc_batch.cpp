@@ -16,6 +16,7 @@
 #include "io/graph_io.hpp"
 #include "metrics/report.hpp"
 #include "runtime/batch_compiler.hpp"
+#include "store/result_store.hpp"
 
 namespace {
 
@@ -55,6 +56,11 @@ options:
                     any count when wall-clock budgets don't bind — pair
                     with --deterministic for a hard guarantee)
   --no-cache        disable the repeated-instance result cache
+  --store-dir DIR   persistent result store: jobs compiled by a previous
+                    run (or by epgc_compile/epgc_serve) with identical
+                    graph+options replay from disk; fresh compiles are
+                    written back
+  --store-cap-mb N  LRU-evict the store beyond N MiB (0 = no cap)
   --deterministic   lift wall-clock search budgets (load-independent output)
   --csv FILE        write per-job metrics as CSV
   --json FILE       write per-job metrics + summary as JSON
@@ -304,6 +310,16 @@ int main(int argc, char** argv) {
   cfg.use_cache = !args.has("no-cache");
   cfg.deterministic = args.has("deterministic");
   cfg.keep_results = false;  // metrics only: don't hold 100 circuits alive
+  if (args.has("store-dir")) {
+    StoreConfig scfg;
+    scfg.dir = args.get("store-dir", "");
+    scfg.max_bytes = args.get_u64("store-cap-mb", 0) * 1024 * 1024;
+    try {
+      cfg.store = std::make_shared<CompileResultStore>(scfg);
+    } catch (const std::exception& e) {
+      args.fail(e.what());
+    }
+  }
   BatchCompiler batch(cfg);
 
   if (!args.has("quiet"))
@@ -313,6 +329,15 @@ int main(int argc, char** argv) {
 
   if (!args.has("quiet")) batch_metrics_table(results).print(std::cout);
   std::cout << summary_line(batch.summary()) << '\n';
+  StoreStats store_stats;
+  if (cfg.store) {
+    store_stats = cfg.store->stats();
+    std::cout << "store: " << store_stats.hits << " hits / "
+              << store_stats.misses << " misses / " << store_stats.puts
+              << " puts / " << store_stats.evictions << " evictions; "
+              << store_stats.bytes << " bytes in " << store_stats.entries
+              << " entries\n";
+  }
 
   if (args.has("csv")) {
     std::ofstream out(args.get("csv", ""));
@@ -320,7 +345,8 @@ int main(int argc, char** argv) {
   }
   if (args.has("json")) {
     std::ofstream out(args.get("json", ""));
-    out << batch_json(results, batch.summary());
+    out << batch_json(results, batch.summary(),
+                      cfg.store ? &store_stats : nullptr);
   }
   return batch.summary().failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,69 @@
+// epgc-serve: long-lived compilation service.
+//
+// Serves the NDJSON protocol (docs/service.md) over stdin/stdout, or over
+// a Unix domain socket for concurrent clients. Every compile goes through
+// one shared BatchCompiler — the in-memory result cache stays warm across
+// requests — and, with --store-dir, through the persistent result store
+// shared with epgc_compile and epgc_batch, so a result compiled anywhere
+// is a disk read everywhere else.
+#include <iostream>
+
+#include "cli_common.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: epgc_serve [options]
+
+Long-lived graph-state compilation service (NDJSON request/response).
+
+Requests arrive one JSON object per line on stdin (or the socket):
+  {"op":"compile","id":1,"graph":"<graph6>","seed":7,"circuit":true}
+  {"op":"batch","id":2,"jobs":[{"graph":"..."},{"graph":"..."}]}
+  {"op":"stats","id":3}   {"op":"ping","id":4}   {"op":"shutdown","id":5}
+Compile specs take the epgc_compile knobs (same defaults): compiler, hw,
+gmax, lc, ne_factor, ne, seed, budget_ms, strategy, verify, label, and
+deadline_ms (max admission wait). Responses echo "id" and carry "ok".
+
+options:
+  --socket PATH     serve a Unix domain socket instead of stdin/stdout
+  --store-dir DIR   persistent result store (shared with the other CLIs)
+  --store-cap-mb N  LRU-evict the store beyond N MiB (default 0 = no cap)
+  --jobs N          batch worker threads (default: hardware concurrency)
+  --inner-threads N intra-compile lanes per job (default 0 = serial)
+  --max-queue N     admission-queue capacity in socket mode (default 64)
+  --deadline-ms X   default per-request deadline when the request has none
+  --deterministic   lift wall-clock budgets; responses are then bit-stable
+                    across runs and identical to epgc_compile output
+  --once            stream mode: answer one request, then exit
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace epg;
+  cli::Args args(argc, argv, {"deterministic", "once"}, kUsage);
+  if (!args.positional().empty()) args.fail("epgc_serve takes no positionals");
+
+  ServiceConfig cfg;
+  cfg.batch.threads = args.get_u64("jobs", 0);
+  cfg.batch.inner_threads = args.get_u64("inner-threads", 0);
+  cfg.batch.deterministic = args.has("deterministic");
+  cfg.store.dir = args.get("store-dir", "");
+  cfg.store.max_bytes = args.get_u64("store-cap-mb", 0) * 1024 * 1024;
+  cfg.max_queue = args.get_u64("max-queue", 64);
+  cfg.default_deadline_ms = args.get_double("deadline-ms", 0.0);
+  cfg.once = args.has("once");
+  if (cfg.once && args.has("socket"))
+    args.fail("--once is stream-mode only");
+
+  try {
+    Service service(cfg);
+    if (args.has("socket"))
+      return service.serve_socket(args.get("socket", ""));
+    return service.serve_stream(std::cin, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "epgc_serve: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Warm-store CI gate.
+
+Usage: check_store_warm.py COLD.json WARM.json [MIN_HIT_RATE]
+
+COLD/WARM are `epgc_batch --json` outputs of two consecutive runs of the
+same manifest against the same --store-dir. The gate asserts:
+
+  * the warm run compiled (almost) nothing: hit rate >= MIN_HIT_RATE
+    (default 0.95), with at least one hit coming from the store tier;
+  * zero failures in either run;
+  * per-job metrics are bit-identical between the runs (everything except
+    the provenance fields wall_ms / tier / cache_hit, which legitimately
+    differ between a compile and a replay).
+
+Exit 0 on pass, 1 on any violation (stdout explains which).
+"""
+import json
+import sys
+
+PROVENANCE_FIELDS = {"wall_ms", "tier", "cache_hit"}
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    cold = json.load(open(sys.argv[1]))
+    warm = json.load(open(sys.argv[2]))
+    min_rate = float(sys.argv[3]) if len(sys.argv) > 3 else 0.95
+
+    failures = []
+    ws = warm["summary"]
+    jobs = ws["jobs"]
+    hits = ws["cache_hits"]
+    rate = hits / jobs if jobs else 0.0
+    print(
+        f"warm run: {hits}/{jobs} hits ({rate:.1%}) — "
+        f"{ws['store_hits']} store / {ws['memory_hits']} memory / "
+        f"{ws['dedup_hits']} dedup; store tier: {warm.get('store', {})}"
+    )
+    if rate < min_rate:
+        failures.append(f"hit rate {rate:.1%} < required {min_rate:.0%}")
+    if ws["store_hits"] == 0:
+        failures.append("no store hits at all — persistent tier inactive?")
+    for name, run in (("cold", cold), ("warm", warm)):
+        if run["summary"]["failures"]:
+            failures.append(f"{name} run had compile failures")
+
+    cold_jobs = cold["jobs"]
+    warm_jobs = warm["jobs"]
+    if len(cold_jobs) != len(warm_jobs):
+        failures.append("job counts differ between runs")
+    else:
+        for i, (a, b) in enumerate(zip(cold_jobs, warm_jobs)):
+            keys = set(a) | set(b)
+            for key in sorted(keys - PROVENANCE_FIELDS):
+                if a.get(key) != b.get(key):
+                    failures.append(
+                        f"job {i} ({a.get('label')}): {key} drifted "
+                        f"{a.get(key)!r} -> {b.get(key)!r}"
+                    )
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"warm-store gate passed: metrics bit-identical across {jobs} jobs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Differential end-to-end check: epgc_serve must never drift from
+# epgc_compile.
+#
+# Three legs over every corpus entry (.epgc) in CORPUS_DIR:
+#   * drift: each graph is compiled by epgc_compile (reference metrics +
+#     --epgc circuit) and through the service with DEFAULT budgets — the
+#     two run the exact same effective configuration, so metrics must
+#     match field-for-field and the embedded circuit byte-for-byte;
+#   * bit-stability: two deterministic-mode service runs over the same
+#     requests must produce byte-identical NDJSON (deterministic
+#     responses carry no timings);
+#   * --once: the one-shot service path the nightly fuzz oracle uses must
+#     answer exactly like the long-lived loop.
+#
+# Usage: ci/serve_e2e.sh BUILD_DIR CORPUS_DIR
+set -euo pipefail
+
+BUILD=${1:?usage: serve_e2e.sh BUILD_DIR CORPUS_DIR}
+CORPUS=${2:?usage: serve_e2e.sh BUILD_DIR CORPUS_DIR}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+shopt -s nullglob
+entries=("$CORPUS"/*.epgc)
+if [ "${#entries[@]}" -eq 0 ]; then
+  echo "serve-e2e: no .epgc entries in $CORPUS" >&2
+  exit 1
+fi
+
+for f in "${entries[@]}"; do
+  name=$(basename "$f" .epgc)
+  g6=$(awk '$1 == "graph" { print $2; exit }' "$f")
+  if [ -z "$g6" ]; then
+    echo "serve-e2e: no graph line in $f" >&2
+    exit 1
+  fi
+  printf '%s\n' "$g6" > "$WORK/$name.g6"
+  "$BUILD/epgc_compile" --quiet --epgc "$WORK/$name.ref.epgc" \
+    "$WORK/$name.g6" > "$WORK/$name.metrics"
+done
+
+# graph6 freely uses '\' and other JSON-special bytes — build the request
+# lines with a real JSON encoder, not printf.
+python3 - "$WORK" <<'EOF'
+import json
+import pathlib
+import sys
+
+work = pathlib.Path(sys.argv[1])
+with open(work / "requests.ndjson", "w") as out:
+    for g6_file in sorted(work.glob("*.g6")):
+        name = g6_file.stem
+        g6 = g6_file.read_text().strip()
+        out.write(json.dumps({"op": "compile", "id": name, "graph": g6,
+                              "circuit": True}) + "\n")
+EOF
+
+# Leg 1 (drift): default budgets on both sides — identical effective
+# configuration, so a mismatch is a real service/CLI divergence, not a
+# deterministic-vs-budget-bound artifact.
+"$BUILD/epgc_serve" \
+  < "$WORK/requests.ndjson" > "$WORK/responses.ndjson"
+
+# Leg 2 (bit-stability): deterministic mode must be byte-reproducible.
+"$BUILD/epgc_serve" --deterministic \
+  < "$WORK/requests.ndjson" > "$WORK/det1.ndjson"
+"$BUILD/epgc_serve" --deterministic \
+  < "$WORK/requests.ndjson" > "$WORK/det2.ndjson"
+diff "$WORK/det1.ndjson" "$WORK/det2.ndjson" \
+  || { echo "serve-e2e: responses not bit-stable across runs" >&2; exit 1; }
+
+# Leg 3 (--once): the one-shot path must answer like the serving loop.
+head -1 "$WORK/requests.ndjson" | "$BUILD/epgc_serve" --deterministic --once \
+  > "$WORK/once.ndjson"
+head -1 "$WORK/det1.ndjson" | diff - "$WORK/once.ndjson" \
+  || { echo "serve-e2e: --once response drifted from serving loop" >&2; exit 1; }
+
+python3 - "$WORK" <<'EOF'
+import json
+import pathlib
+import sys
+
+work = pathlib.Path(sys.argv[1])
+failures = []
+checked = 0
+
+def ref_metrics(path):
+    """Parse `epgc_compile --quiet` stdout."""
+    out = {}
+    for line in path.read_text().splitlines():
+        parts = line.split()
+        if line.startswith("ee-CNOTs"):
+            out["ee_cnot_count"] = int(parts[1])
+        elif line.startswith("emissions"):
+            out["emission_count"] = int(parts[1])
+        elif line.startswith("duration"):
+            out["duration_tau"] = float(parts[1])
+        elif line.startswith("T_loss"):
+            out["t_loss_tau"] = float(parts[1])
+        elif line.startswith("state survival"):
+            out["state_survival"] = float(parts[2])
+        elif line.startswith("emitters"):
+            out["emitters_used"] = int(parts[1])
+            out["ne_limit"] = int(parts[3].rstrip(")"))
+        elif line.startswith("verified"):
+            out["verified"] = parts[1] == "yes"
+    return out
+
+for line in (work / "responses.ndjson").read_text().splitlines():
+    resp = json.loads(line)
+    name = resp["id"]
+    if not resp.get("ok"):
+        failures.append(f"{name}: service error {resp.get('error')}")
+        continue
+    ref = ref_metrics(work / f"{name}.metrics")
+    for key, want in ref.items():
+        got = resp.get(key)
+        if got != want:
+            failures.append(f"{name}: {key} service={got!r} cli={want!r}")
+    ref_circuit = (work / f"{name}.ref.epgc").read_text()
+    if resp.get("circuit") != ref_circuit:
+        failures.append(f"{name}: circuit bytes differ from --epgc output")
+    checked += 1
+
+if failures:
+    print("serve-e2e FAILURES:")
+    for f in failures:
+        print(f"  {f}")
+    sys.exit(1)
+print(f"serve-e2e: {checked} corpus entries byte-equal between "
+      "epgc_serve and epgc_compile")
+EOF

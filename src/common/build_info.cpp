@@ -1,0 +1,16 @@
+#include "common/build_info.hpp"
+
+namespace epg {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{"0.4.0", 1};
+  return info;
+}
+
+std::string version_line() {
+  const BuildInfo& info = build_info();
+  return std::string("epgc ") + info.version + " (result-schema " +
+         std::to_string(info.result_schema) + ")";
+}
+
+}  // namespace epg

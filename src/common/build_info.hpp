@@ -1,0 +1,25 @@
+// Single source of truth for the tool-suite version and the compiled-result
+// schema revision.
+//
+// The schema revision is a compatibility salt for everything that persists
+// compiled results across process lifetimes (the on-disk result store, the
+// batch cache fingerprints it keys on). Bump it whenever the meaning or
+// encoding of a stored result changes — stale entries then simply stop
+// matching and are recompiled, instead of deserializing garbage.
+#pragma once
+
+#include <string>
+
+namespace epg {
+
+struct BuildInfo {
+  const char* version;  ///< tool-suite version (one per PR train)
+  int result_schema;    ///< bump on any stored-result layout/semantic change
+};
+
+const BuildInfo& build_info();
+
+/// "epgc 0.4.0 (result-schema 1)" — what every CLI prints for --version.
+std::string version_line();
+
+}  // namespace epg

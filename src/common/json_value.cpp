@@ -1,0 +1,363 @@
+#include "common/json_value.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/json.hpp"
+
+namespace epg {
+
+namespace {
+
+[[noreturn]] void fail_at(std::size_t pos, const std::string& what) {
+  throw std::invalid_argument("json: " + what + " at byte " +
+                              std::to_string(pos));
+}
+
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+}  // namespace
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail_at(pos_, "trailing garbage");
+    return v;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+
+  char peek() {
+    if (pos_ >= text_.size()) fail_at(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c)
+      fail_at(pos_ - 1, std::string("expected '") + c + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    std::size_t n = 0;
+    while (word[n] != '\0') ++n;
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        JsonValue v;
+        v.type_ = JsonValue::Type::string;
+        v.string_ = string();
+        return v;
+      }
+      case 't':
+        if (!literal("true")) fail_at(pos_, "bad literal");
+        return boolean(true);
+      case 'f':
+        if (!literal("false")) fail_at(pos_, "bad literal");
+        return boolean(false);
+      case 'n':
+        if (!literal("null")) fail_at(pos_, "bad literal");
+        return JsonValue{};
+      default: return number();
+    }
+  }
+
+  static JsonValue boolean(bool b) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::boolean;
+    v.bool_ = b;
+    return v;
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type_ = JsonValue::Type::object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail_at(pos_, "expected object key");
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.members_.emplace_back(std::move(key), value());
+      skip_ws();
+      char c = take();
+      if (c == '}') break;
+      if (c != ',') fail_at(pos_ - 1, "expected ',' or '}'");
+    }
+    return v;
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type_ = JsonValue::Type::array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items_.push_back(value());
+      skip_ws();
+      char c = take();
+      if (c == ']') break;
+      if (c != ',') fail_at(pos_ - 1, "expected ',' or ']'");
+    }
+    return v;
+  }
+
+  std::uint32_t hex4() {
+    std::uint32_t cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = take();
+      cp <<= 4;
+      if (c >= '0' && c <= '9') cp |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        cp |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        cp |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else
+        fail_at(pos_ - 1, "bad \\u escape");
+    }
+    return cp;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail_at(pos_ - 1, "raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      char e = take();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: the low half must follow immediately.
+            if (take() != '\\' || take() != 'u')
+              fail_at(pos_ - 1, "unpaired surrogate");
+            std::uint32_t lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF)
+              fail_at(pos_ - 1, "unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail_at(pos_ - 1, "unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail_at(pos_ - 1, "bad escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    auto digits = [&] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    // Integer part: a single 0, or a nonzero digit followed by more.
+    if (pos_ < text_.size() && text_[pos_] == '0') ++pos_;
+    else if (digits() == 0) fail_at(pos_, "bad number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail_at(pos_, "bad number");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (digits() == 0) fail_at(pos_, "bad number");
+    }
+    JsonValue v;
+    v.type_ = JsonValue::Type::number;
+    v.number_ = std::strtod(text_.c_str() + start, nullptr);
+    return v;
+  }
+};
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return JsonParser(text).run();
+}
+
+namespace {
+[[noreturn]] void type_error(const char* want) {
+  throw std::invalid_argument(std::string("json: value is not ") + want);
+}
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::boolean) type_error("a boolean");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::number) type_error("a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::string) type_error("a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (type_ != Type::array) type_error("an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (type_ != Type::object) type_error("an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::object) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double JsonValue::get_number(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_number();
+}
+
+std::uint64_t JsonValue::get_u64(const std::string& key,
+                                 std::uint64_t fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) return fallback;
+  const double d = v->as_number();
+  // 2^53 bounds the integers a double carries exactly; beyond it the
+  // value already lost precision in transit (and the cast below would be
+  // UB for huge inputs), so reject rather than compile the wrong thing.
+  if (d < 0 || d != std::floor(d) || d >= 9007199254740992.0)
+    throw std::invalid_argument("json: member '" + key +
+                                "' must be an integer in [0, 2^53)");
+  return static_cast<std::uint64_t>(d);
+}
+
+std::string JsonValue::get_string(const std::string& key,
+                                  const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_string();
+}
+
+bool JsonValue::get_bool(const std::string& key, bool fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) return fallback;
+  // Accept 0/1 too: manifest keys spell booleans that way.
+  if (v->type() == Type::number) return v->as_number() != 0.0;
+  return v->as_bool();
+}
+
+std::string JsonValue::dump() const {
+  switch (type_) {
+    case Type::null: return "null";
+    case Type::boolean: return bool_ ? "true" : "false";
+    case Type::number: {
+      if (number_ == std::floor(number_) && std::abs(number_) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", number_);
+        return buf;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", number_);
+      return buf;
+    }
+    case Type::string: return '"' + json_escape(string_) + '"';
+    case Type::array: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        out += items_[i].dump();
+      }
+      return out + "]";
+    }
+    case Type::object: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i) out += ',';
+        out += '"' + json_escape(members_[i].first) + "\":" +
+               members_[i].second.dump();
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+}  // namespace epg

@@ -1,0 +1,61 @@
+// Minimal strict JSON reader for the NDJSON service protocol.
+//
+// Full RFC 8259 value grammar: objects (member order preserved), arrays,
+// strings with every escape (\uXXXX including surrogate pairs, re-encoded
+// as UTF-8), numbers, booleans, null. Parsing is strict — malformed input,
+// lone surrogates, control characters inside strings, and trailing garbage
+// all throw std::invalid_argument with the byte offset, the same contract
+// as the .epgc corpus parser. Numbers are held as double (plenty for the
+// protocol's ids, seeds and budgets; 53-bit integers round-trip exactly).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace epg {
+
+class JsonValue {
+ public:
+  enum class Type { null, boolean, number, string, array, object };
+
+  /// Parse one complete JSON value; rejects trailing non-whitespace.
+  static JsonValue parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::null; }
+
+  /// Typed accessors throw std::invalid_argument on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;  ///< array elements
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+
+  // Convenience getters for object members with defaults; a present member
+  // of the wrong type throws (a typo'd value must never silently fall back).
+  double get_number(const std::string& key, double fallback) const;
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Render this value back as compact JSON (used to echo request ids).
+  std::string dump() const;
+
+ private:
+  Type type_ = Type::null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  friend class JsonParser;
+};
+
+}  // namespace epg

@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "graph/metrics.hpp"
+#include "store/result_store.hpp"
 
 namespace epg {
 
@@ -113,7 +114,7 @@ std::vector<std::string> result_cells(const JobResult& r) {
           Table::num(static_cast<std::size_t>(r.ne_limit)),
           Table::num(r.stats.loss.state_survival, 4),
           r.ok ? (r.verified ? "yes" : "skipped") : "FAILED",
-          r.cache_hit ? "hit" : "miss",
+          r.cache_hit ? tier_name(r.tier) : "miss",
           Table::num(r.wall_ms, 1)};
 }
 
@@ -174,66 +175,89 @@ std::string fmt(double v) {
 }  // namespace
 
 std::string batch_json(const std::vector<JobResult>& results,
-                       const BatchSummary& summary) {
+                       const BatchSummary& summary,
+                       const StoreStats* store) {
   std::ostringstream os;
   os << "{\"summary\":{";
   json_field(os, "jobs", std::to_string(summary.jobs), false);
   json_field(os, "compiled", std::to_string(summary.compiled), false);
   json_field(os, "cache_hits", std::to_string(summary.cache_hits), false);
+  json_field(os, "memory_hits", std::to_string(summary.memory_hits),
+             false);
+  json_field(os, "store_hits", std::to_string(summary.store_hits), false);
+  json_field(os, "dedup_hits", std::to_string(summary.dedup_hits), false);
   json_field(os, "failures", std::to_string(summary.failures), false);
   json_field(os, "wall_ms", fmt(summary.wall_ms), false);
   json_field(os, "compile_ms", fmt(summary.compile_ms), false);
   json_field(os, "speedup", fmt(summary.speedup()), false, true);
-  os << "},\"jobs\":[";
+  os << '}';
+  if (store != nullptr) {
+    os << ",\"store\":{";
+    json_field(os, "hits", std::to_string(store->hits), false);
+    json_field(os, "misses", std::to_string(store->misses), false);
+    json_field(os, "puts", std::to_string(store->puts), false);
+    json_field(os, "evictions", std::to_string(store->evictions), false);
+    json_field(os, "corrupt_skipped",
+               std::to_string(store->corrupt_skipped), false);
+    json_field(os, "bytes", std::to_string(store->bytes), false);
+    json_field(os, "entries", std::to_string(store->entries), false, true);
+    os << '}';
+  }
+  os << ",\"jobs\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const JobResult& r = results[i];
     if (i) os << ',';
     os << '{';
-    json_field(os, "index", std::to_string(r.index), false);
-    json_field(os, "label", r.label, true);
-    json_field(os, "kind", kind_name(r.kind), true);
-    json_field(os, "ok", r.ok ? "true" : "false", false);
-    if (!r.ok) json_field(os, "error", r.error, true);
-    json_field(os, "cache_hit", r.cache_hit ? "true" : "false", false);
-    json_field(os, "wall_ms", fmt(r.wall_ms), false);
-    json_field(os, "num_qubits", std::to_string(r.num_qubits), false);
-    json_field(os, "num_edges", std::to_string(r.num_edges), false);
-    json_field(os, "graph_hash", std::to_string(r.graph_hash), true);
-    json_field(os, "canonical_hash", std::to_string(r.canonical_hash),
-               true);
-    json_field(os, "ee_cnot_count", std::to_string(r.stats.ee_cnot_count),
-               false);
-    json_field(os, "emission_count",
-               std::to_string(r.stats.emission_count), false);
-    json_field(os, "local_count", std::to_string(r.stats.local_count),
-               false);
-    json_field(os, "measure_count", std::to_string(r.stats.measure_count),
-               false);
-    json_field(os, "emitters_used", std::to_string(r.stats.emitters_used),
-               false);
-    json_field(os, "ne_min", std::to_string(r.ne_min), false);
-    json_field(os, "ne_limit", std::to_string(r.ne_limit), false);
-    json_field(os, "stem_count", std::to_string(r.stem_count), false);
-    json_field(os, "makespan_ticks",
-               std::to_string(r.stats.makespan_ticks), false);
-    json_field(os, "duration_tau", fmt(r.stats.duration_tau), false);
-    json_field(os, "t_loss_tau", fmt(r.stats.t_loss_tau), false);
-    json_field(os, "state_survival", fmt(r.stats.loss.state_survival),
-               false);
-    json_field(os, "ee_fidelity_estimate",
-               fmt(r.stats.ee_fidelity_estimate), false);
-    json_field(os, "verified", r.verified ? "true" : "false", false, true);
+    job_result_json_fields(os, results[i]);
     os << '}';
   }
   os << "]}";
   return os.str();
 }
 
+void job_result_json_fields(std::ostream& os, const JobResult& r,
+                            bool include_wall) {
+  json_field(os, "index", std::to_string(r.index), false);
+  json_field(os, "label", r.label, true);
+  json_field(os, "kind", kind_name(r.kind), true);
+  json_field(os, "ok", r.ok ? "true" : "false", false);
+  if (!r.ok) json_field(os, "error", r.error, true);
+  json_field(os, "cache_hit", r.cache_hit ? "true" : "false", false);
+  json_field(os, "tier", tier_name(r.tier), true);
+  if (include_wall) json_field(os, "wall_ms", fmt(r.wall_ms), false);
+  json_field(os, "num_qubits", std::to_string(r.num_qubits), false);
+  json_field(os, "num_edges", std::to_string(r.num_edges), false);
+  json_field(os, "graph_hash", std::to_string(r.graph_hash), true);
+  json_field(os, "canonical_hash", std::to_string(r.canonical_hash), true);
+  json_field(os, "ee_cnot_count", std::to_string(r.stats.ee_cnot_count),
+             false);
+  json_field(os, "emission_count", std::to_string(r.stats.emission_count),
+             false);
+  json_field(os, "local_count", std::to_string(r.stats.local_count),
+             false);
+  json_field(os, "measure_count", std::to_string(r.stats.measure_count),
+             false);
+  json_field(os, "emitters_used", std::to_string(r.stats.emitters_used),
+             false);
+  json_field(os, "ne_min", std::to_string(r.ne_min), false);
+  json_field(os, "ne_limit", std::to_string(r.ne_limit), false);
+  json_field(os, "stem_count", std::to_string(r.stem_count), false);
+  json_field(os, "makespan_ticks", std::to_string(r.stats.makespan_ticks),
+             false);
+  json_field(os, "duration_tau", fmt(r.stats.duration_tau), false);
+  json_field(os, "t_loss_tau", fmt(r.stats.t_loss_tau), false);
+  json_field(os, "state_survival", fmt(r.stats.loss.state_survival),
+             false);
+  json_field(os, "ee_fidelity_estimate", fmt(r.stats.ee_fidelity_estimate),
+             false);
+  json_field(os, "verified", r.verified ? "true" : "false", false, true);
+}
+
 std::string summary_line(const BatchSummary& s) {
   std::ostringstream os;
   os << s.jobs << " jobs: " << s.compiled << " compiled, " << s.cache_hits
-     << " cache hits, " << s.failures << " failures; "
-     << Table::num(s.wall_ms, 1) << " ms wall / "
+     << " cache hits (" << s.memory_hits << " mem / " << s.store_hits
+     << " store / " << s.dedup_hits << " dup), " << s.failures
+     << " failures; " << Table::num(s.wall_ms, 1) << " ms wall / "
      << Table::num(s.compile_ms, 1) << " ms compile ("
      << Table::num(s.speedup(), 2) << "x)";
   return os.str();

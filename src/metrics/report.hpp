@@ -57,11 +57,23 @@ std::vector<ComparisonRow> compare_compilers_batch(
 /// Per-job metrics table (one row per JobResult, batch order).
 Table batch_metrics_table(const std::vector<JobResult>& results);
 
+struct StoreStats;  // store/result_store.hpp
+
 /// Machine-readable renderings of a batch run; `batch_json` also embeds
-/// the aggregate summary.
+/// the aggregate summary (with a per-tier hit breakdown) and, when a
+/// persistent store was attached, its counters under "store".
 std::string batch_csv(const std::vector<JobResult>& results);
 std::string batch_json(const std::vector<JobResult>& results,
-                       const BatchSummary& summary);
+                       const BatchSummary& summary,
+                       const StoreStats* store = nullptr);
+
+/// One JobResult as the comma-separated body of a JSON object (no
+/// surrounding braces). Shared by batch_json and the epgc_serve protocol
+/// so the two renderings can never drift. `include_wall` = false omits
+/// the wall_ms field (deterministic service responses must be bit-stable
+/// across runs).
+void job_result_json_fields(std::ostream& os, const JobResult& r,
+                            bool include_wall = true);
 
 /// One-line human summary ("N jobs, M compiled, ...").
 std::string summary_line(const BatchSummary& summary);

@@ -2,16 +2,14 @@
 
 #include <stdexcept>
 
+#include "common/build_info.hpp"
 #include "common/stopwatch.hpp"
 #include "runtime/graph_hash.hpp"
+#include "store/result_store.hpp"
 
 namespace epg {
 
 namespace {
-
-// Large enough that no anytime search ever hits it, small enough that the
-// double arithmetic in the budget checks stays exact.
-constexpr double kUnboundedBudgetMs = 1e15;
 
 void mix_hardware(HashStream& h, const HardwareModel& hw) {
   h.mix(hw.name);
@@ -30,6 +28,9 @@ void mix_hardware(HashStream& h, const HardwareModel& hw) {
 std::uint64_t config_fingerprint(const FrameworkConfig& cfg) {
   HashStream h;
   h.mix(std::uint64_t{0xF3A3E});  // domain separation vs BaselineConfig
+  // Schema salt: persisted results keyed on this fingerprint (the on-disk
+  // store) self-invalidate when the result layout/semantics change.
+  h.mix(static_cast<std::uint64_t>(build_info().result_schema));
   mix_hardware(h, cfg.hw);
   h.mix(static_cast<std::uint64_t>(cfg.partition.g_max));
   h.mix(static_cast<std::uint64_t>(cfg.partition.max_lc_ops));
@@ -66,6 +67,7 @@ std::uint64_t config_fingerprint(const FrameworkConfig& cfg) {
 std::uint64_t config_fingerprint(const BaselineConfig& cfg) {
   HashStream h;
   h.mix(std::uint64_t{0xBA5E});
+  h.mix(static_cast<std::uint64_t>(build_info().result_schema));
   mix_hardware(h, cfg.hw);
   h.mix(static_cast<std::uint64_t>(cfg.order_restarts));
   h.mix(cfg.seed);
@@ -132,20 +134,45 @@ std::size_t BatchCompiler::cache_size() const {
 
 void BatchCompiler::clear_cache() { cache_.clear(); }
 
-JobResult BatchCompiler::compile_one(const CompileJob& job) {
+const char* tier_name(ResultTier tier) {
+  switch (tier) {
+    case ResultTier::compiled: return "compiled";
+    case ResultTier::memory: return "memory";
+    case ResultTier::store: return "store";
+    case ResultTier::dedup: return "dedup";
+  }
+  return "compiled";
+}
+
+FrameworkConfig BatchCompiler::effective_framework(
+    const CompileJob& job) const {
+  FrameworkConfig cfg = job.framework;
+  if (cfg_.deterministic) {
+    cfg.partition.time_budget_ms = kUnboundedBudgetMs;
+    cfg.subgraph.time_budget_ms = kUnboundedBudgetMs;
+  }
+  return cfg;
+}
+
+BaselineConfig BatchCompiler::effective_baseline(
+    const CompileJob& job) const {
+  BaselineConfig cfg = job.baseline;
+  if (cfg_.deterministic) cfg.time_budget_ms = kUnboundedBudgetMs;
+  return cfg;
+}
+
+JobResult BatchCompiler::compile_one(const CompileJob& job,
+                                     std::uint64_t config_hash) {
   JobResult r;
   r.label = job.label;
   r.kind = job.kind;
   r.num_qubits = job.graph.vertex_count();
   r.num_edges = job.graph.edge_count();
+  StoredResult stored;  // write-back payload, filled on success
   Stopwatch watch;
   try {
     if (job.kind == CompilerKind::framework) {
-      FrameworkConfig cfg = job.framework;
-      if (cfg_.deterministic) {
-        cfg.partition.time_budget_ms = kUnboundedBudgetMs;
-        cfg.subgraph.time_budget_ms = kUnboundedBudgetMs;
-      }
+      const FrameworkConfig cfg = effective_framework(job);
       // Inner pipeline stages fan out on the batch's own pool (capped at
       // inner_threads extra lanes), so outer and inner parallelism share
       // one set of workers and never oversubscribe. Inner lanes never
@@ -161,10 +188,15 @@ JobResult BatchCompiler::compile_one(const CompileJob& job) {
       r.stem_count = result->stem_count;
       r.verified = result->verified;
       r.ok = true;
+      if (cfg_.store && cfg_.use_cache) {
+        stored.circuit = result->schedule.circuit;
+        stored.parts = result->partition.parts.size();
+        stored.lc_depth = result->partition.lc_sequence.size();
+        stored.strategy = result->strategy;
+      }
       if (cfg_.keep_results) r.framework_result = std::move(result);
     } else {
-      BaselineConfig cfg = job.baseline;
-      if (cfg_.deterministic) cfg.time_budget_ms = kUnboundedBudgetMs;
+      const BaselineConfig cfg = effective_baseline(job);
       auto result = std::make_shared<BaselineResult>(
           compile_baseline(job.graph, cfg));
       if (!result->success)
@@ -175,6 +207,7 @@ JobResult BatchCompiler::compile_one(const CompileJob& job) {
           cfg.num_emitters ? cfg.num_emitters : result->ne_min);
       r.verified = cfg.verify;
       r.ok = true;
+      if (cfg_.store && cfg_.use_cache) stored.circuit = result->circuit;
       if (cfg_.keep_results) r.baseline_result = std::move(result);
     }
   } catch (const std::exception& e) {
@@ -182,6 +215,57 @@ JobResult BatchCompiler::compile_one(const CompileJob& job) {
     r.error = e.what();
   }
   r.wall_ms = watch.elapsed_ms();
+  // Write-back to the persistent tier. Runs on the pool worker so the disk
+  // write overlaps other jobs' compute; the store serializes internally.
+  if (r.ok && cfg_.store && cfg_.use_cache) {
+    stored.stats = r.stats;
+    stored.ne_min = r.ne_min;
+    stored.ne_limit = r.ne_limit;
+    stored.stem_count = r.stem_count;
+    stored.verified = r.verified;
+    cfg_.store->put(job.graph, config_hash, job.kind, stored);
+  }
+  return r;
+}
+
+JobResult BatchCompiler::rehydrate(const CompileJob& job,
+                                   const StoredResult& stored) {
+  JobResult r;
+  r.label = job.label;
+  r.kind = job.kind;
+  r.num_qubits = job.graph.vertex_count();
+  r.num_edges = job.graph.edge_count();
+  r.ok = true;
+  r.cache_hit = true;
+  r.tier = ResultTier::store;
+  r.stats = stored.stats;
+  r.ne_min = stored.ne_min;
+  r.ne_limit = stored.ne_limit;
+  r.stem_count = stored.stem_count;
+  r.verified = stored.verified;
+  if (cfg_.keep_results) {
+    // Rehydrated results carry the exact circuit and metrics; search
+    // diagnostics (partition vectors, stage timings) stay empty.
+    if (job.kind == CompilerKind::framework) {
+      auto fr = std::make_shared<FrameworkResult>();
+      fr->schedule.circuit = stored.circuit;
+      fr->schedule.stats = stored.stats;
+      fr->schedule.makespan = stored.stats.makespan_ticks;
+      fr->ne_min = stored.ne_min;
+      fr->ne_limit = stored.ne_limit;
+      fr->stem_count = stored.stem_count;
+      fr->verified = stored.verified;
+      fr->strategy = stored.strategy;
+      r.framework_result = std::move(fr);
+    } else {
+      auto br = std::make_shared<BaselineResult>();
+      br->success = true;
+      br->circuit = stored.circuit;
+      br->stats = stored.stats;
+      br->ne_min = stored.ne_min;
+      r.baseline_result = std::move(br);
+    }
+  }
   return r;
 }
 
@@ -210,7 +294,8 @@ std::vector<JobResult> BatchCompiler::run(
     std::uint64_t config_hash = 0;
     // Index of the first identical job, or self if this job compiles.
     std::size_t representative = 0;
-    bool from_cache = false;
+    bool from_cache = false;  ///< in-memory hit
+    bool from_store = false;  ///< persistent-tier hit
   };
   std::vector<Keyed> keyed(jobs.size());
   std::vector<JobResult> results(jobs.size());
@@ -222,9 +307,13 @@ std::vector<JobResult> BatchCompiler::run(
     Keyed& k = keyed[i];
     k.graph_hash = labelled_graph_hash(jobs[i].graph);
     k.canonical_hash = canonical_graph_hash(jobs[i].graph);
-    k.config_hash = jobs[i].kind == CompilerKind::framework
-                        ? config_fingerprint(jobs[i].framework)
-                        : config_fingerprint(jobs[i].baseline);
+    // Fingerprint the configuration as it will actually compile
+    // (deterministic mode lifts the budgets), so persisted entries are
+    // never shared across modes that produce different results.
+    k.config_hash =
+        jobs[i].kind == CompilerKind::framework
+            ? config_fingerprint(effective_framework(jobs[i]))
+            : config_fingerprint(effective_baseline(jobs[i]));
     k.cache_key = HashStream()
                       .mix(k.graph_hash)
                       .mix(k.config_hash)
@@ -250,17 +339,34 @@ std::vector<JobResult> BatchCompiler::run(
         break;
       }
     }
-    if (!joined) {
-      members.push_back(i);
-      to_compile.push_back(i);
+    if (joined) continue;
+    // Only group representatives probe the persistent tier (duplicates
+    // would just repeat the same disk miss). A hit is published to the
+    // memory cache immediately, so identical jobs later in this batch
+    // (and later runs) hit memory.
+    if (cfg_.store) {
+      // Metrics-only consumers never pay the circuit decode.
+      if (auto stored = cfg_.store->get(jobs[i].graph, k.config_hash,
+                                        jobs[i].kind, cfg_.keep_results)) {
+        k.from_store = true;
+        CacheEntry entry;
+        entry.graph = jobs[i].graph;
+        entry.config_hash = k.config_hash;
+        entry.kind = jobs[i].kind;
+        entry.result = rehydrate(jobs[i], *stored);
+        cache_[k.cache_key].push_back(std::move(entry));
+        continue;
+      }
     }
+    members.push_back(i);
+    to_compile.push_back(i);
   }
 
   // Compile the representatives across the pool; each writes its own
   // slot, so the result set is independent of scheduling order.
   pool_.parallel_for(to_compile.size(), [&](std::size_t t) {
     const std::size_t i = to_compile[t];
-    results[i] = compile_one(jobs[i]);
+    results[i] = compile_one(jobs[i], keyed[i].config_hash);
   });
 
   // Publish fresh results to the cache, then fill duplicates and hits.
@@ -277,22 +383,33 @@ std::vector<JobResult> BatchCompiler::run(
   }
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     JobResult& r = results[i];
-    if (keyed[i].from_cache) {
+    if (keyed[i].from_cache || keyed[i].from_store) {
       const CacheEntry* hit =
           find_cached(keyed[i].cache_key, jobs[i], keyed[i].config_hash);
       r = hit->result;
       r.label = jobs[i].label;
       r.cache_hit = true;
+      r.tier =
+          keyed[i].from_store ? ResultTier::store : ResultTier::memory;
       r.wall_ms = 0.0;
     } else if (keyed[i].representative != i) {
       r = results[keyed[i].representative];
       r.label = jobs[i].label;
       r.cache_hit = true;
+      r.tier = ResultTier::dedup;
       r.wall_ms = 0.0;
+    } else {
+      r.tier = ResultTier::compiled;
     }
     r.index = i;
     r.graph_hash = keyed[i].graph_hash;
     r.canonical_hash = keyed[i].canonical_hash;
+    switch (r.tier) {
+      case ResultTier::compiled: break;
+      case ResultTier::memory: ++summary_.memory_hits; break;
+      case ResultTier::store: ++summary_.store_hits; break;
+      case ResultTier::dedup: ++summary_.dedup_hits; break;
+    }
     if (r.cache_hit) ++summary_.cache_hits;
     if (!r.ok) ++summary_.failures;
     summary_.compile_ms += r.wall_ms;
@@ -302,6 +419,9 @@ std::vector<JobResult> BatchCompiler::run(
   totals_.jobs += summary_.jobs;
   totals_.compiled += summary_.compiled;
   totals_.cache_hits += summary_.cache_hits;
+  totals_.memory_hits += summary_.memory_hits;
+  totals_.store_hits += summary_.store_hits;
+  totals_.dedup_hits += summary_.dedup_hits;
   totals_.failures += summary_.failures;
   totals_.wall_ms += summary_.wall_ms;
   totals_.compile_ms += summary_.compile_ms;

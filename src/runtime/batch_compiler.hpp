@@ -37,7 +37,24 @@
 
 namespace epg {
 
+class CompileResultStore;  // store/result_store.hpp
+struct StoredResult;
+
 enum class CompilerKind { framework, baseline };
+
+/// The wall-clock budget deterministic mode substitutes for the
+/// configured ones: large enough that no anytime search ever hits it,
+/// small enough that the double arithmetic in the budget checks stays
+/// exact. Exported so tooling that reproduces deterministic-mode
+/// fingerprints (bench_store's probe) shares the exact value.
+inline constexpr double kUnboundedBudgetMs = 1e15;
+
+/// Where a job's result came from. `memory` = this BatchCompiler's cache,
+/// `store` = the persistent on-disk tier, `dedup` = an identical job
+/// earlier in the same batch.
+enum class ResultTier { compiled, memory, store, dedup };
+
+const char* tier_name(ResultTier tier);
 
 struct CompileJob {
   std::string label;
@@ -54,7 +71,8 @@ struct JobResult {
 
   bool ok = false;
   std::string error;      ///< exception text when !ok
-  bool cache_hit = false;
+  bool cache_hit = false; ///< tier != compiled
+  ResultTier tier = ResultTier::compiled;
   double wall_ms = 0.0;   ///< this job's compile time (0 for cache hits)
 
   std::size_t num_qubits = 0;
@@ -91,13 +109,26 @@ struct BatchConfig {
   /// consumers that sample the circuits, e.g. the noise benches).
   bool keep_results = true;
   /// Lift per-job wall-clock budgets so results are load-independent.
+  /// The lifted budgets are what gets fingerprinted, so deterministic and
+  /// budget-bound runs never share cache or store entries.
   bool deterministic = false;
+  /// Optional persistent tier (store/result_store.hpp). Read-through on a
+  /// memory-cache miss, write-back after every successful compile; active
+  /// only while use_cache is set. Store hits replay exact metrics and the
+  /// compiled circuit; with keep_results they rehydrate a result whose
+  /// circuit/stats/scalars are exact but whose search diagnostics
+  /// (partition internals, stage timings) are empty — the search did not
+  /// run. Consumers needing those must compile cold (no store).
+  std::shared_ptr<CompileResultStore> store;
 };
 
 struct BatchSummary {
   std::size_t jobs = 0;
   std::size_t compiled = 0;    ///< jobs that actually ran a compiler
-  std::size_t cache_hits = 0;
+  std::size_t cache_hits = 0;  ///< memory + store + dedup
+  std::size_t memory_hits = 0; ///< in-memory result cache
+  std::size_t store_hits = 0;  ///< persistent on-disk store tier
+  std::size_t dedup_hits = 0;  ///< duplicate jobs within one batch
   std::size_t failures = 0;
   double wall_ms = 0.0;        ///< whole-batch wall time
   double compile_ms = 0.0;     ///< sum of per-job compile times
@@ -149,9 +180,15 @@ class BatchCompiler {
     JobResult result;
   };
 
-  JobResult compile_one(const CompileJob& job);
+  JobResult compile_one(const CompileJob& job, std::uint64_t config_hash);
   const CacheEntry* find_cached(std::uint64_t key, const CompileJob& job,
                                 std::uint64_t config_hash) const;
+  /// The configuration as actually compiled (deterministic mode lifts the
+  /// wall-clock budgets); this is what gets fingerprinted and stored.
+  FrameworkConfig effective_framework(const CompileJob& job) const;
+  BaselineConfig effective_baseline(const CompileJob& job) const;
+  /// Materialize a JobResult from a persistent-store hit.
+  JobResult rehydrate(const CompileJob& job, const StoredResult& stored);
 
   BatchConfig cfg_;
   ThreadPool pool_;

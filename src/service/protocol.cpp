@@ -1,0 +1,215 @@
+#include "service/protocol.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "circuit/serialize.hpp"
+#include "common/json.hpp"
+#include "common/json_value.hpp"
+#include "io/graph_io.hpp"
+#include "metrics/report.hpp"
+#include "store/result_store.hpp"
+
+namespace epg {
+
+namespace {
+
+HardwareModel hardware_by_name(const std::string& name) {
+  if (name == "quantum_dot" || name == "qd")
+    return HardwareModel::quantum_dot();
+  if (name == "nv") return HardwareModel::nv_center();
+  if (name == "siv") return HardwareModel::siv_center();
+  if (name == "rydberg") return HardwareModel::rydberg();
+  throw std::invalid_argument("unknown hardware model '" + name + "'");
+}
+
+Graph graph_from_spec(const JsonValue& spec) {
+  const JsonValue* g6 = spec.find("graph");
+  const JsonValue* edges = spec.find("edges");
+  if ((g6 != nullptr) == (edges != nullptr))
+    throw std::invalid_argument(
+        "compile spec needs exactly one of \"graph\" (graph6) or "
+        "\"edges\"");
+  if (g6 != nullptr) return read_graph6(g6->as_string());
+  const std::uint64_t n = spec.get_u64("n", 0);
+  if (n == 0)
+    throw std::invalid_argument("\"edges\" needs a vertex count \"n\"");
+  // Same ceiling as the graph6 reader: a client-supplied count must not
+  // be able to drive the long-lived service into a huge allocation.
+  if (n > 258047)
+    throw std::invalid_argument("\"n\" exceeds the 258047-vertex limit");
+  Graph graph(n);
+  for (const JsonValue& e : edges->items()) {
+    if (e.items().size() != 2)
+      throw std::invalid_argument("each edge must be a [u,v] pair");
+    const double u = e.items()[0].as_number();
+    const double v = e.items()[1].as_number();
+    if (u < 0 || v < 0 || u >= static_cast<double>(n) ||
+        v >= static_cast<double>(n) || u == v)
+      throw std::invalid_argument("edge endpoint out of range");
+    graph.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+  return graph;
+}
+
+// Mirrors the epgc_compile flag set, defaults included, so a service
+// compile of a graph reproduces the CLI run bit-for-bit.
+CompileJob job_from_spec(const JsonValue& spec, std::size_t index) {
+  CompileJob job;
+  job.label = spec.get_string("label", "req" + std::to_string(index));
+  job.graph = graph_from_spec(spec);
+
+  const std::string compiler = spec.get_string("compiler", "framework");
+  const HardwareModel hw =
+      hardware_by_name(spec.get_string("hw", "quantum_dot"));
+  const bool verify = spec.get_bool("verify", true);
+  if (compiler == "framework") {
+    job.kind = CompilerKind::framework;
+    job.framework.hw = hw;
+    job.framework.subgraph.hw = hw;
+    job.framework.partition.g_max =
+        static_cast<std::uint32_t>(spec.get_u64("gmax", 7));
+    job.framework.partition.max_lc_ops =
+        static_cast<std::uint32_t>(spec.get_u64("lc", 15));
+    job.framework.partition.time_budget_ms =
+        spec.get_number("budget_ms", 800.0);
+    job.framework.partition.strategy = spec.get_string("strategy", "beam");
+    job.framework.ne_limit_factor = spec.get_number("ne_factor", 1.5);
+    job.framework.ne_limit_override =
+        static_cast<std::uint32_t>(spec.get_u64("ne", 0));
+    job.framework.seed = spec.get_u64("seed", 1);
+    job.framework.verify_seeds = verify ? 2 : 0;
+  } else if (compiler == "baseline") {
+    job.kind = CompilerKind::baseline;
+    job.baseline.hw = hw;
+    job.baseline.seed = spec.get_u64("seed", 1);
+    job.baseline.num_emitters = spec.get_u64("ne", 0);
+    job.baseline.verify = verify;
+  } else {
+    throw std::invalid_argument("unknown compiler '" + compiler + "'");
+  }
+  return job;
+}
+
+}  // namespace
+
+std::string extract_request_id(const std::string& line) {
+  try {
+    const JsonValue v = JsonValue::parse(line);
+    const JsonValue* id = v.find("id");
+    return id == nullptr ? "null" : id->dump();
+  } catch (const std::exception&) {
+    return "null";
+  }
+}
+
+ServiceRequest parse_service_request(const std::string& line) {
+  const JsonValue v = JsonValue::parse(line);
+  if (v.type() != JsonValue::Type::object)
+    throw std::invalid_argument("request must be a JSON object");
+
+  ServiceRequest req;
+  const JsonValue* id = v.find("id");
+  req.id_json = id == nullptr ? "null" : id->dump();
+  req.deadline_ms = v.get_number("deadline_ms", 0.0);
+
+  const std::string op = v.get_string("op", "");
+  if (op == "compile") {
+    req.op = ServiceOp::compile;
+    req.want_circuit = v.get_bool("circuit", false);
+    req.jobs.push_back(job_from_spec(v, 0));
+  } else if (op == "batch") {
+    req.op = ServiceOp::batch;
+    const JsonValue* jobs = v.find("jobs");
+    if (jobs == nullptr || jobs->items().empty())
+      throw std::invalid_argument("batch request needs a \"jobs\" array");
+    for (std::size_t i = 0; i < jobs->items().size(); ++i)
+      req.jobs.push_back(job_from_spec(jobs->items()[i], i));
+  } else if (op == "stats") {
+    req.op = ServiceOp::stats;
+  } else if (op == "ping") {
+    req.op = ServiceOp::ping;
+  } else if (op == "shutdown") {
+    req.op = ServiceOp::shutdown;
+  } else if (op.empty()) {
+    throw std::invalid_argument("request has no \"op\"");
+  } else {
+    throw std::invalid_argument("unknown op '" + op + "'");
+  }
+  return req;
+}
+
+std::string error_response(const std::string& id_json,
+                           const std::string& message) {
+  return "{\"id\":" + id_json + ",\"ok\":false,\"error\":\"" +
+         json_escape(message) + "\"}";
+}
+
+std::string pong_response(const std::string& id_json) {
+  return "{\"id\":" + id_json + ",\"ok\":true,\"op\":\"ping\"}";
+}
+
+std::string shutdown_response(const std::string& id_json) {
+  return "{\"id\":" + id_json + ",\"ok\":true,\"op\":\"shutdown\"}";
+}
+
+std::string compile_response(const std::string& id_json, const JobResult& r,
+                             const std::string& circuit_text,
+                             bool include_wall) {
+  std::ostringstream os;
+  os << "{\"id\":" << id_json << ",\"op\":\"compile\",";
+  job_result_json_fields(os, r, include_wall);
+  if (!circuit_text.empty())
+    os << ",\"circuit\":\"" << json_escape(circuit_text) << '"';
+  os << '}';
+  return os.str();
+}
+
+std::string batch_response(const std::string& id_json,
+                           const std::vector<JobResult>& results,
+                           const BatchSummary& summary, bool include_wall) {
+  std::ostringstream os;
+  os << "{\"id\":" << id_json << ",\"op\":\"batch\",\"ok\":true,"
+     << "\"jobs\":" << results.size() << ",\"compiled\":"
+     << summary.compiled << ",\"cache_hits\":" << summary.cache_hits
+     << ",\"memory_hits\":" << summary.memory_hits << ",\"store_hits\":"
+     << summary.store_hits << ",\"dedup_hits\":" << summary.dedup_hits
+     << ",\"failures\":" << summary.failures << ",\"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i) os << ',';
+    os << '{';
+    job_result_json_fields(os, results[i], include_wall);
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string stats_response(const std::string& id_json,
+                           const ServiceCounters& counters,
+                           const BatchSummary& totals,
+                           std::size_t parallelism,
+                           const StoreStats* store) {
+  std::ostringstream os;
+  os << "{\"id\":" << id_json << ",\"op\":\"stats\",\"ok\":true"
+     << ",\"requests\":" << counters.requests << ",\"ok_count\":"
+     << counters.ok << ",\"errors\":" << counters.errors
+     << ",\"rejected\":" << counters.rejected << ",\"expired\":"
+     << counters.expired << ",\"parallelism\":" << parallelism
+     << ",\"jobs\":" << totals.jobs << ",\"compiled\":" << totals.compiled
+     << ",\"cache_hits\":" << totals.cache_hits << ",\"memory_hits\":"
+     << totals.memory_hits << ",\"store_hits\":" << totals.store_hits
+     << ",\"dedup_hits\":" << totals.dedup_hits << ",\"failures\":"
+     << totals.failures;
+  if (store != nullptr) {
+    os << ",\"store\":{\"hits\":" << store->hits << ",\"misses\":"
+       << store->misses << ",\"puts\":" << store->puts << ",\"evictions\":"
+       << store->evictions << ",\"corrupt_skipped\":"
+       << store->corrupt_skipped << ",\"bytes\":" << store->bytes
+       << ",\"entries\":" << store->entries << '}';
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace epg

@@ -1,0 +1,79 @@
+// NDJSON request/response protocol of the epgc_serve compilation service.
+//
+// One JSON object per line in, one JSON object per line out (spec in
+// docs/service.md). Requests:
+//
+//   {"op":"compile", "id":1, "graph":"<graph6>", "seed":7, ...}
+//   {"op":"batch",   "id":2, "jobs":[{...compile spec...}, ...]}
+//   {"op":"stats",   "id":3}
+//   {"op":"ping",    "id":4}
+//   {"op":"shutdown","id":5}
+//
+// Compile specs accept the same knobs as epgc_compile flags — with the
+// same defaults, so a service response reproduces an epgc_compile run of
+// the same graph bit-for-bit. The graph is a graph6 string ("graph") or
+// an explicit edge list ("n" + "edges":[[u,v],...]).
+//
+// Every response echoes the request's "id" verbatim and carries
+// "ok":true/false; malformed requests produce an error response, never a
+// dropped line or a dead connection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/batch_compiler.hpp"
+
+namespace epg {
+
+struct StoreStats;
+
+enum class ServiceOp { compile, batch, stats, ping, shutdown };
+
+struct ServiceRequest {
+  ServiceOp op = ServiceOp::ping;
+  std::string id_json = "null";  ///< request "id" re-rendered, for echoing
+  std::vector<CompileJob> jobs;  ///< compile: exactly one; batch: many
+  bool want_circuit = false;     ///< compile only: embed the epgc text
+  double deadline_ms = 0.0;      ///< max queue wait; 0 = no deadline
+};
+
+/// Parse one request line. Throws std::invalid_argument on malformed
+/// JSON, unknown ops/keys of the wrong type, or undecodable graphs.
+ServiceRequest parse_service_request(const std::string& line);
+
+/// Best-effort id extraction from a (possibly malformed) request line, so
+/// even parse-error responses can echo the id when one is readable.
+std::string extract_request_id(const std::string& line);
+
+// ---- response rendering (single line, no trailing newline) ---------------
+
+std::string error_response(const std::string& id_json,
+                           const std::string& message);
+std::string pong_response(const std::string& id_json);
+std::string shutdown_response(const std::string& id_json);
+
+/// `include_wall` = false keeps deterministic-mode responses bit-stable
+/// across service restarts. `circuit_text` non-empty embeds the compiled
+/// circuit in the native epgc format.
+std::string compile_response(const std::string& id_json, const JobResult& r,
+                             const std::string& circuit_text,
+                             bool include_wall);
+std::string batch_response(const std::string& id_json,
+                           const std::vector<JobResult>& results,
+                           const BatchSummary& summary, bool include_wall);
+
+struct ServiceCounters {
+  std::size_t requests = 0;  ///< lines received (including malformed)
+  std::size_t ok = 0;
+  std::size_t errors = 0;    ///< malformed/failed requests
+  std::size_t rejected = 0;  ///< admission-queue overflow
+  std::size_t expired = 0;   ///< deadline exceeded while queued
+};
+
+std::string stats_response(const std::string& id_json,
+                           const ServiceCounters& counters,
+                           const BatchSummary& totals,
+                           std::size_t parallelism, const StoreStats* store);
+
+}  // namespace epg

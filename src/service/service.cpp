@@ -1,0 +1,307 @@
+#include "service/service.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "circuit/serialize.hpp"
+
+namespace epg {
+
+namespace {
+
+std::string circuit_text_of(const JobResult& r) {
+  if (r.framework_result)
+    return serialize_circuit(r.framework_result->schedule.circuit);
+  if (r.baseline_result) return serialize_circuit(r.baseline_result->circuit);
+  return {};
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig cfg) : cfg_(std::move(cfg)) {
+  // Responses may embed the compiled circuit, so full results must be
+  // retained; the cache is the service's reason to exist.
+  cfg_.batch.keep_results = true;
+  cfg_.batch.use_cache = true;
+  if (!cfg_.store.dir.empty())
+    store_ = std::make_shared<CompileResultStore>(cfg_.store);
+  cfg_.batch.store = store_;
+  batch_ = std::make_unique<BatchCompiler>(cfg_.batch);
+}
+
+std::string Service::handle_line(const std::string& line, double queued_ms) {
+  ++counters_.requests;
+  ServiceRequest req;
+  try {
+    req = parse_service_request(line);
+  } catch (const std::exception& e) {
+    ++counters_.errors;
+    return error_response(extract_request_id(line), e.what());
+  }
+  const double deadline =
+      req.deadline_ms > 0.0 ? req.deadline_ms : cfg_.default_deadline_ms;
+  if (deadline > 0.0 && queued_ms > deadline) {
+    ++counters_.expired;
+    ++counters_.errors;
+    return error_response(req.id_json,
+                          "deadline exceeded: request queued " +
+                              std::to_string(queued_ms) + " ms, deadline " +
+                              std::to_string(deadline) + " ms");
+  }
+  return handle_request(req, queued_ms);
+}
+
+std::string Service::handle_request(const ServiceRequest& req,
+                                    double /*queued_ms*/) {
+  const bool include_wall = !cfg_.batch.deterministic;
+  switch (req.op) {
+    case ServiceOp::ping:
+      ++counters_.ok;
+      return pong_response(req.id_json);
+    case ServiceOp::shutdown:
+      ++counters_.ok;
+      stop_.store(true);
+      return shutdown_response(req.id_json);
+    case ServiceOp::stats: {
+      ++counters_.ok;
+      StoreStats store_stats;
+      if (store_) store_stats = store_->stats();
+      return stats_response(req.id_json, counters(), batch_->totals(),
+                            batch_->parallelism(),
+                            store_ ? &store_stats : nullptr);
+    }
+    case ServiceOp::compile: {
+      const std::vector<JobResult> results = batch_->run(req.jobs);
+      const JobResult& r = results.front();
+      if (r.ok) ++counters_.ok;
+      else ++counters_.errors;
+      return compile_response(
+          req.id_json, r,
+          req.want_circuit && r.ok ? circuit_text_of(r) : std::string(),
+          include_wall);
+    }
+    case ServiceOp::batch: {
+      const std::vector<JobResult> results = batch_->run(req.jobs);
+      const BatchSummary summary = batch_->summary();
+      if (summary.failures == 0) ++counters_.ok;
+      else ++counters_.errors;
+      return batch_response(req.id_json, results, summary, include_wall);
+    }
+  }
+  ++counters_.errors;
+  return error_response(req.id_json, "unhandled op");
+}
+
+int Service::serve_stream(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (!stop_.load() && std::getline(in, line)) {
+    if (line.empty()) continue;
+    out << handle_line(line) << '\n' << std::flush;
+    if (cfg_.once) break;
+  }
+  return 0;
+}
+
+// ---- Unix-socket transport -------------------------------------------------
+
+namespace {
+
+struct Conn {
+  int fd = -1;
+  std::mutex write_mutex;
+
+  explicit Conn(int f) : fd(f) {}
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void write_line(const std::string& response) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    std::string out = response;
+    out += '\n';
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the service.
+      const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return;  // peer gone; the response dies with it
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+};
+
+struct Pending {
+  std::shared_ptr<Conn> conn;
+  std::string line;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+}  // namespace
+
+int Service::serve_socket(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "epgc_serve: socket path too long: " << path << '\n';
+    return 1;
+  }
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::cerr << "epgc_serve: socket(): " << std::strerror(errno) << '\n';
+    return 1;
+  }
+  ::unlink(path.c_str());  // stale socket from a previous run
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd, 16) < 0) {
+    std::cerr << "epgc_serve: cannot listen on " << path << ": "
+              << std::strerror(errno) << '\n';
+    ::close(listen_fd);
+    return 1;
+  }
+
+  // A single request line can legitimately be large (a batch of graph6
+  // strings), but a stream that never produces a newline is not a
+  // protocol client — cap it so one connection cannot OOM the service.
+  constexpr std::size_t kMaxLineBytes = std::size_t{64} << 20;
+
+  struct ClientSlot {
+    std::shared_ptr<Conn> conn;
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  std::mutex mutex;  // guards queue, clients
+  std::condition_variable cv;
+  std::deque<Pending> queue;
+  std::vector<ClientSlot> clients;
+
+  // Per-connection reader: split the byte stream into lines and admit
+  // them. A full queue answers immediately with an error — backpressure
+  // the client can see — instead of buffering without bound.
+  auto reader = [&](std::shared_ptr<Conn> conn,
+                    std::shared_ptr<std::atomic<bool>> done) {
+    std::string buffer;
+    char chunk[4096];
+    while (!stop_.load()) {
+      const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      if (buffer.size() > kMaxLineBytes &&
+          buffer.find('\n') == std::string::npos) {
+        conn->write_line(error_response(
+            "null", "request line exceeds " +
+                        std::to_string(kMaxLineBytes) + " bytes"));
+        break;  // cannot resync a lineless stream; drop the connection
+      }
+      std::size_t nl;
+      while ((nl = buffer.find('\n')) != std::string::npos) {
+        std::string line = buffer.substr(0, nl);
+        buffer.erase(0, nl + 1);
+        if (line.empty()) continue;
+        bool rejected = false;
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (queue.size() >= cfg_.max_queue) {
+            rejected_.fetch_add(1);
+            rejected = true;
+          } else {
+            queue.push_back({conn, std::move(line),
+                             std::chrono::steady_clock::now()});
+          }
+        }
+        if (rejected) {
+          conn->write_line(error_response(
+              extract_request_id(line),
+              "queue full (" + std::to_string(cfg_.max_queue) +
+                  " pending); retry later"));
+        } else {
+          cv.notify_one();
+        }
+      }
+    }
+    done->store(true);
+  };
+
+  // Acceptor: poll so the loop can notice shutdown within 200 ms. Also
+  // reaps finished clients each pass, so short-lived connections don't
+  // accumulate fds and unjoined threads for the life of the service.
+  std::thread acceptor([&] {
+    while (!stop_.load()) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (auto it = clients.begin(); it != clients.end();) {
+          if (it->done->load()) {
+            it->thread.join();  // reader already exited: join is instant
+            it = clients.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      pollfd pfd{listen_fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 200);
+      if (ready <= 0) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      auto conn = std::make_shared<Conn>(fd);
+      auto done = std::make_shared<std::atomic<bool>>(false);
+      std::lock_guard<std::mutex> lock(mutex);
+      clients.push_back({conn, std::thread(reader, conn, done), done});
+    }
+  });
+
+  // Executor: the calling thread drains the admission queue one request
+  // at a time; compiles parallelize internally via the batch pool.
+  while (true) {
+    Pending p;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait_for(lock, std::chrono::milliseconds(200), [&] {
+        return !queue.empty() || stop_.load();
+      });
+      if (queue.empty()) {
+        if (stop_.load()) break;
+        continue;
+      }
+      p = std::move(queue.front());
+      queue.pop_front();
+    }
+    const double queued_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - p.enqueued)
+            .count();
+    p.conn->write_line(handle_line(p.line, queued_ms));
+  }
+
+  // Teardown order matters: join the acceptor FIRST (it observes stop_
+  // within one poll interval), so the client set is final before we
+  // unblock readers — a connection accepted mid-teardown could otherwise
+  // keep a reader parked in recv() forever.
+  acceptor.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const auto& client : clients) ::shutdown(client.conn->fd, SHUT_RDWR);
+  }
+  for (ClientSlot& client : clients) client.thread.join();
+  clients.clear();
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+}  // namespace epg

@@ -1,0 +1,88 @@
+// Long-lived compilation service on top of BatchCompiler + the persistent
+// result store.
+//
+// Two transports, one execution path:
+//   * stream mode — NDJSON requests on an istream, responses on an
+//     ostream, strictly in order. Backpressure is natural: the service
+//     does not read the next line until the current one is answered.
+//   * Unix-socket mode — concurrent clients; per-connection reader
+//     threads feed a bounded admission queue, one executor thread drains
+//     it. A full queue rejects the request immediately with a
+//     "queue full" error (explicit backpressure), and a request whose
+//     `deadline_ms` elapses while it is still queued is answered with a
+//     deadline error instead of being compiled late.
+//
+// All compiles go through one BatchCompiler, so the service accumulates a
+// warm in-memory cache across requests, and — when a store directory is
+// configured — a persistent tier shared with the CLIs. In deterministic
+// mode responses carry no wall-clock fields and are bit-identical to what
+// `epgc_compile` prints for the same graph and knobs.
+#pragma once
+
+#include <atomic>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "runtime/batch_compiler.hpp"
+#include "service/protocol.hpp"
+#include "store/result_store.hpp"
+
+namespace epg {
+
+struct ServiceConfig {
+  /// Threads / inner lanes / deterministic mode for the shared
+  /// BatchCompiler. keep_results is forced on (responses may embed the
+  /// compiled circuit); use_cache stays on — the warm cache is the point.
+  BatchConfig batch;
+  /// Persistent tier; an empty dir disables it.
+  StoreConfig store;
+  /// Admission-queue capacity in socket mode; a full queue rejects.
+  std::size_t max_queue = 64;
+  /// Applied to requests that carry no deadline_ms of their own (0 = no
+  /// default deadline).
+  double default_deadline_ms = 0.0;
+  /// Stream mode: answer exactly one request, then return.
+  bool once = false;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig cfg);
+
+  /// Serve NDJSON until EOF, a shutdown request, or (cfg.once) the first
+  /// answered request. Returns 0 always (malformed requests are answered,
+  /// not fatal).
+  int serve_stream(std::istream& in, std::ostream& out);
+
+  /// Listen on a Unix domain socket until a shutdown request. Returns 0
+  /// on clean shutdown, 1 when the socket cannot be created.
+  int serve_socket(const std::string& path);
+
+  /// One request line in, one response line out (no trailing newline).
+  /// `queued_ms` is how long the request waited for admission — the
+  /// per-request deadline is charged against it.
+  std::string handle_line(const std::string& line, double queued_ms = 0.0);
+
+  bool shutdown_requested() const { return stop_.load(); }
+  /// Snapshot (rejected is updated from socket reader threads).
+  ServiceCounters counters() const {
+    ServiceCounters c = counters_;
+    c.rejected = rejected_.load();
+    return c;
+  }
+  BatchCompiler& batch() { return *batch_; }
+  CompileResultStore* store() { return store_.get(); }
+
+ private:
+  std::string handle_request(const ServiceRequest& req, double queued_ms);
+
+  ServiceConfig cfg_;
+  std::shared_ptr<CompileResultStore> store_;  ///< null when disabled
+  std::unique_ptr<BatchCompiler> batch_;
+  ServiceCounters counters_;  ///< executor-thread only, except .rejected
+  std::atomic<std::size_t> rejected_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace epg

@@ -1,0 +1,454 @@
+#include "store/result_store.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "circuit/serialize.hpp"
+#include "common/build_info.hpp"
+#include "io/graph_io.hpp"
+#include "runtime/batch_compiler.hpp"
+#include "runtime/graph_hash.hpp"
+
+namespace fs = std::filesystem;
+
+namespace epg {
+
+namespace {
+
+constexpr const char* kMagic = "epgc-store";
+constexpr const char* kTmpPrefix = ".tmp-";
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+  return buf;
+}
+
+// Doubles as C hexfloats: every bit round-trips, so warm-run metrics are
+// bit-identical to the cold run that produced them.
+std::string fmt_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+double parse_double_field(const std::string& token) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0' || token.empty())
+    throw std::invalid_argument("store entry: bad number '" + token + "'");
+  return v;
+}
+
+std::uint64_t parse_u64_field(const std::string& token) {
+  if (token.empty() ||
+      token.find_first_not_of("0123456789") != std::string::npos)
+    throw std::invalid_argument("store entry: bad integer '" + token + "'");
+  return std::strtoull(token.c_str(), nullptr, 10);
+}
+
+std::uint64_t checksum_of(const std::string& payload) {
+  return HashStream().mix(payload).digest();
+}
+
+// Sequential line reader that remembers the byte offset of the line it is
+// about to hand out (the checksum covers everything before its own line).
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) : text_(text) {}
+
+  bool next(std::string& line) {
+    line_start_ = pos_;
+    if (pos_ >= text_.size()) return false;
+    const std::size_t nl = text_.find('\n', pos_);
+    if (nl == std::string::npos)
+      throw std::invalid_argument("store entry: truncated (no newline)");
+    line = text_.substr(pos_, nl - pos_);
+    pos_ = nl + 1;
+    return true;
+  }
+
+  std::string expect(const std::string& key) {
+    std::string line;
+    if (!next(line))
+      throw std::invalid_argument("store entry: truncated before '" + key +
+                                  "'");
+    if (line.size() <= key.size() ||
+        line.compare(0, key.size(), key) != 0 || line[key.size()] != ' ')
+      throw std::invalid_argument("store entry: expected '" + key +
+                                  "', got '" + line + "'");
+    return line.substr(key.size() + 1);
+  }
+
+  std::size_t line_start() const { return line_start_; }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_start_ = 0;
+};
+
+struct StatField {
+  const char* name;
+  double CircuitStats::* dval;
+  std::size_t CircuitStats::* sval;
+  Tick CircuitStats::* tval;
+  double LossReport::* lval;
+};
+
+// The full CircuitStats surface, in serialization order. Adding a field
+// here (and bumping build_info().result_schema) is all a stats extension
+// needs.
+const StatField kStatFields[] = {
+    {"ee_cnot", nullptr, &CircuitStats::ee_cnot_count, nullptr, nullptr},
+    {"emissions", nullptr, &CircuitStats::emission_count, nullptr, nullptr},
+    {"locals", nullptr, &CircuitStats::local_count, nullptr, nullptr},
+    {"measures", nullptr, &CircuitStats::measure_count, nullptr, nullptr},
+    {"emitters", nullptr, &CircuitStats::emitters_used, nullptr, nullptr},
+    {"makespan", nullptr, nullptr, &CircuitStats::makespan_ticks, nullptr},
+    {"duration", &CircuitStats::duration_tau, nullptr, nullptr, nullptr},
+    {"t_loss", &CircuitStats::t_loss_tau, nullptr, nullptr, nullptr},
+    {"survival", nullptr, nullptr, nullptr, &LossReport::state_survival},
+    {"state_loss", nullptr, nullptr, nullptr, &LossReport::state_loss},
+    {"mean_loss", nullptr, nullptr, nullptr, &LossReport::mean_photon_loss},
+    {"mean_alive", nullptr, nullptr, nullptr, &LossReport::mean_alive_tau},
+    {"ee_fidelity", &CircuitStats::ee_fidelity_estimate, nullptr, nullptr,
+     nullptr},
+};
+
+}  // namespace
+
+std::string write_store_entry(const StoreEntryData& entry) {
+  std::ostringstream os;
+  os << kMagic << ' ' << kStoreFormatVersion << '\n';
+  os << "schema " << entry.schema << '\n';
+  os << "kind " << (entry.is_framework ? "framework" : "baseline") << '\n';
+  os << "config " << entry.config_hash << '\n';
+  os << "graph " << write_graph6(entry.graph) << '\n';
+  const StoredResult& r = entry.result;
+  os << "ne_min " << r.ne_min << '\n';
+  os << "ne_limit " << r.ne_limit << '\n';
+  os << "stem_count " << r.stem_count << '\n';
+  os << "parts " << r.parts << '\n';
+  os << "lc_depth " << r.lc_depth << '\n';
+  os << "strategy " << (r.strategy.empty() ? "-" : r.strategy) << '\n';
+  os << "verified " << (r.verified ? 1 : 0) << '\n';
+  for (const StatField& f : kStatFields) {
+    os << "stat " << f.name << ' ';
+    if (f.dval != nullptr) os << fmt_double(r.stats.*(f.dval));
+    else if (f.sval != nullptr) os << r.stats.*(f.sval);
+    else if (f.tval != nullptr) os << r.stats.*(f.tval);
+    else os << fmt_double(r.stats.loss.*(f.lval));
+    os << '\n';
+  }
+  const std::string circuit_text = serialize_circuit(r.circuit);
+  std::size_t circuit_lines = 0;
+  for (char c : circuit_text)
+    if (c == '\n') ++circuit_lines;
+  os << "circuit " << circuit_lines << '\n' << circuit_text;
+  std::string payload = os.str();
+  payload += "checksum " + hex64(checksum_of(payload)) + "\n";
+  payload += "end\n";
+  return payload;
+}
+
+StoreEntryData read_store_entry(const std::string& text,
+                                bool with_circuit) {
+  LineReader lines(text);
+  StoreEntryData entry;
+
+  std::string magic_line;
+  if (!lines.next(magic_line))
+    throw std::invalid_argument("store entry: empty file");
+  {
+    std::istringstream is(magic_line);
+    std::string magic;
+    int version = -1;
+    if (!(is >> magic >> version) || magic != kMagic)
+      throw std::invalid_argument("store entry: bad magic '" + magic_line +
+                                  "'");
+    if (version != kStoreFormatVersion)
+      throw std::invalid_argument(
+          "store entry: format version " + std::to_string(version) +
+          " (this build reads " + std::to_string(kStoreFormatVersion) + ")");
+  }
+
+  entry.schema =
+      static_cast<int>(parse_u64_field(lines.expect("schema")));
+  if (entry.schema != build_info().result_schema)
+    throw std::invalid_argument(
+        "store entry: result-schema " + std::to_string(entry.schema) +
+        " (this build writes " +
+        std::to_string(build_info().result_schema) + ")");
+
+  const std::string kind = lines.expect("kind");
+  if (kind == "framework") entry.is_framework = true;
+  else if (kind == "baseline") entry.is_framework = false;
+  else
+    throw std::invalid_argument("store entry: unknown kind '" + kind + "'");
+
+  entry.config_hash = parse_u64_field(lines.expect("config"));
+  entry.graph = read_graph6(lines.expect("graph"));
+
+  StoredResult& r = entry.result;
+  r.ne_min = parse_u64_field(lines.expect("ne_min"));
+  r.ne_limit =
+      static_cast<std::uint32_t>(parse_u64_field(lines.expect("ne_limit")));
+  r.stem_count = parse_u64_field(lines.expect("stem_count"));
+  r.parts = parse_u64_field(lines.expect("parts"));
+  r.lc_depth = parse_u64_field(lines.expect("lc_depth"));
+  r.strategy = lines.expect("strategy");
+  if (r.strategy == "-") r.strategy.clear();
+  r.verified = parse_u64_field(lines.expect("verified")) != 0;
+
+  for (const StatField& f : kStatFields) {
+    const std::string value = lines.expect(std::string("stat ") + f.name);
+    if (f.dval != nullptr) r.stats.*(f.dval) = parse_double_field(value);
+    else if (f.sval != nullptr) r.stats.*(f.sval) = parse_u64_field(value);
+    else if (f.tval != nullptr)
+      r.stats.*(f.tval) = static_cast<Tick>(parse_u64_field(value));
+    else r.stats.loss.*(f.lval) = parse_double_field(value);
+  }
+
+  const std::size_t circuit_lines =
+      parse_u64_field(lines.expect("circuit"));
+  std::string circuit_text;
+  for (std::size_t i = 0; i < circuit_lines; ++i) {
+    std::string line;
+    if (!lines.next(line))
+      throw std::invalid_argument("store entry: truncated circuit block");
+    circuit_text += line;
+    circuit_text += '\n';
+  }
+
+  // The checksum line covers every byte before itself; a flipped bit
+  // anywhere in the payload (or in the checksum) fails the comparison.
+  const std::size_t payload_end_before_checksum = lines.pos();
+  const std::string stored_checksum = lines.expect("checksum");
+  const std::string computed =
+      hex64(checksum_of(text.substr(0, payload_end_before_checksum)));
+  if (stored_checksum != computed)
+    throw std::invalid_argument("store entry: checksum mismatch (expected " +
+                                computed + ", file says " + stored_checksum +
+                                ")");
+
+  std::string line;
+  if (!lines.next(line) || line != "end")
+    throw std::invalid_argument("store entry: missing 'end' terminator");
+  if (lines.next(line))
+    throw std::invalid_argument("store entry: trailing garbage after 'end'");
+
+  // The checksum above already vouched for the circuit bytes; decoding
+  // them is the expensive part, so metrics-only readers skip it.
+  if (with_circuit) r.circuit = parse_circuit(circuit_text);
+  return entry;
+}
+
+CompileResultStore::CompileResultStore(StoreConfig cfg)
+    : cfg_(std::move(cfg)) {
+  if (cfg_.dir.empty())
+    throw std::invalid_argument("CompileResultStore: empty directory");
+  std::error_code ec;
+  fs::create_directories(cfg_.dir, ec);
+  if (ec)
+    throw std::runtime_error("CompileResultStore: cannot create '" +
+                             cfg_.dir + "': " + ec.message());
+
+  // Index existing entries; recency is seeded from file mtimes so the LRU
+  // order survives restarts. Temp debris from a crashed writer is removed
+  // — it was never renamed into place, so nothing references it.
+  struct Found {
+    std::string name;
+    std::uint64_t size;
+    fs::file_time_type mtime;
+  };
+  std::vector<Found> found;
+  for (const auto& de : fs::directory_iterator(cfg_.dir, ec)) {
+    const std::string name = de.path().filename().string();
+    if (name.rfind(kTmpPrefix, 0) == 0) {
+      fs::remove(de.path(), ec);
+      continue;
+    }
+    if (name.size() < 7 || name.compare(name.size() - 6, 6, ".entry") != 0)
+      continue;
+    std::error_code fec;
+    const std::uint64_t size = de.file_size(fec);
+    const fs::file_time_type mtime = de.last_write_time(fec);
+    if (!fec) found.push_back({name, size, mtime});
+  }
+  std::sort(found.begin(), found.end(),
+            [](const Found& a, const Found& b) { return a.mtime < b.mtime; });
+  for (const Found& f : found) touch_locked(f.name, f.size);
+}
+
+void CompileResultStore::touch_locked(const std::string& name,
+                                      std::uint64_t size) {
+  auto it = index_.find(name);
+  if (it == index_.end())
+    it = index_.emplace(name, IndexEntry{0, 0}).first;
+  else
+    lru_.erase(it->second.last_used);
+  total_bytes_ += size - it->second.size;
+  it->second.size = size;
+  it->second.last_used = ++clock_;
+  lru_.emplace(it->second.last_used, name);
+}
+
+std::string CompileResultStore::key_name(const Graph& graph,
+                                         std::uint64_t config_hash,
+                                         CompilerKind kind) const {
+  const std::uint64_t key =
+      HashStream()
+          .mix(labelled_graph_hash(graph))
+          .mix(config_hash)
+          .mix(static_cast<std::uint64_t>(kind))
+          .mix(static_cast<std::uint64_t>(build_info().result_schema))
+          .digest();
+  return hex64(key) + ".entry";
+}
+
+std::string CompileResultStore::entry_path(const Graph& graph,
+                                           std::uint64_t config_hash,
+                                           CompilerKind kind) const {
+  return (fs::path(cfg_.dir) / key_name(graph, config_hash, kind)).string();
+}
+
+void CompileResultStore::warn(const std::string& message) const {
+  if (cfg_.warn) std::cerr << "epgc-store: warning: " << message << '\n';
+}
+
+void CompileResultStore::drop_file_locked(std::string name) {
+  // By value: callers pass references into index_/lru_, which the
+  // erase() calls below would otherwise dangle.
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    total_bytes_ -= it->second.size;
+    lru_.erase(it->second.last_used);
+    index_.erase(it);
+  }
+  std::error_code ec;
+  fs::remove(fs::path(cfg_.dir) / name, ec);  // best-effort
+}
+
+void CompileResultStore::evict_to_cap_locked() {
+  while (cfg_.max_bytes > 0 && total_bytes_ > cfg_.max_bytes &&
+         !lru_.empty()) {
+    drop_file_locked(lru_.begin()->second);
+    ++stats_.evictions;
+  }
+}
+
+std::optional<StoredResult> CompileResultStore::get(
+    const Graph& graph, std::uint64_t config_hash, CompilerKind kind,
+    bool with_circuit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string name = key_name(graph, config_hash, kind);
+  const fs::path path = fs::path(cfg_.dir) / name;
+
+  // Probe the filesystem, not just the index: another process may have
+  // published this entry after we opened the store.
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+
+  StoreEntryData entry;
+  try {
+    entry = read_store_entry(text, with_circuit);
+  } catch (const std::exception& e) {
+    warn("skipping unreadable entry " + name + ": " + e.what());
+    drop_file_locked(name);
+    ++stats_.corrupt_skipped;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+
+  // Collision discipline (same as BatchCompiler::find_cached): the key is
+  // 64-bit, the recheck is exact. A mismatch is a miss, not an error.
+  const bool want_framework = kind == CompilerKind::framework;
+  if (entry.config_hash != config_hash ||
+      entry.is_framework != want_framework || !(entry.graph == graph)) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+
+  // Refresh LRU recency, in-process and on disk (mtime feeds the recency
+  // seeding of the next process to open this directory).
+  touch_locked(name, text.size());
+  std::error_code ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+
+  ++stats_.hits;
+  return entry.result;
+}
+
+void CompileResultStore::put(const Graph& graph, std::uint64_t config_hash,
+                             CompilerKind kind, const StoredResult& result) {
+  StoreEntryData entry;
+  entry.schema = build_info().result_schema;
+  entry.is_framework = kind == CompilerKind::framework;
+  entry.config_hash = config_hash;
+  entry.graph = graph;
+  entry.result = result;
+  const std::string payload = write_store_entry(entry);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string name = key_name(graph, config_hash, kind);
+  const fs::path dir(cfg_.dir);
+  const fs::path tmp =
+      dir / (kTmpPrefix + name + "-" +
+             std::to_string(static_cast<std::uint64_t>(::getpid())) + "-" +
+             std::to_string(++tmp_seq_));
+  // Write-then-rename: the entry either appears complete or not at all. A
+  // failed put is only a warning — the store is a cache, never a gate.
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << payload;
+    out.flush();
+    if (!out) {
+      warn("cannot write " + tmp.string() + "; dropping put");
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, dir / name, ec);
+  if (ec) {
+    warn("cannot publish " + name + ": " + ec.message());
+    fs::remove(tmp, ec);
+    return;
+  }
+
+  touch_locked(name, payload.size());
+  ++stats_.puts;
+  evict_to_cap_locked();
+}
+
+StoreStats CompileResultStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StoreStats s = stats_;
+  s.bytes = total_bytes_;
+  s.entries = index_.size();
+  return s;
+}
+
+}  // namespace epg

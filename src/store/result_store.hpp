@@ -1,0 +1,162 @@
+// Persistent, content-addressed compile-result store.
+//
+// Results are keyed by (labelled graph hash, config fingerprint, compiler
+// kind, result-schema revision) — one file per key under the store
+// directory. The same collision discipline as BatchCompiler::find_cached
+// applies: the exact graph is stored in every entry and rechecked on read,
+// so a 64-bit key collision degrades to a miss, never to a wrong result.
+//
+// On-disk format (versioned line text, spec in docs/service.md):
+//
+//   epgc-store <format-version>
+//   schema <result-schema revision>       (build_info().result_schema)
+//   kind framework|baseline
+//   config <config fingerprint, decimal>
+//   graph <graph6>
+//   ne_min/ne_limit/stem_count/parts/lc_depth/strategy/verified scalars
+//   stat <name> <value>                   (doubles as C hexfloats: exact)
+//   circuit <line-count>                  followed by the epgc circuit text
+//   checksum <hex64>                      (HashStream over all prior lines)
+//   end
+//
+// Robustness contract:
+//   * Writes are atomic: serialized to a unique temp file in the store
+//     directory, then rename(2)d into place. A crash mid-write leaves only
+//     temp debris (cleaned up on the next open), never a torn entry.
+//   * Reads are paranoid: version/schema mismatches, truncation, bit flips
+//     (checksum), and undecodable content are skipped with a warning and
+//     the bad file is deleted — a corrupt store entry is never fatal and
+//     never poisons a result.
+//   * Capacity is bounded: an optional byte cap evicts least-recently-used
+//     entries (recency = in-process access order, seeded from file mtimes
+//     so it survives restarts; read hits re-touch the file).
+//
+// A single CompileResultStore is thread-safe (one mutex; compile time
+// dwarfs store I/O). Multiple processes may share a directory: writes are
+// rename-atomic and readers validate everything, so the worst interleaving
+// costs a dropped put or a redundant compile, never corruption.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "circuit/circuit.hpp"
+#include "circuit/stats.hpp"
+#include "graph/graph.hpp"
+
+namespace epg {
+
+enum class CompilerKind;  // runtime/batch_compiler.hpp
+
+inline constexpr int kStoreFormatVersion = 1;
+
+struct StoreConfig {
+  std::string dir;
+  /// Evict least-recently-used entries beyond this many bytes (0 = no cap).
+  std::uint64_t max_bytes = 0;
+  /// Emit a stderr warning when a corrupt/mismatched entry is skipped.
+  bool warn = true;
+};
+
+struct StoreStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t puts = 0;
+  std::size_t evictions = 0;
+  std::size_t corrupt_skipped = 0;  ///< unreadable entries deleted on read
+  std::uint64_t bytes = 0;          ///< resident payload bytes right now
+  std::size_t entries = 0;          ///< resident entry count right now
+};
+
+/// Everything a warm run needs to reproduce a cold run's user-visible
+/// output: exact metrics, the compiled circuit, and the banner scalars.
+/// Search internals (partition vectors, stage timings) are deliberately
+/// not persisted — they are diagnostics of the search, not of the result.
+struct StoredResult {
+  CircuitStats stats;
+  std::size_t ne_min = 0;
+  std::uint32_t ne_limit = 0;
+  std::size_t stem_count = 0;   ///< framework only
+  std::size_t parts = 0;        ///< framework partition size
+  std::size_t lc_depth = 0;     ///< framework LC-sequence length
+  std::string strategy;         ///< framework partition strategy
+  bool verified = false;
+  Circuit circuit{0, 0};
+};
+
+/// A parsed on-disk entry (exposed for the robustness tests).
+struct StoreEntryData {
+  int schema = 0;
+  bool is_framework = true;
+  std::uint64_t config_hash = 0;
+  Graph graph{0};
+  StoredResult result;
+};
+
+/// Serialize/parse one entry body. parse throws std::invalid_argument on
+/// any malformation (bad magic, version/schema mismatch, checksum failure,
+/// truncation, trailing garbage) — the store turns that into skip+delete.
+/// `with_circuit = false` still validates the circuit block's bytes (the
+/// checksum covers them) but skips decoding it into a Circuit — the
+/// metrics-only warm path (epgc_batch) never pays parse_circuit.
+std::string write_store_entry(const StoreEntryData& entry);
+StoreEntryData read_store_entry(const std::string& text,
+                                bool with_circuit = true);
+
+class CompileResultStore {
+ public:
+  /// Creates the directory if needed, indexes existing entries (recency
+  /// seeded from file mtimes) and removes stale temp files.
+  explicit CompileResultStore(StoreConfig cfg);
+
+  /// Look up (graph, config, kind); exact-graph recheck on every hit.
+  /// `with_circuit = false` skips decoding the circuit (metrics-only
+  /// consumers); the returned StoredResult then carries an empty circuit.
+  std::optional<StoredResult> get(const Graph& graph,
+                                  std::uint64_t config_hash,
+                                  CompilerKind kind,
+                                  bool with_circuit = true);
+
+  /// Insert/overwrite; atomic write then LRU eviction to the byte cap.
+  void put(const Graph& graph, std::uint64_t config_hash, CompilerKind kind,
+           const StoredResult& result);
+
+  StoreStats stats() const;
+  const StoreConfig& config() const { return cfg_; }
+
+  /// Entry file path for a key — exposed so tests can plant corrupt files.
+  std::string entry_path(const Graph& graph, std::uint64_t config_hash,
+                         CompilerKind kind) const;
+
+ private:
+  struct IndexEntry {
+    std::uint64_t size = 0;
+    std::uint64_t last_used = 0;
+  };
+
+  std::string key_name(const Graph& graph, std::uint64_t config_hash,
+                       CompilerKind kind) const;
+  void warn(const std::string& message) const;
+  void drop_file_locked(std::string name);  ///< by value: see impl note
+  void evict_to_cap_locked();
+  /// Record `name` as most-recently-used with the given size, keeping
+  /// index_ / lru_ / total_bytes_ consistent.
+  void touch_locked(const std::string& name, std::uint64_t size);
+
+  StoreConfig cfg_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, IndexEntry> index_;
+  /// last_used -> name (clock_ values are unique), so the LRU victim is
+  /// lru_.begin() and bulk eviction is O(log n) per entry.
+  std::map<std::uint64_t, std::string> lru_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t clock_ = 0;  ///< monotonically increasing recency counter
+  std::uint64_t tmp_seq_ = 0;
+  StoreStats stats_;
+};
+
+}  // namespace epg

@@ -1,0 +1,291 @@
+// epgc_serve service layer: the strict JSON reader, request parsing,
+// NDJSON responses (malformed input is answered, never fatal), stream
+// serving equivalence with direct compilation, deterministic-mode
+// bit-stability, per-request deadlines, and the Unix-socket transport.
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include "circuit/serialize.hpp"
+#include "common/json_value.hpp"
+#include "compile/framework.hpp"
+#include "graph/generators.hpp"
+#include "io/graph_io.hpp"
+#include "service/protocol.hpp"
+
+namespace epg {
+namespace {
+
+// ---- JsonValue ------------------------------------------------------------
+
+TEST(JsonValue, ParsesScalarsObjectsAndArrays) {
+  const JsonValue v = JsonValue::parse(
+      R"({"a": 1.5, "b": "x\ny", "c": [1, 2, 3], "d": {"e": true}, )"
+      R"("f": null, "neg": -7e2})");
+  EXPECT_EQ(v.get_number("a", 0), 1.5);
+  EXPECT_EQ(v.get_string("b", ""), "x\ny");
+  ASSERT_NE(v.find("c"), nullptr);
+  EXPECT_EQ(v.find("c")->items().size(), 3u);
+  EXPECT_EQ(v.find("c")->items()[2].as_number(), 3.0);
+  EXPECT_TRUE(v.find("d")->get_bool("e", false));
+  EXPECT_TRUE(v.find("f")->is_null());
+  EXPECT_EQ(v.get_number("neg", 0), -700.0);
+}
+
+TEST(JsonValue, ParsesEscapesIncludingSurrogatePairs) {
+  EXPECT_EQ(JsonValue::parse(R"("\u0041\u00e9")").as_string(),
+            "A\xc3\xa9");
+  // U+1F600 as a surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(JsonValue::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\":1,}", "tru", "01", "1.",
+        "\"unterminated", "\"\\q\"", "\"\\ud800\"", "{\"a\":1} trailing",
+        "{'a':1}", "\"raw\ntab\""})
+    EXPECT_THROW(JsonValue::parse(bad), std::invalid_argument) << bad;
+}
+
+TEST(JsonValue, TypedGettersRejectWrongTypes) {
+  const JsonValue v = JsonValue::parse(R"({"s": "x", "n": 1.5})");
+  EXPECT_THROW(v.get_number("s", 0), std::invalid_argument);
+  EXPECT_THROW(v.get_string("n", ""), std::invalid_argument);
+  EXPECT_THROW(v.get_u64("n", 0), std::invalid_argument);  // non-integer
+}
+
+// ---- request parsing ------------------------------------------------------
+
+TEST(ServiceProtocol, ParsesCompileRequestWithDefaults) {
+  const Graph g = make_ring(8);
+  const ServiceRequest req = parse_service_request(
+      "{\"op\":\"compile\",\"id\":7,\"graph\":\"" + write_graph6(g) +
+      "\"}");
+  EXPECT_EQ(req.op, ServiceOp::compile);
+  EXPECT_EQ(req.id_json, "7");
+  ASSERT_EQ(req.jobs.size(), 1u);
+  EXPECT_TRUE(req.jobs[0].graph == g);
+  // epgc_compile defaults, so service results replay CLI results.
+  EXPECT_EQ(req.jobs[0].framework.partition.g_max, 7u);
+  EXPECT_EQ(req.jobs[0].framework.seed, 1u);
+  EXPECT_EQ(req.jobs[0].framework.verify_seeds, 2);
+}
+
+TEST(ServiceProtocol, ParsesEdgeListGraphs) {
+  const ServiceRequest req = parse_service_request(
+      R"({"op":"compile","n":3,"edges":[[0,1],[1,2]]})");
+  EXPECT_EQ(req.jobs[0].graph.vertex_count(), 3u);
+  EXPECT_EQ(req.jobs[0].graph.edge_count(), 2u);
+}
+
+TEST(ServiceProtocol, RejectsBadRequests) {
+  for (const char* bad : {
+           "not json",
+           "[1,2]",                               // not an object
+           R"({"id":1})",                         // no op
+           R"({"op":"frobnicate"})",              // unknown op
+           R"({"op":"compile"})",                 // no graph
+           R"({"op":"compile","graph":"!!!!"})",  // bad graph6
+           R"({"op":"compile","n":2,"edges":[[0,5]]})",  // oob edge
+           R"({"op":"compile","graph":"GhCGKC","compiler":"magic"})",
+           R"({"op":"batch","jobs":[]})",  // empty batch
+       })
+    EXPECT_THROW(parse_service_request(bad), std::invalid_argument) << bad;
+}
+
+TEST(ServiceProtocol, ExtractsIdsFromMalformedLines) {
+  EXPECT_EQ(extract_request_id(R"({"id": 42, "op":)"), "null");
+  EXPECT_EQ(extract_request_id(R"({"id": 42, "op": "x"})"), "42");
+  EXPECT_EQ(extract_request_id(R"({"id": "abc"})"), "\"abc\"");
+}
+
+// ---- serving --------------------------------------------------------------
+
+ServiceConfig test_config() {
+  ServiceConfig cfg;
+  cfg.batch.threads = 1;
+  return cfg;
+}
+
+TEST(Service, MalformedLinesGetErrorResponsesNotDeath) {
+  Service service(test_config());
+  const std::string resp = service.handle_line("{\"id\":3,\"op\":");
+  const JsonValue v = JsonValue::parse(resp);
+  EXPECT_FALSE(v.get_bool("ok", true));
+  EXPECT_NE(v.get_string("error", ""), "");
+  EXPECT_EQ(service.counters().errors, 1u);
+}
+
+TEST(Service, CompileMatchesDirectFrameworkRun) {
+  const Graph g = make_waxman(10, 3);
+  Service service(test_config());
+  const std::string resp = service.handle_line(
+      "{\"op\":\"compile\",\"id\":1,\"graph\":\"" + write_graph6(g) +
+      "\",\"seed\":5,\"circuit\":true}");
+  const JsonValue v = JsonValue::parse(resp);
+  ASSERT_TRUE(v.get_bool("ok", false)) << resp;
+
+  FrameworkConfig cfg;
+  cfg.seed = 5;
+  const FrameworkResult direct = compile_framework(g, cfg);
+  EXPECT_EQ(v.get_u64("ee_cnot_count", 9999),
+            direct.stats().ee_cnot_count);
+  EXPECT_EQ(v.get_u64("emission_count", 9999),
+            direct.stats().emission_count);
+  EXPECT_EQ(v.get_u64("makespan_ticks", 9999),
+            static_cast<std::uint64_t>(direct.stats().makespan_ticks));
+  EXPECT_EQ(v.get_u64("ne_limit", 9999), direct.ne_limit);
+  EXPECT_TRUE(v.get_bool("verified", false));
+  EXPECT_EQ(v.get_string("circuit", ""),
+            serialize_circuit(direct.schedule.circuit));
+}
+
+TEST(Service, ServeStreamAnswersEveryLineInOrder) {
+  const Graph g = make_ring(6);
+  const std::string g6 = write_graph6(g);
+  std::istringstream in(
+      "{\"op\":\"ping\",\"id\":1}\n"
+      "garbage\n"
+      "{\"op\":\"compile\",\"id\":2,\"graph\":\"" + g6 + "\"}\n"
+      "{\"op\":\"compile\",\"id\":3,\"graph\":\"" + g6 + "\"}\n"
+      "{\"op\":\"stats\",\"id\":4}\n"
+      "{\"op\":\"shutdown\",\"id\":5}\n"
+      "{\"op\":\"ping\",\"id\":6}\n");  // after shutdown: never answered
+  std::ostringstream out;
+  Service service(test_config());
+  EXPECT_EQ(service.serve_stream(in, out), 0);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<JsonValue> responses;
+  while (std::getline(lines, line))
+    responses.push_back(JsonValue::parse(line));
+  ASSERT_EQ(responses.size(), 6u);
+  EXPECT_EQ(responses[0].get_string("op", ""), "ping");
+  EXPECT_FALSE(responses[1].get_bool("ok", true));  // garbage -> error
+  EXPECT_TRUE(responses[2].get_bool("ok", false));
+  EXPECT_EQ(responses[2].get_string("tier", ""), "compiled");
+  // Same graph again: served from the warm in-memory cache.
+  EXPECT_TRUE(responses[3].get_bool("ok", false));
+  EXPECT_EQ(responses[3].get_string("tier", ""), "memory");
+  EXPECT_EQ(responses[4].get_u64("requests", 0), 5u);
+  EXPECT_EQ(responses[5].get_string("op", ""), "shutdown");
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(Service, DeterministicResponsesAreBitStableAcrossInstances) {
+  const std::string line =
+      "{\"op\":\"compile\",\"id\":1,\"graph\":\"" +
+      write_graph6(make_waxman(10, 7)) + "\",\"circuit\":true}";
+  ServiceConfig cfg = test_config();
+  cfg.batch.deterministic = true;
+  Service a(cfg);
+  Service b(cfg);
+  const std::string ra = a.handle_line(line);
+  EXPECT_EQ(ra, b.handle_line(line));
+  EXPECT_EQ(ra.find("wall_ms"), std::string::npos)
+      << "deterministic responses must not embed timings";
+}
+
+TEST(Service, BatchRequestCompilesAndDeduplicates) {
+  const std::string g6 = write_graph6(make_ring(6));
+  Service service(test_config());
+  const std::string resp = service.handle_line(
+      R"({"op":"batch","id":9,"jobs":[{"graph":")" + g6 +
+      R"("},{"graph":")" + g6 + R"("}]})");
+  const JsonValue v = JsonValue::parse(resp);
+  ASSERT_TRUE(v.get_bool("ok", false)) << resp;
+  EXPECT_EQ(v.get_u64("jobs", 0), 2u);
+  EXPECT_EQ(v.get_u64("compiled", 9), 1u);
+  EXPECT_EQ(v.get_u64("dedup_hits", 9), 1u);
+  ASSERT_NE(v.find("results"), nullptr);
+  EXPECT_EQ(v.find("results")->items().size(), 2u);
+}
+
+TEST(Service, DeadlineExpiredInQueueIsAnsweredNotCompiled) {
+  Service service(test_config());
+  const std::string line =
+      "{\"op\":\"compile\",\"id\":1,\"graph\":\"" +
+      write_graph6(make_ring(6)) + "\",\"deadline_ms\":10}";
+  // Simulate 50 ms spent waiting for admission.
+  const std::string resp = service.handle_line(line, 50.0);
+  const JsonValue v = JsonValue::parse(resp);
+  EXPECT_FALSE(v.get_bool("ok", true));
+  EXPECT_NE(v.get_string("error", "").find("deadline"), std::string::npos);
+  EXPECT_EQ(service.counters().expired, 1u);
+  EXPECT_EQ(service.batch().totals().jobs, 0u) << "must not compile late";
+}
+
+TEST(Service, OnceModeAnswersExactlyOneRequest) {
+  ServiceConfig cfg = test_config();
+  cfg.once = true;
+  Service service(cfg);
+  std::istringstream in("{\"op\":\"ping\",\"id\":1}\n"
+                        "{\"op\":\"ping\",\"id\":2}\n");
+  std::ostringstream out;
+  service.serve_stream(in, out);
+  EXPECT_EQ(service.counters().requests, 1u);
+}
+
+// ---- Unix-socket transport ------------------------------------------------
+
+TEST(Service, SocketServesConcurrentClients) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("epgc-serve-test-" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  ServiceConfig cfg = test_config();
+  Service service(cfg);
+  std::thread server([&] { service.serve_socket(path); });
+
+  // Wait for the socket to appear (the server thread binds it).
+  for (int i = 0; i < 200 && !std::filesystem::exists(path); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  auto request = [&](const std::string& line) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+        0);
+    const std::string out = line + "\n";
+    EXPECT_EQ(::send(fd, out.data(), out.size(), 0),
+              static_cast<ssize_t>(out.size()));
+    std::string response;
+    char chunk[512];
+    while (response.find('\n') == std::string::npos) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) break;
+      response.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+  };
+
+  const std::string g6 = write_graph6(make_ring(6));
+  const std::string pong = request("{\"op\":\"ping\",\"id\":1}");
+  EXPECT_TRUE(JsonValue::parse(pong).get_bool("ok", false)) << pong;
+  const std::string compiled =
+      request("{\"op\":\"compile\",\"id\":2,\"graph\":\"" + g6 + "\"}");
+  EXPECT_TRUE(JsonValue::parse(compiled).get_bool("ok", false)) << compiled;
+
+  request("{\"op\":\"shutdown\",\"id\":3}");
+  server.join();
+  EXPECT_FALSE(std::filesystem::exists(path)) << "socket unlinked on exit";
+}
+
+}  // namespace
+}  // namespace epg
