@@ -41,7 +41,10 @@ manifest: one job per line ('-' reads stdin); '#' starts a comment.
     lc=N        max local complementations ne-factor=X emitter budget factor
     ne=N        absolute emitter cap       verify=0|1  end-to-end check
     budget-ms=X partition search budget    shuffle=S   relabel with seed S
-    strategy=S  partition strategy: beam|anneal|portfolio (sweepable)
+    strategy=S  partition strategy (sweepable):
+                beam|anneal|portfolio|multilevel
+    coarsen-floor=N    multilevel: flat search at/below N vertices (192)
+    multilevel-inner=S multilevel: inner flat strategy (beam)
 
 example (100-instance Monte-Carlo sweep, compiled once each per config):
   mc gen:waxman n=20 gseed=1..100 seed=7
@@ -211,6 +214,11 @@ epg::CompileJob make_job(const std::string& label, const std::string& source,
     const auto strategy_it = kv.find("strategy");
     job.framework.partition.strategy =
         strategy_it == kv.end() ? default_strategy : strategy_it->second;
+    job.framework.partition.coarsen_floor =
+        parse_u64(kv, "coarsen-floor", 192);
+    const auto inner_it = kv.find("multilevel-inner");
+    if (inner_it != kv.end())
+      job.framework.partition.multilevel_inner = inner_it->second;
     job.framework.ne_limit_factor = parse_double(kv, "ne-factor", 1.5);
     job.framework.ne_limit_override =
         static_cast<std::uint32_t>(parse_u64(kv, "ne", 0));

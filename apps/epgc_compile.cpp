@@ -39,7 +39,11 @@ options:
   --ne N                  override Ne_limit with an absolute count
   --seed N                search seed (default 1)
   --budget-ms X           partition search budget (default 800)
-  --partition-strategy S  beam (default) | anneal | portfolio
+  --partition-strategy S  beam (default) | anneal | portfolio | multilevel
+  --coarsen-floor N       multilevel: run the flat inner search directly at
+                          or below N vertices, coarsen above it (default 192)
+  --multilevel-inner S    multilevel: flat strategy delegated to below the
+                          floor and raced on small graphs (default beam)
   --inner-threads N       intra-compile worker threads (default 0 = serial;
                           identical metrics at any count unless the wall-
                           clock --budget-ms truncates the search earlier)
@@ -115,6 +119,9 @@ int main(int argc, char** argv) {
       cfg.partition.max_lc_ops = args.get_u64("lc", 15);
       cfg.partition.time_budget_ms = args.get_double("budget-ms", 800.0);
       cfg.partition.strategy = args.get("partition-strategy", "beam");
+      cfg.partition.coarsen_floor = args.get_u64("coarsen-floor", 192);
+      cfg.partition.multilevel_inner =
+          args.get("multilevel-inner", "beam");
       cfg.inner_threads = args.get_u64("inner-threads", 0);
       cfg.ne_limit_factor = args.get_double("ne-factor", 1.5);
       cfg.ne_limit_override =

@@ -22,8 +22,9 @@ Requests arrive one JSON object per line on stdin (or the socket):
   {"op":"batch","id":2,"jobs":[{"graph":"..."},{"graph":"..."}]}
   {"op":"stats","id":3}   {"op":"ping","id":4}   {"op":"shutdown","id":5}
 Compile specs take the epgc_compile knobs (same defaults): compiler, hw,
-gmax, lc, ne_factor, ne, seed, budget_ms, strategy, verify, label, and
-deadline_ms (max admission wait). Responses echo "id" and carry "ok".
+gmax, lc, ne_factor, ne, seed, budget_ms, strategy, coarsen_floor,
+multilevel_inner, verify, label, and deadline_ms (max admission wait).
+Responses echo "id" and carry "ok".
 
 options:
   --socket PATH     serve a Unix domain socket instead of stdin/stdout

@@ -1,0 +1,384 @@
+// bench_scale: the scale-envelope tier — partition-stage latency on huge
+// graphs (1k .. 100k vertices) across every registered strategy.
+//
+// bench_pipeline tracks full-compile latency at paper sizes (tens of
+// vertices); this bench answers the question the multilevel strategy
+// exists for: how large a graph can each PartitionStrategy partition
+// inside a fixed wall budget, and at what cut quality? Only the
+// partition stage runs — at these sizes the flat searches are the
+// bottleneck the paper's scalability claim hinges on, and the downstream
+// stages are exercised by the other benches.
+//
+// Every cell runs in a FORKED child with a hard timeout: a strategy that
+// stalls (the flat searches' partition solvers have no deadline checks
+// inside one solve) is killed, recorded as a timeout, and larger sizes
+// of the same (family, strategy) pair are skipped. The JSON schema is
+// the bench_pipeline one (instance/strategy/inner_threads cells with
+// deterministic metric keys + wall_ms), so ci/check_perf.py can gate a
+// checked-in baseline of it; timed-out cells live in a separate
+// "timeouts" array that the gate never reads.
+//
+// Determinism: multilevel cells run at inner thread counts {0,2,8} and
+// the bench fails if their (stems, parts, lc_depth) disagree — and since
+// each cell is its own process, the check also covers cross-process
+// reproducibility. Flat-strategy cells run with a binding wall budget
+// (half the timeout), so their quality is load-dependent and they are
+// benched at a single thread count only.
+//
+// usage: bench_scale [--json FILE] [--timeout-s N] [--quick] [--huge]
+//                    [--strategies a,b,c]
+//   --json FILE        machine-readable results (CI artifact)
+//   --timeout-s N      per-cell hard budget (default 60)
+//   --quick            1k vertices only (smoke mode)
+//   --huge             add the 100k tier to the default 1k/10k/50k sweep
+//   --strategies CSV   subset of registered strategies (default: all) —
+//                      CI runs `--quick --strategies multilevel` as a
+//                      seconds-cheap cross-process determinism gate
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+#include "graph/local_complement.hpp"
+#include "partition/partition_strategy.hpp"
+#include "solver/partition_refine.hpp"
+
+namespace {
+
+using namespace epg;
+
+struct Cell {
+  std::string instance;
+  std::size_t n = 0;
+  std::string strategy;
+  std::size_t inner_threads = 0;
+  double wall_ms = 0.0;
+  std::size_t stems = 0;
+  std::size_t parts = 0;
+  std::size_t lc_depth = 0;
+  bool valid = false;
+  enum class Status { ok, timeout, skipped, error } status = Status::ok;
+};
+
+LcPartitionConfig scale_config(const std::string& strategy,
+                               double flat_budget_ms) {
+  LcPartitionConfig cfg;
+  cfg.strategy = strategy;
+  cfg.g_max = 7;
+  cfg.max_lc_ops = 15;
+  cfg.seed = 7;
+  // The flat searches honor this at their cooperative checkpoints; the
+  // multilevel pipeline has no wall deadline (it is a pure function of
+  // (g, cfg)), which is what makes its cells reproducible bit-for-bit.
+  cfg.time_budget_ms = flat_budget_ms;
+  return cfg;
+}
+
+/// Run one (graph, strategy, threads) cell in a forked child under a
+/// hard timeout. The child writes one result line to a pipe; a child
+/// that outlives the budget is killed and reported as a timeout.
+Cell run_cell(const Graph& g, Cell cell, double flat_budget_ms,
+              int timeout_s) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    cell.status = Cell::Status::error;
+    return cell;
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    cell.status = Cell::Status::error;
+    return cell;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    // Child: run the strategy, self-check the outcome, report one line.
+    std::string line;
+    try {
+      const LcPartitionConfig cfg =
+          scale_config(cell.strategy, flat_budget_ms);
+      const PartitionStrategy* strategy =
+          find_partition_strategy(cfg.strategy);
+      const Executor exec(cell.inner_threads);
+      Stopwatch watch;
+      const PartitionOutcome out = strategy->run(g, cfg, exec);
+      const double ms = watch.elapsed_ms();
+      Graph replay = g;
+      for (Vertex v : out.lc_sequence) local_complement(replay, v);
+      const bool valid =
+          replay == out.transformed &&
+          out.lc_sequence.size() <= cfg.max_lc_ops &&
+          partition_is_valid(out.transformed, out.labels, cfg.g_max);
+      std::ostringstream os;
+      os << "ok " << ms << ' ' << out.stem_edge_count << ' '
+         << out.parts.size() << ' ' << out.lc_sequence.size() << ' '
+         << (valid ? 1 : 0) << '\n';
+      line = os.str();
+    } catch (const std::exception& e) {
+      line = std::string("error ") + e.what() + "\n";
+    }
+    const ssize_t written = write(fds[1], line.data(), line.size());
+    (void)written;
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  // Parent: poll the pipe with the deadline; kill on expiry.
+  std::string payload;
+  Stopwatch watch;
+  bool timed_out = false;
+  for (;;) {
+    fd_set set;
+    FD_ZERO(&set);
+    FD_SET(fds[0], &set);
+    const double left_ms = timeout_s * 1000.0 - watch.elapsed_ms();
+    if (left_ms <= 0) {
+      timed_out = true;
+      break;
+    }
+    timeval tv;
+    tv.tv_sec = static_cast<time_t>(left_ms / 1000.0);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (left_ms - tv.tv_sec * 1000.0) * 1000.0);
+    const int ready = select(fds[0] + 1, &set, nullptr, nullptr, &tv);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) {
+      timed_out = true;
+      break;
+    }
+    char buf[256];
+    const ssize_t got = read(fds[0], buf, sizeof buf);
+    if (got <= 0) break;  // EOF: child finished writing
+    payload.append(buf, static_cast<std::size_t>(got));
+    if (!payload.empty() && payload.back() == '\n') break;
+  }
+  close(fds[0]);
+  if (timed_out) kill(pid, SIGKILL);
+  int wstatus = 0;
+  waitpid(pid, &wstatus, 0);
+
+  std::istringstream is(payload);
+  std::string tag;
+  if (timed_out || !(is >> tag) || tag != "ok") {
+    cell.status = timed_out ? Cell::Status::timeout : Cell::Status::error;
+    cell.wall_ms = timeout_s * 1000.0;
+    return cell;
+  }
+  int valid = 0;
+  is >> cell.wall_ms >> cell.stems >> cell.parts >> cell.lc_depth >> valid;
+  cell.valid = valid != 0;
+  cell.status = Cell::Status::ok;
+  return cell;
+}
+
+void write_json(std::ostream& os, const std::vector<Cell>& cells,
+                int timeout_s) {
+  std::vector<const Cell*> ok, failed;
+  for (const Cell& c : cells)
+    (c.status == Cell::Status::ok ? ok : failed).push_back(&c);
+  os << "{\n  \"bench\": \"scale_partition\",\n  \"timeout_s\": "
+     << timeout_s << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < ok.size(); ++i) {
+    const Cell& c = *ok[i];
+    os << "    {\"instance\": \"" << json_escape(c.instance)
+       << "\", \"n\": " << c.n << ", \"strategy\": \""
+       << json_escape(c.strategy) << "\", \"inner_threads\": "
+       << c.inner_threads << ", \"wall_ms\": " << c.wall_ms
+       << ", \"stems\": " << c.stems << ", \"parts\": " << c.parts
+       << ", \"lc_depth\": " << c.lc_depth << ", \"valid\": "
+       << (c.valid ? "true" : "false") << '}'
+       << (i + 1 < ok.size() ? "," : "") << '\n';
+  }
+  os << "  ],\n  \"timeouts\": [\n";
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    const Cell& c = *failed[i];
+    os << "    {\"instance\": \"" << json_escape(c.instance)
+       << "\", \"strategy\": \"" << json_escape(c.strategy)
+       << "\", \"inner_threads\": " << c.inner_threads << ", \"status\": \""
+       << (c.status == Cell::Status::timeout
+               ? "timeout"
+               : c.status == Cell::Status::skipped ? "skipped" : "error")
+       << "\"}" << (i + 1 < failed.size() ? "," : "") << '\n';
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  int timeout_s = 60;
+  bool quick = false, huge = false;
+  std::vector<std::string> only;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--timeout-s" && i + 1 < argc) {
+      timeout_s = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--huge") {
+      huge = true;
+    } else if (arg == "--strategies" && i + 1 < argc) {
+      std::istringstream is(argv[++i]);
+      std::string item;
+      while (std::getline(is, item, ','))
+        if (!item.empty()) only.push_back(item);
+    } else {
+      std::cerr << "usage: bench_scale [--json FILE] [--timeout-s N] "
+                   "[--quick] [--huge] [--strategies a,b,c]\n";
+      return 2;
+    }
+  }
+
+  std::vector<std::size_t> sizes = quick
+                                       ? std::vector<std::size_t>{1000}
+                                       : std::vector<std::size_t>{
+                                             1000, 10000, 50000};
+  if (huge && !quick) sizes.push_back(100000);
+
+  struct Family {
+    std::string name;
+    Graph (*make)(std::size_t, std::uint64_t);
+  };
+  const std::vector<Family> families = {
+      {"lattice",
+       +[](std::size_t n, std::uint64_t seed) {
+         std::size_t rows = 1;
+         for (std::size_t r = 2; r * r <= n; ++r)
+           if (n % r == 0) rows = r;
+         return shuffle_labels(make_lattice(rows, n / rows), seed);
+       }},
+      {"tree",
+       +[](std::size_t n, std::uint64_t seed) {
+         return shuffle_labels(make_random_tree(n, seed * 13 + 1, 3), seed);
+       }},
+      {"random",
+       +[](std::size_t n, std::uint64_t seed) {
+         return shuffle_labels(make_sparse_random(n, 4.0, seed * 17 + 3),
+                               seed);
+       }},
+  };
+
+  const double flat_budget_ms = timeout_s * 1000.0 / 2.0;
+  std::vector<std::string> strategies = partition_strategy_names();
+  if (!only.empty()) {
+    for (const std::string& name : only)
+      if (!find_partition_strategy(name)) {
+        std::cerr << "unknown strategy '" << name << "'\n";
+        return 2;
+      }
+    strategies = only;
+  }
+  std::vector<Cell> cells;
+  // Once a (family, strategy) pair times out, larger sizes are skipped —
+  // the envelope is already established and the sweep stays bounded.
+  std::vector<std::string> exhausted;
+  for (std::size_t n : sizes) {
+    for (const Family& family : families) {
+      const Graph g = family.make(n, n);
+      const std::string label = family.name + std::to_string(n);
+      for (const std::string& strategy : strategies) {
+        // Multilevel is the deterministic tier: bench it at several
+        // inner-thread counts and cross-check below. Flat strategies run
+        // once — their binding wall budget makes quality load-dependent.
+        const std::vector<std::size_t> thread_counts =
+            strategy == "multilevel" ? std::vector<std::size_t>{0, 2, 8}
+                                     : std::vector<std::size_t>{0};
+        for (std::size_t threads : thread_counts) {
+          Cell cell;
+          cell.instance = label;
+          cell.n = g.vertex_count();
+          cell.strategy = strategy;
+          cell.inner_threads = threads;
+          const std::string pair = family.name + "/" + strategy;
+          if (std::find(exhausted.begin(), exhausted.end(), pair) !=
+              exhausted.end()) {
+            cell.status = Cell::Status::skipped;
+          } else {
+            std::cerr << "cell " << label << '/' << strategy << "/inner"
+                      << threads << " ..." << std::flush;
+            cell = run_cell(g, cell, flat_budget_ms, timeout_s);
+            std::cerr << (cell.status == Cell::Status::ok
+                              ? " done"
+                              : cell.status == Cell::Status::timeout
+                                    ? " TIMEOUT"
+                                    : " ERROR")
+                      << '\n';
+            if (cell.status != Cell::Status::ok) exhausted.push_back(pair);
+          }
+          cells.push_back(cell);
+        }
+      }
+    }
+  }
+
+  Table table({"instance", "strategy", "inner", "wall(ms)", "stems",
+               "parts", "lc", "valid"});
+  for (const Cell& c : cells) {
+    const char* status = c.status == Cell::Status::timeout
+                             ? "TIMEOUT"
+                             : c.status == Cell::Status::skipped
+                                   ? "skipped"
+                                   : "ERROR";
+    if (c.status == Cell::Status::ok)
+      table.add_row({c.instance, c.strategy, Table::num(c.inner_threads),
+                     Table::num(c.wall_ms, 1), Table::num(c.stems),
+                     Table::num(c.parts), Table::num(c.lc_depth),
+                     c.valid ? "yes" : "NO"});
+    else
+      table.add_row({c.instance, c.strategy, Table::num(c.inner_threads),
+                     status, "-", "-", "-", "-"});
+  }
+  std::cout << "== Scale envelope: partition stage, " << timeout_s
+            << "s budget per cell ==\n";
+  table.print(std::cout);
+  std::cout << "\n-- csv --\n";
+  table.print_csv(std::cout);
+
+  int rc = 0;
+  // Any completed cell whose child self-check failed (partition
+  // validity, LC replay, LC budget) fails the bench on its own.
+  for (const Cell& c : cells)
+    if (c.status == Cell::Status::ok && !c.valid) {
+      std::cerr << "INVALID PARTITION: " << c.instance << '/' << c.strategy
+                << "/inner" << c.inner_threads
+                << " failed the outcome self-check\n";
+      rc = 1;
+    }
+  // Determinism cross-check over the multilevel thread-count cells (each
+  // one ran in its own process).
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    for (std::size_t j = i + 1; j < cells.size(); ++j) {
+      const Cell& a = cells[i];
+      const Cell& b = cells[j];
+      if (a.instance != b.instance || a.strategy != b.strategy) continue;
+      if (a.status != Cell::Status::ok || b.status != Cell::Status::ok)
+        continue;
+      if (a.stems != b.stems || a.parts != b.parts ||
+          a.lc_depth != b.lc_depth) {
+        std::cerr << "DETERMINISM VIOLATION: " << a.instance << '/'
+                  << a.strategy << " differs between inner thread counts "
+                  << a.inner_threads << " and " << b.inner_threads << '\n';
+        rc = 1;
+      }
+    }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    write_json(out, cells, timeout_s);
+    std::cout << "json written to " << json_path << '\n';
+  }
+  return rc;
+}

@@ -240,6 +240,13 @@ OracleConfig default_oracle_config() {
   cfg.base.partition.beam_width = 4;
   cfg.base.partition.anneal_iterations = 400;
   cfg.base.partition.portfolio_width = 3;
+  // Production multilevel delegates to the flat search below 192
+  // vertices, which fuzz-sized mutants never exceed; lowering the floor
+  // (and keeping the race, which guarantees the flat comparison still
+  // runs) makes every mutant above 24 vertices exercise the coarsening,
+  // refinement and LC-move machinery under the oracle.
+  cfg.base.partition.coarsen_floor = 24;
+  cfg.base.partition.multilevel_race_limit = 192;
   cfg.base.partition.time_budget_ms = 1e15;
   cfg.base.subgraph.time_budget_ms = 1e15;
   cfg.base.verify_seeds = 1;

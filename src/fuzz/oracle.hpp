@@ -89,8 +89,10 @@ struct OracleSubject {
 /// shared by the epgc_fuzz CLI defaults and the golden-corpus replay
 /// suite, so a persisted violation always reproduces under the config it
 /// was found with: small structural budgets (g_max 6, LC depth 6, beam 4,
-/// anneal 400, portfolio 3), wall-clock budgets lifted for determinism,
-/// one internal + one independent verification seed, baseline included.
+/// anneal 400, portfolio 3, multilevel coarsen floor 24 so fuzz-sized
+/// mutants exercise the coarsening path), wall-clock budgets lifted for
+/// determinism, one internal + one independent verification seed,
+/// baseline included.
 OracleConfig default_oracle_config();
 
 /// Strategy list after defaulting (cfg.strategies or the registry).

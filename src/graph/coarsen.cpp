@@ -1,0 +1,211 @@
+#include "graph/coarsen.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace epg {
+
+std::uint64_t CoarseGraph::total_vertex_weight() const {
+  return std::accumulate(vwgt.begin(), vwgt.end(), std::uint64_t{0});
+}
+
+std::uint64_t CoarseGraph::total_edge_weight() const {
+  return std::accumulate(adjwgt.begin(), adjwgt.end(), std::uint64_t{0}) / 2;
+}
+
+CoarseGraph coarse_from_graph(const Graph& g, const Executor& exec) {
+  const std::size_t n = g.vertex_count();
+  CoarseGraph cg;
+  cg.n = n;
+  cg.vwgt.assign(n, 1);
+  cg.xadj.assign(n + 1, 0);
+
+  // Two deterministic parallel sweeps over the bitset rows: degrees, then
+  // a serial prefix sum, then the row fill — every index owns its slice.
+  std::vector<std::uint32_t> deg(n, 0);
+  exec.parallel_for(n, [&](std::size_t v) {
+    deg[v] = static_cast<std::uint32_t>(g.degree(static_cast<Vertex>(v)));
+  });
+  for (std::size_t v = 0; v < n; ++v) cg.xadj[v + 1] = cg.xadj[v] + deg[v];
+  cg.adjncy.resize(cg.xadj[n]);
+  cg.adjwgt.assign(cg.xadj[n], 1);
+  exec.parallel_for(n, [&](std::size_t v) {
+    std::uint32_t slot = cg.xadj[v];
+    for (Vertex u : g.neighbors(static_cast<Vertex>(v)))
+      cg.adjncy[slot++] = u;  // neighbors() is sorted already
+  });
+  return cg;
+}
+
+CoarsenLevel coarsen_once(const CoarseGraph& g, std::uint64_t weight_cap,
+                          std::uint64_t seed) {
+  EPG_REQUIRE(weight_cap >= 1, "cluster weight cap must be positive");
+  const std::size_t n = g.n;
+  constexpr Vertex kUnmatched = Graph::kNoVertex;
+  // Provisional cluster id per vertex (first member's id), plus the
+  // running cluster weight, indexed by that id.
+  std::vector<Vertex> cluster(n, kUnmatched);
+  std::vector<std::uint64_t> cluster_weight(n, 0);
+
+  std::vector<Vertex> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed ^ 0xC0A25E17ULL);
+  rng.shuffle(order);
+
+  // Heavy-edge matching with cluster absorption: an unassigned vertex
+  // joins across its heaviest feasible edge — pairing with an unassigned
+  // neighbor or absorbing into a neighbor's existing cluster, whichever
+  // stays under the weight cap. Pure pair matching stalls (two weight-4
+  // clusters cannot merge under a cap of 7); absorption lets clusters
+  // fill up to the cap, so the hierarchy keeps shrinking toward n/cap.
+  for (Vertex v : order) {
+    if (cluster[v] != kUnmatched) continue;
+    Vertex best = kUnmatched;
+    std::uint64_t best_w = 0;
+    for (std::uint32_t s = g.xadj[v]; s < g.xadj[v + 1]; ++s) {
+      const Vertex u = g.adjncy[s];
+      if (u == v) continue;
+      const std::uint64_t joined = cluster[u] == kUnmatched
+                                       ? g.vwgt[u]
+                                       : cluster_weight[cluster[u]];
+      if (joined + g.vwgt[v] > weight_cap) continue;
+      // Heaviest edge wins; ties prefer the smaller id. adjncy is sorted,
+      // so strict > keeps the first (smallest) of equal-weight neighbors.
+      if (best == kUnmatched || g.adjwgt[s] > best_w) {
+        best = u;
+        best_w = g.adjwgt[s];
+      }
+    }
+    if (best == kUnmatched) {
+      cluster[v] = v;
+      cluster_weight[v] = g.vwgt[v];
+    } else if (cluster[best] == kUnmatched) {
+      cluster[v] = cluster[best] = v;
+      cluster_weight[v] = g.vwgt[v] + g.vwgt[best];
+    } else {
+      cluster[v] = cluster[best];
+      cluster_weight[cluster[best]] += g.vwgt[v];
+    }
+  }
+
+  // Renumber clusters by smallest member id, so equal matchings yield
+  // identical coarse graphs regardless of the visit order that formed
+  // them.
+  CoarsenLevel level;
+  level.cluster_of.assign(n, kUnmatched);
+  std::vector<Vertex> renumber(n, kUnmatched);
+  std::size_t next = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (renumber[cluster[v]] == kUnmatched)
+      renumber[cluster[v]] = static_cast<Vertex>(next++);
+    level.cluster_of[v] = renumber[cluster[v]];
+  }
+
+  // Contracting a matching is the quotient by its cluster labelling:
+  // intra-cluster edges vanish there, which is exactly the
+  // cut-conservation invariant.
+  level.graph = quotient_graph(g, level.cluster_of);
+  return level;
+}
+
+CoarsenHierarchy coarsen_to_floor(const Graph& g, const CoarsenOptions& opt,
+                                  const Executor& exec) {
+  EPG_REQUIRE(opt.cluster_weight_cap >= 1, "cluster weight cap");
+  CoarsenHierarchy hier;
+  hier.graphs.push_back(coarse_from_graph(g, exec));
+  for (std::size_t lvl = 0; lvl < opt.max_levels; ++lvl) {
+    const CoarseGraph& cur = hier.graphs.back();
+    if (cur.n <= opt.floor_vertices) break;
+    CoarsenLevel next = coarsen_once(cur, opt.cluster_weight_cap,
+                                     opt.seed + 0x9E37 * (lvl + 1));
+    const double shrink =
+        1.0 - static_cast<double>(next.graph.n) / static_cast<double>(cur.n);
+    if (next.graph.n >= cur.n || shrink < opt.min_shrink) break;
+    hier.maps.push_back(std::move(next.cluster_of));
+    hier.graphs.push_back(std::move(next.graph));
+  }
+  return hier;
+}
+
+PartitionLabels project_labels(const std::vector<Vertex>& cluster_of,
+                               const PartitionLabels& coarse_labels) {
+  PartitionLabels fine(cluster_of.size());
+  for (std::size_t v = 0; v < cluster_of.size(); ++v) {
+    EPG_REQUIRE(cluster_of[v] < coarse_labels.size(),
+                "projection map names a missing cluster");
+    fine[v] = coarse_labels[cluster_of[v]];
+  }
+  return fine;
+}
+
+std::uint64_t coarse_cut_weight(const CoarseGraph& g,
+                                const PartitionLabels& labels) {
+  EPG_REQUIRE(labels.size() == g.n, "labels/graph size mismatch");
+  std::uint64_t cut = 0;
+  for (Vertex v = 0; v < g.n; ++v)
+    for (std::uint32_t s = g.xadj[v]; s < g.xadj[v + 1]; ++s)
+      if (g.adjncy[s] > v && labels[g.adjncy[s]] != labels[v])
+        cut += g.adjwgt[s];
+  return cut;
+}
+
+CoarseGraph quotient_graph(const CoarseGraph& g,
+                           const PartitionLabels& labels) {
+  EPG_REQUIRE(labels.size() == g.n, "labels/graph size mismatch");
+  std::size_t parts = 0;
+  for (std::uint32_t p : labels)
+    parts = std::max<std::size_t>(parts, static_cast<std::size_t>(p) + 1);
+
+  CoarseGraph q;
+  q.n = parts;
+  q.vwgt.assign(parts, 0);
+  for (Vertex v = 0; v < g.n; ++v) q.vwgt[labels[v]] += g.vwgt[v];
+
+  std::vector<std::vector<std::pair<Vertex, std::uint64_t>>> rows(parts);
+  for (Vertex v = 0; v < g.n; ++v) {
+    const std::uint32_t pv = labels[v];
+    for (std::uint32_t s = g.xadj[v]; s < g.xadj[v + 1]; ++s) {
+      const std::uint32_t pu = labels[g.adjncy[s]];
+      if (pu != pv) rows[pv].emplace_back(pu, g.adjwgt[s]);
+    }
+  }
+  q.xadj.assign(parts + 1, 0);
+  for (std::size_t c = 0; c < parts; ++c) {
+    auto& row = rows[c];
+    std::sort(row.begin(), row.end());
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < row.size(); ++r) {
+      if (w > 0 && row[w - 1].first == row[r].first)
+        row[w - 1].second += row[r].second;
+      else
+        row[w++] = row[r];
+    }
+    row.resize(w);
+    q.xadj[c + 1] = q.xadj[c] + static_cast<std::uint32_t>(w);
+  }
+  q.adjncy.resize(q.xadj[parts]);
+  q.adjwgt.resize(q.xadj[parts]);
+  for (std::size_t c = 0; c < parts; ++c) {
+    std::uint32_t slot = q.xadj[c];
+    for (const auto& [u, wgt] : rows[c]) {
+      q.adjncy[slot] = u;
+      q.adjwgt[slot] = wgt;
+      ++slot;
+    }
+  }
+  return q;
+}
+
+Graph expand_to_graph(const CoarseGraph& g) {
+  Graph out(g.n);
+  for (Vertex v = 0; v < g.n; ++v)
+    for (std::uint32_t s = g.xadj[v]; s < g.xadj[v + 1]; ++s)
+      if (g.adjncy[s] > v && g.adjwgt[s] > 0)
+        out.add_edge(v, g.adjncy[s]);
+  return out;
+}
+
+}  // namespace epg

@@ -1,0 +1,131 @@
+// Graph coarsening for the multilevel partition strategy.
+//
+// A `CoarseGraph` is a weighted CSR view: vertex weights count how many
+// original vertices a cluster absorbs, edge weights count the original
+// edges running between two clusters. Heavy-edge matching merges the pair
+// with the heaviest connecting weight first (the standard multilevel
+// heuristic: a heavy edge contracted is a heavy edge that can never be
+// cut), under a cluster-weight cap so every cluster still fits inside one
+// g_max-sized part of the final partition.
+//
+// Two invariants carry the whole scheme and are pinned by
+// tests/test_coarsen.cpp:
+//
+//   * weight conservation — every coarsening level preserves the total
+//     vertex weight, and for ANY labelling of a coarse graph the weighted
+//     cut equals the weighted cut of the projected labelling one level
+//     finer (intra-cluster edges can never be cut by a projected
+//     labelling; inter-cluster edges aggregate into coarse edge weights);
+//   * total projection — `cluster_of` maps EVERY fine vertex (isolated
+//     vertices become singleton clusters), unlike `Graph::induced`'s
+//     old_to_new mapping, which is partial and marks dropped vertices
+//     with `kNoVertex`. Code mixing the two conventions must check for
+//     the sentinel; see graph.hpp.
+//
+// Everything here is a pure function of its inputs: the matching visit
+// order is a seeded shuffle, ties break on vertex ids, and the executor
+// only parallelizes per-vertex slices that each own their output range —
+// so hierarchies are bit-identical at any lane count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/metrics.hpp"
+#include "runtime/executor.hpp"
+
+namespace epg {
+
+/// Weighted graph in compressed-sparse-row form. Rows are sorted by
+/// neighbor id; the structure is symmetric (u in adj[v] iff v in adj[u],
+/// with equal weights).
+struct CoarseGraph {
+  std::size_t n = 0;
+  std::vector<std::uint32_t> xadj;    ///< n+1 row offsets into adjncy
+  std::vector<Vertex> adjncy;         ///< concatenated neighbor lists
+  std::vector<std::uint64_t> adjwgt;  ///< edge weight per adjncy slot
+  std::vector<std::uint64_t> vwgt;    ///< original vertices per cluster
+
+  std::size_t vertex_count() const { return n; }
+  /// Number of (undirected) weighted edges.
+  std::size_t edge_count() const { return adjncy.size() / 2; }
+  std::uint64_t total_vertex_weight() const;
+  /// Sum of edge weights (each undirected edge counted once).
+  std::uint64_t total_edge_weight() const;
+  std::size_t degree(Vertex v) const { return xadj[v + 1] - xadj[v]; }
+};
+
+/// The original graph as a unit-weight CoarseGraph (level 0 of every
+/// hierarchy). The executor parallelizes the per-vertex row fill.
+CoarseGraph coarse_from_graph(const Graph& g, const Executor& exec);
+
+/// One coarsening step: `graph` is the coarser graph, `cluster_of` maps
+/// every vertex of the finer graph to its cluster in `graph` (a total
+/// mapping — isolated and unmatched vertices become singleton clusters).
+struct CoarsenLevel {
+  CoarseGraph graph;
+  std::vector<Vertex> cluster_of;
+};
+
+/// Heavy-edge matching contraction of `g`, with cluster absorption.
+/// Vertices are visited in a seeded random order; each unassigned vertex
+/// joins across its heaviest feasible edge (ties: smaller neighbor id) —
+/// pairing with an unassigned neighbor or absorbing into a neighbor's
+/// cluster — as long as the combined cluster weight stays <= weight_cap
+/// (plain pair matching stalls at half the cap; absorption reaches it).
+/// Cluster ids are renumbered by smallest member id. The result depends
+/// only on (g, weight_cap, seed).
+CoarsenLevel coarsen_once(const CoarseGraph& g, std::uint64_t weight_cap,
+                          std::uint64_t seed);
+
+struct CoarsenOptions {
+  /// Stop once the coarsest graph has at most this many vertices.
+  std::size_t floor_vertices = 192;
+  /// No cluster may grow heavier than this (the partition's g_max, so a
+  /// cluster always fits inside one part).
+  std::uint64_t cluster_weight_cap = 7;
+  /// Stop when a round shrinks the vertex count by less than this
+  /// fraction (weight-capped matching stalls near n/cap for big graphs).
+  double min_shrink = 0.02;
+  std::size_t max_levels = 64;
+  std::uint64_t seed = 1;
+};
+
+/// The full multilevel hierarchy. graphs[0] is the unit-weight original;
+/// levels[i].cluster_of maps graphs[i] vertices to graphs[i+1] clusters,
+/// and levels[i].graph == graphs[i+1].
+struct CoarsenHierarchy {
+  std::vector<CoarseGraph> graphs;
+  std::vector<std::vector<Vertex>> maps;  ///< maps[i]: level i -> level i+1
+
+  const CoarseGraph& coarsest() const { return graphs.back(); }
+  std::size_t level_count() const { return graphs.size(); }
+};
+
+CoarsenHierarchy coarsen_to_floor(const Graph& g, const CoarsenOptions& opt,
+                                  const Executor& exec);
+
+/// Pull a labelling of the coarse side down one level: fine vertex v gets
+/// coarse_labels[cluster_of[v]].
+PartitionLabels project_labels(const std::vector<Vertex>& cluster_of,
+                               const PartitionLabels& coarse_labels);
+
+/// Weighted cut of a labelling — the quantity conserved across levels.
+std::uint64_t coarse_cut_weight(const CoarseGraph& g,
+                                const PartitionLabels& labels);
+
+/// Part-quotient graph of a labelling: one vertex per part id in
+/// [0, max_label], vertex weight = total member weight, edge weights =
+/// aggregated cut weight between the two parts. Labels must be (near-)
+/// contiguous — the quotient materializes every id up to the maximum.
+/// By the conservation invariant, coarse_cut_weight(quotient, identity
+/// labelling refined further) tracks the original cut exactly.
+CoarseGraph quotient_graph(const CoarseGraph& g,
+                           const PartitionLabels& labels);
+
+/// The coarse graph as a simple Graph (an edge wherever weight > 0) —
+/// the coarsest level in a shape the flat LC searches understand.
+Graph expand_to_graph(const CoarseGraph& g);
+
+}  // namespace epg

@@ -157,6 +157,31 @@ Graph make_erdos_renyi(std::size_t n, double p, std::uint64_t seed) {
   return g;
 }
 
+Graph make_sparse_random(std::size_t n, double avg_degree,
+                         std::uint64_t seed) {
+  EPG_REQUIRE(n >= 1, "sparse random graph needs at least one vertex");
+  EPG_REQUIRE(avg_degree >= 0.0, "average degree must be non-negative");
+  Rng rng(seed);
+  Graph g(n);
+  // Random spanning tree: attach each vertex to a uniform earlier one.
+  for (Vertex v = 1; v < n; ++v)
+    g.add_edge(v, static_cast<Vertex>(rng.below(v)));
+  // Top up with uniform random pairs until the target edge count; the
+  // attempt cap keeps dense requests (avg_degree ~ n) from spinning on
+  // duplicate draws forever.
+  const std::size_t target =
+      std::max(g.edge_count(),
+               static_cast<std::size_t>(avg_degree * static_cast<double>(n) /
+                                        2.0));
+  std::size_t attempts = 8 * target + 64;
+  while (g.edge_count() < target && attempts-- > 0) {
+    const Vertex u = static_cast<Vertex>(rng.below(n));
+    const Vertex v = static_cast<Vertex>(rng.below(n));
+    if (u != v) g.add_edge(u, v);
+  }
+  return g;
+}
+
 Graph shuffle_labels(const Graph& g, std::uint64_t seed) {
   Rng rng(seed);
   std::vector<Vertex> perm(g.vertex_count());

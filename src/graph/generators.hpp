@@ -48,6 +48,15 @@ Graph make_waxman(std::size_t n, std::uint64_t seed, double alpha = 0.4,
 /// Erdos-Renyi G(n, p).
 Graph make_erdos_renyi(std::size_t n, double p, std::uint64_t seed);
 
+/// Sparse connected random graph in O(n + m): a random spanning tree
+/// (guarantees connectivity) plus uniformly sampled extra edges until the
+/// average degree reaches `avg_degree` (>= 2.0 - 2/n, the tree's own
+/// average). Unlike make_waxman / make_erdos_renyi, which enumerate all
+/// n^2 pairs, this stays practical at 10^5 vertices — it is the "random"
+/// family of the scale benchmark tier (bench/bench_scale.cpp).
+Graph make_sparse_random(std::size_t n, double avg_degree,
+                         std::uint64_t seed);
+
 /// Repeater graph state (Azuma et al.): 2m "outer" leaves each hanging off
 /// one of 2m fully connected "inner" vertices.
 Graph make_repeater_graph_state(std::size_t m);

@@ -140,16 +140,16 @@ bool Graph::is_connected() const {
 Graph Graph::induced(const std::vector<Vertex>& keep,
                      std::vector<Vertex>* old_to_new) const {
   Graph sub(keep.size());
-  std::vector<Vertex> map(n_, static_cast<Vertex>(-1));
+  std::vector<Vertex> map(n_, kNoVertex);
   for (std::size_t i = 0; i < keep.size(); ++i) {
     EPG_REQUIRE(keep[i] < n_, "Graph::induced vertex out of range");
-    EPG_REQUIRE(map[keep[i]] == static_cast<Vertex>(-1),
+    EPG_REQUIRE(map[keep[i]] == kNoVertex,
                 "Graph::induced duplicate vertex");
     map[keep[i]] = static_cast<Vertex>(i);
   }
   for (std::size_t i = 0; i < keep.size(); ++i)
     for (Vertex u : neighbors(keep[i]))
-      if (map[u] != static_cast<Vertex>(-1) && map[u] > i)
+      if (map[u] != kNoVertex && map[u] > i)
         sub.add_edge(static_cast<Vertex>(i), map[u]);
   if (old_to_new != nullptr) *old_to_new = std::move(map);
   return sub;

@@ -17,6 +17,13 @@ using Edge = std::pair<Vertex, Vertex>;
 
 class Graph {
  public:
+  /// "No such vertex" sentinel shared by every partial vertex mapping in
+  /// the codebase (`induced`'s old_to_new marks dropped vertices with it).
+  /// Coarsening maps (graph/coarsen.hpp) are TOTAL by contract — every
+  /// fine vertex, isolated ones included, maps to a real cluster and
+  /// never to this sentinel; tests/test_coarsen.cpp pins the agreement.
+  static constexpr Vertex kNoVertex = static_cast<Vertex>(-1);
+
   Graph() = default;
   explicit Graph(std::size_t n);
 
@@ -57,7 +64,10 @@ class Graph {
   bool is_connected() const;
 
   /// Induced subgraph on `keep` (vertices renumbered 0..k-1 in `keep`
-  /// order). The mapping old->new is written to `old_to_new` when non-null.
+  /// order). The mapping old->new is written to `old_to_new` when
+  /// non-null; it is PARTIAL: vertices not in `keep` map to `kNoVertex`,
+  /// while every kept vertex — isolated ones included, they survive as
+  /// isolated vertices of the subgraph — maps to its new index.
   Graph induced(const std::vector<Vertex>& keep,
                 std::vector<Vertex>* old_to_new = nullptr) const;
 

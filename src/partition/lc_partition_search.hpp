@@ -35,13 +35,32 @@ struct LcPartitionConfig {
   /// Use exact branch-and-bound when the graph is small enough.
   bool exact_small = true;
   std::size_t exact_vertex_limit = 13;
-  /// Registered PartitionStrategy name: "beam" | "anneal" | "portfolio"
-  /// (see partition/partition_strategy.hpp).
+  /// Registered PartitionStrategy name: "beam" | "anneal" | "portfolio" |
+  /// "multilevel" (see partition/partition_strategy.hpp).
   std::string strategy = "beam";
   /// Simulated-annealing chain length ("anneal" and portfolio members).
   int anneal_iterations = 1500;
   /// Concurrent restarts the "portfolio" strategy races.
   std::size_t portfolio_width = 4;
+
+  // ---- "multilevel" strategy knobs (partition/multilevel.hpp) ----
+  /// Graphs at or below this many vertices skip coarsening entirely and
+  /// run the inner flat search on the (trivially coarsest) original.
+  std::size_t coarsen_floor = 192;
+  /// Flat strategy run below the floor and raced below the race limit:
+  /// "beam" | "anneal" | "portfolio".
+  std::string multilevel_inner = "beam";
+  /// Up to this size the coarsen-refine result additionally races the
+  /// inner strategy on the original graph and the better cut wins — the
+  /// "multilevel never loses to the flat search" guarantee, affordable
+  /// exactly while the flat search still is.
+  std::size_t multilevel_race_limit = 192;
+  /// Boundary-refinement sweeps per uncoarsening level.
+  int multilevel_refine_passes = 6;
+  /// Skip LC-aware local moves at vertices above this degree (an LC try
+  /// costs O(degree^2) edge probes — the cap only exists to keep hub
+  /// vertices of huge graphs from dominating a refinement sweep).
+  std::size_t multilevel_lc_degree_cap = 64;
 };
 
 PartitionOutcome search_lc_partition(const Graph& g,

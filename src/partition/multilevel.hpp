@@ -1,0 +1,44 @@
+// Multilevel coarsen-partition-refine strategy — the scale tier of the
+// LC + partition co-search (docs/scaling.md).
+//
+// The flat strategies (beam / anneal / portfolio) explore the LC orbit of
+// the whole graph; every candidate costs a graph copy and a partition
+// solve, which stalls well below the 10k-vertex regime. "multilevel"
+// instead:
+//
+//   1. contracts the graph by heavy-edge matching (graph/coarsen.hpp),
+//      cluster weights capped at g_max so every cluster fits one part;
+//   2. packs the coarsest clusters into parts greedily (heaviest cluster
+//      first, into the part it is most connected to) and refines with
+//      weighted boundary moves;
+//   3. projects the labelling back up level by level, re-refining after
+//      every projection;
+//   4. at the finest level, interleaves single-vertex moves with LC-aware
+//      local moves: a local complementation at a low-degree boundary
+//      vertex is accepted when the O(degree^2) recount of cut edges among
+//      its neighborhood strictly drops, building the lc_sequence the
+//      PartitionOutcome contract requires;
+//   5. below `coarsen_floor` vertices there is nothing to coarsen: the
+//      hierarchy is trivial and the configured inner flat strategy runs
+//      directly on the original (so small graphs keep the full-strength
+//      LC search). Up to `multilevel_race_limit` vertices the
+//      coarsen-refine result additionally RACES the inner strategy and
+//      the better cut wins — multilevel never loses to the flat search
+//      wherever the flat search is still affordable.
+//
+// Determinism: coarsening, packing and refinement are pure functions of
+// (g, cfg); the executor only fans out provably order-independent slices
+// (CSR row fill, the inner beam's candidate scoring). Outcomes are
+// bit-identical at any lane count.
+#pragma once
+
+#include <memory>
+
+#include "partition/partition_strategy.hpp"
+
+namespace epg {
+
+/// The "multilevel" strategy instance the built-in registry installs.
+std::unique_ptr<PartitionStrategy> make_multilevel_strategy();
+
+}  // namespace epg

@@ -10,6 +10,7 @@
 #include "common/assert.hpp"
 #include "common/stopwatch.hpp"
 #include "graph/local_complement.hpp"
+#include "partition/multilevel.hpp"
 #include "solver/anneal.hpp"
 
 namespace epg {
@@ -234,6 +235,7 @@ Registry& registry() {
     r->by_name.emplace("beam", std::make_unique<BeamStrategy>());
     r->by_name.emplace("anneal", std::make_unique<AnnealStrategy>());
     r->by_name.emplace("portfolio", std::make_unique<PortfolioStrategy>());
+    r->by_name.emplace("multilevel", make_multilevel_strategy());
     return r;
   }();
   return *instance;

@@ -16,6 +16,12 @@
 //   "portfolio" — races `portfolio_width` independently seeded beam and
 //                 anneal restarts across the executor and keeps the best
 //                 cut (ties broken by slot index, deterministically).
+//   "multilevel"— heavy-edge-matching coarsening, coarsest-level packing,
+//                 per-level boundary refinement and LC-aware local moves
+//                 (partition/multilevel.hpp, docs/scaling.md) — the tier
+//                 that scales to 10k-100k vertices where the flat
+//                 searches above stall; below `coarsen_floor` it simply
+//                 delegates to the configured inner flat strategy.
 //
 // Contract for every strategy: the returned outcome's `transformed` graph
 // is reachable from `g` via `lc_sequence` with at most cfg.max_lc_ops

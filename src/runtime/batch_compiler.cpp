@@ -44,6 +44,11 @@ std::uint64_t config_fingerprint(const FrameworkConfig& cfg) {
   h.mix(cfg.partition.strategy);
   h.mix(static_cast<std::uint64_t>(cfg.partition.anneal_iterations));
   h.mix(static_cast<std::uint64_t>(cfg.partition.portfolio_width));
+  h.mix(static_cast<std::uint64_t>(cfg.partition.coarsen_floor));
+  h.mix(cfg.partition.multilevel_inner);
+  h.mix(static_cast<std::uint64_t>(cfg.partition.multilevel_race_limit));
+  h.mix(static_cast<std::uint64_t>(cfg.partition.multilevel_refine_passes));
+  h.mix(static_cast<std::uint64_t>(cfg.partition.multilevel_lc_degree_cap));
   // cfg.inner_threads is deliberately NOT mixed: inner lane count never
   // changes the compiled result, so it must not split the cache.
   h.mix(static_cast<std::uint64_t>(cfg.subgraph.ne_limit));

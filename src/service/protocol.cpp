@@ -74,6 +74,10 @@ CompileJob job_from_spec(const JsonValue& spec, std::size_t index) {
     job.framework.partition.time_budget_ms =
         spec.get_number("budget_ms", 800.0);
     job.framework.partition.strategy = spec.get_string("strategy", "beam");
+    job.framework.partition.coarsen_floor =
+        spec.get_u64("coarsen_floor", 192);
+    job.framework.partition.multilevel_inner =
+        spec.get_string("multilevel_inner", "beam");
     job.framework.ne_limit_factor = spec.get_number("ne_factor", 1.5);
     job.framework.ne_limit_override =
         static_cast<std::uint32_t>(spec.get_u64("ne", 0));

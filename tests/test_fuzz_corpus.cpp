@@ -9,7 +9,9 @@
 // EPGC_CORPUS_DIR is injected by CMake and points at <repo>/corpus.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
+#include <string>
 #include <vector>
 
 #include "fuzz/oracle.hpp"
@@ -28,6 +30,20 @@ std::vector<fs::path> corpus_files() {
   return files;
 }
 
+
+TEST(FuzzCorpus, ReplayMatrixIncludesEveryBuiltInStrategy) {
+  // The replay legs default to every registered strategy; a strategy
+  // that silently fell out of the registry would shrink this matrix and
+  // stop being regression-tested, so pin the expected built-ins —
+  // "multilevel" included, whose coarsening path the fuzz config's
+  // lowered coarsen_floor exercises on corpus-sized graphs.
+  const std::vector<std::string> strategies =
+      oracle_strategies(default_oracle_config());
+  for (const char* name : {"beam", "anneal", "portfolio", "multilevel"})
+    EXPECT_NE(std::find(strategies.begin(), strategies.end(), name),
+              strategies.end())
+        << name << " missing from the replay matrix";
+}
 
 TEST(FuzzCorpus, DirectoryHasGoldenEntries) {
   ASSERT_TRUE(fs::is_directory(EPGC_CORPUS_DIR))

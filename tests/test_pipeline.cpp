@@ -110,7 +110,7 @@ TEST(Pipeline, EveryRegisteredStrategyProducesVerifiedCircuit) {
 }
 
 TEST(Pipeline, RegistryHasBuiltinsAndRejectsUnknown) {
-  for (const char* name : {"beam", "anneal", "portfolio"}) {
+  for (const char* name : {"beam", "anneal", "portfolio", "multilevel"}) {
     const PartitionStrategy* s = find_partition_strategy(name);
     ASSERT_NE(s, nullptr) << name;
     EXPECT_EQ(s->name(), name);
