@@ -1,39 +1,51 @@
-// bench_scale: the scale-envelope tier — partition-stage latency on huge
-// graphs (1k .. 100k vertices) across every registered strategy.
+// bench_scale: the scale-envelope tier — huge-graph latency (1k .. 100k
+// vertices) in two modes.
 //
-// bench_pipeline tracks full-compile latency at paper sizes (tens of
-// vertices); this bench answers the question the multilevel strategy
-// exists for: how large a graph can each PartitionStrategy partition
-// inside a fixed wall budget, and at what cut quality? Only the
-// partition stage runs — at these sizes the flat searches are the
-// bottleneck the paper's scalability claim hinges on, and the downstream
-// stages are exercised by the other benches.
+// Default mode benches the partition stage across every registered
+// strategy: how large a graph can each PartitionStrategy partition inside
+// a fixed wall budget, and at what cut quality? --full-pipeline benches
+// the whole five-stage compile (partition, subgraph, schedule,
+// correction, verify) through compile_framework on the deterministic
+// multilevel tier, reporting per-stage wall time and the compiled-circuit
+// metrics; bench_pipeline still tracks paper-size latency.
 //
-// Every cell runs in a FORKED child with a hard timeout: a strategy that
-// stalls (the flat searches' partition solvers have no deadline checks
-// inside one solve) is killed, recorded as a timeout, and larger sizes
-// of the same (family, strategy) pair are skipped. The JSON schema is
-// the bench_pipeline one (instance/strategy/inner_threads cells with
+// Every cell runs in a FORKED child with a hard timeout: a run that
+// stalls is killed, recorded as a timeout, and larger sizes of the same
+// (family, strategy) pair are skipped. The JSON schema is the
+// bench_pipeline one (instance/strategy/inner_threads cells with
 // deterministic metric keys + wall_ms), so ci/check_perf.py can gate a
-// checked-in baseline of it; timed-out cells live in a separate
+// checked-in baseline of either mode; timed-out cells live in a separate
 // "timeouts" array that the gate never reads.
 //
 // Determinism: multilevel cells run at inner thread counts {0,2,8} and
-// the bench fails if their (stems, parts, lc_depth) disagree — and since
-// each cell is its own process, the check also covers cross-process
-// reproducibility. Flat-strategy cells run with a binding wall budget
-// (half the timeout), so their quality is load-dependent and they are
-// benched at a single thread count only.
+// the bench fails if any deterministic metric disagrees — in
+// --full-pipeline mode that covers every compiled metric plus an FNV-1a
+// hash of the serialized circuit and its explicit gate times, and since
+// each cell is its own process the check also gates cross-process
+// reproducibility of the full compile. Flat-strategy cells (default mode
+// only) run with a binding wall budget (half the timeout), so their
+// quality is load-dependent and they are benched at a single thread
+// count.
+//
+// Full-pipeline child config, chosen so no anytime budget can bind (the
+// determinism contract requires it): partition/subgraph wall budgets
+// lifted, flexible_ne_max_trials=64 (the uncapped improvement pass is
+// quadratic in parts), verify_seeds=1 up to 1k vertices and 0 above
+// (tableau verification is O(n^2) memory — ~1.25 GB at 50k).
 //
 // usage: bench_scale [--json FILE] [--timeout-s N] [--quick] [--huge]
-//                    [--strategies a,b,c]
+//                    [--strategies a,b,c] [--full-pipeline]
 //   --json FILE        machine-readable results (CI artifact)
-//   --timeout-s N      per-cell hard budget (default 60)
+//   --timeout-s N      per-cell hard budget (default 60, full-pipeline 1800)
 //   --quick            1k vertices only (smoke mode)
 //   --huge             add the 100k tier to the default 1k/10k/50k sweep
 //   --strategies CSV   subset of registered strategies (default: all) —
 //                      CI runs `--quick --strategies multilevel` as a
 //                      seconds-cheap cross-process determinism gate
+//   --full-pipeline    bench all five stages (multilevel only) instead of
+//                      the partition stage; CI runs `--quick
+//                      --full-pipeline` as the end-to-end determinism
+//                      smoke
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -44,9 +56,11 @@
 #include <string>
 #include <vector>
 
+#include "circuit/serialize.hpp"
 #include "common/json.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
+#include "compile/framework.hpp"
 #include "graph/generators.hpp"
 #include "graph/local_complement.hpp"
 #include "partition/partition_strategy.hpp"
@@ -55,6 +69,8 @@
 namespace {
 
 using namespace epg;
+
+constexpr std::size_t kNumStages = 5;
 
 struct Cell {
   std::string instance;
@@ -67,6 +83,16 @@ struct Cell {
   std::size_t lc_depth = 0;
   bool valid = false;
   enum class Status { ok, timeout, skipped, error } status = Status::ok;
+  // --full-pipeline extras (zero / empty in partition-only mode).
+  std::size_t ee = 0;
+  unsigned long long makespan = 0;
+  std::size_t peak = 0;
+  std::size_t local_ops = 0;
+  std::size_t emissions = 0;
+  std::size_t measures = 0;
+  bool verified = false;
+  std::string circuit_hash;
+  double stage[kNumStages] = {0, 0, 0, 0, 0};
 };
 
 LcPartitionConfig scale_config(const std::string& strategy,
@@ -83,47 +109,80 @@ LcPartitionConfig scale_config(const std::string& strategy,
   return cfg;
 }
 
-/// Run one (graph, strategy, threads) cell in a forked child under a
-/// hard timeout. The child writes one result line to a pipe; a child
-/// that outlives the budget is killed and reported as a timeout.
-Cell run_cell(const Graph& g, Cell cell, double flat_budget_ms,
-              int timeout_s) {
+FrameworkConfig pipeline_config(std::size_t n, std::size_t threads) {
+  FrameworkConfig cfg;
+  // Lifted budgets everywhere: a binding anytime deadline truncates the
+  // searches at a load-dependent point and would break the bit-identity
+  // this bench gates across thread counts and processes.
+  cfg.partition = scale_config("multilevel", 1e15);
+  cfg.subgraph.time_budget_ms = 1e15;
+  // compile_framework xors the framework seed into the partition seed;
+  // zero keeps the effective partition seed at 7, matching the
+  // partition-only cells so the two modes compile the same partitions.
+  cfg.seed = 0;
+  // Tableau verification allocates O(n^2) bits — fine at 1k, ~1.25 GB at
+  // 50k. verify_seeds is a pure function of n, so the cells stay
+  // comparable across hosts.
+  cfg.verify_seeds = n <= 1000 ? 1 : 0;
+  // The uncapped flexible-ne improvement pass costs one full re-schedule
+  // per rejected swap — quadratic in parts at these sizes. The cap is a
+  // pure function of n, so every cell of one instance agrees on it.
+  cfg.flexible_ne_max_trials = n <= 1000 ? 64 : n <= 10000 ? 16 : 4;
+  cfg.inner_threads = threads;
+  return cfg;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Order- and value-sensitive digest of the compiled artifact: the
+/// serialized gate list plus the explicit per-gate start/end ticks and
+/// per-photon emission times. Two runs agree on this iff they produced
+/// the same circuit with the same schedule.
+std::string schedule_digest(const GlobalSchedule& s) {
+  const std::string text = serialize_circuit(s.circuit);
+  std::uint64_t h = 14695981039346656037ull;
+  h = fnv1a(h, text.data(), text.size());
+  h = fnv1a(h, s.gate_start.data(), s.gate_start.size() * sizeof(Tick));
+  h = fnv1a(h, s.gate_end.data(), s.gate_end.size() * sizeof(Tick));
+  h = fnv1a(h, s.photon_emit.data(), s.photon_emit.size() * sizeof(Tick));
+  h = fnv1a(h, &s.makespan, sizeof s.makespan);
+  std::ostringstream os;
+  os << std::hex << h;
+  return os.str();
+}
+
+/// Fork a child, run `child_line` there, write its one-line report to a
+/// pipe, and collect it in the parent under a hard timeout. Returns the
+/// payload ("" on error); sets `timed_out` when the child was killed.
+template <typename MakeLine>
+std::string run_forked(MakeLine&& child_line, int timeout_s,
+                       bool& timed_out, bool& io_error) {
+  timed_out = false;
+  io_error = false;
   int fds[2];
   if (pipe(fds) != 0) {
-    cell.status = Cell::Status::error;
-    return cell;
+    io_error = true;
+    return {};
   }
   const pid_t pid = fork();
   if (pid < 0) {
     close(fds[0]);
     close(fds[1]);
-    cell.status = Cell::Status::error;
-    return cell;
+    io_error = true;
+    return {};
   }
   if (pid == 0) {
     close(fds[0]);
-    // Child: run the strategy, self-check the outcome, report one line.
     std::string line;
     try {
-      const LcPartitionConfig cfg =
-          scale_config(cell.strategy, flat_budget_ms);
-      const PartitionStrategy* strategy =
-          find_partition_strategy(cfg.strategy);
-      const Executor exec(cell.inner_threads);
-      Stopwatch watch;
-      const PartitionOutcome out = strategy->run(g, cfg, exec);
-      const double ms = watch.elapsed_ms();
-      Graph replay = g;
-      for (Vertex v : out.lc_sequence) local_complement(replay, v);
-      const bool valid =
-          replay == out.transformed &&
-          out.lc_sequence.size() <= cfg.max_lc_ops &&
-          partition_is_valid(out.transformed, out.labels, cfg.g_max);
-      std::ostringstream os;
-      os << "ok " << ms << ' ' << out.stem_edge_count << ' '
-         << out.parts.size() << ' ' << out.lc_sequence.size() << ' '
-         << (valid ? 1 : 0) << '\n';
-      line = os.str();
+      line = child_line();
     } catch (const std::exception& e) {
       line = std::string("error ") + e.what() + "\n";
     }
@@ -136,7 +195,6 @@ Cell run_cell(const Graph& g, Cell cell, double flat_budget_ms,
   // Parent: poll the pipe with the deadline; kill on expiry.
   std::string payload;
   Stopwatch watch;
-  bool timed_out = false;
   for (;;) {
     fd_set set;
     FD_ZERO(&set);
@@ -166,10 +224,40 @@ Cell run_cell(const Graph& g, Cell cell, double flat_budget_ms,
   if (timed_out) kill(pid, SIGKILL);
   int wstatus = 0;
   waitpid(pid, &wstatus, 0);
+  return payload;
+}
+
+/// Run one partition-stage (graph, strategy, threads) cell.
+Cell run_cell(const Graph& g, Cell cell, double flat_budget_ms,
+              int timeout_s) {
+  bool timed_out = false, io_error = false;
+  const std::string payload = run_forked(
+      [&] {
+        const LcPartitionConfig cfg =
+            scale_config(cell.strategy, flat_budget_ms);
+        const PartitionStrategy* strategy =
+            find_partition_strategy(cfg.strategy);
+        const Executor exec(cell.inner_threads);
+        Stopwatch watch;
+        const PartitionOutcome out = strategy->run(g, cfg, exec);
+        const double ms = watch.elapsed_ms();
+        Graph replay = g;
+        for (Vertex v : out.lc_sequence) local_complement(replay, v);
+        const bool valid =
+            replay == out.transformed &&
+            out.lc_sequence.size() <= cfg.max_lc_ops &&
+            partition_is_valid(out.transformed, out.labels, cfg.g_max);
+        std::ostringstream os;
+        os << "ok " << ms << ' ' << out.stem_edge_count << ' '
+           << out.parts.size() << ' ' << out.lc_sequence.size() << ' '
+           << (valid ? 1 : 0) << '\n';
+        return os.str();
+      },
+      timeout_s, timed_out, io_error);
 
   std::istringstream is(payload);
   std::string tag;
-  if (timed_out || !(is >> tag) || tag != "ok") {
+  if (timed_out || io_error || !(is >> tag) || tag != "ok") {
     cell.status = timed_out ? Cell::Status::timeout : Cell::Status::error;
     cell.wall_ms = timeout_s * 1000.0;
     return cell;
@@ -181,13 +269,73 @@ Cell run_cell(const Graph& g, Cell cell, double flat_budget_ms,
   return cell;
 }
 
+/// Run one full-pipeline (graph, threads) cell: all five framework
+/// stages through compile_framework, multilevel partitioning.
+Cell run_full_cell(const Graph& g, Cell cell, int timeout_s) {
+  bool timed_out = false, io_error = false;
+  const std::string payload = run_forked(
+      [&] {
+        const FrameworkConfig cfg =
+            pipeline_config(g.vertex_count(), cell.inner_threads);
+        Stopwatch watch;
+        const FrameworkResult r = compile_framework(g, cfg);
+        const double ms = watch.elapsed_ms();
+        // Self-check: every photon emitted, the emitter cap respected, no
+        // unresolved deadlock, and (when verification ran) verified.
+        const bool valid =
+            r.schedule.photon_emit.size() == g.vertex_count() &&
+            r.schedule.limit_respected && !r.schedule.deadlocked &&
+            (cfg.verify_seeds <= 0 || r.verified);
+        const CircuitStats& st = r.stats();
+        std::ostringstream os;
+        os << "ok " << ms << ' ' << r.stem_count << ' '
+           << r.partition.parts.size() << ' '
+           << r.partition.lc_sequence.size() << ' ' << (valid ? 1 : 0)
+           << ' ' << st.ee_cnot_count << ' '
+           << static_cast<unsigned long long>(st.makespan_ticks) << ' '
+           << st.emitters_used << ' ' << st.local_count << ' '
+           << st.emission_count << ' ' << st.measure_count << ' '
+           << (r.verified ? 1 : 0) << ' ' << schedule_digest(r.schedule);
+        double stage[kNumStages] = {0, 0, 0, 0, 0};
+        for (const StageTiming& t : r.stage_ms) {
+          const char* names[kNumStages] = {"partition", "subgraph",
+                                           "schedule", "correction",
+                                           "verify"};
+          for (std::size_t s = 0; s < kNumStages; ++s)
+            if (t.stage == names[s]) stage[s] = t.ms;
+        }
+        for (std::size_t s = 0; s < kNumStages; ++s) os << ' ' << stage[s];
+        os << '\n';
+        return os.str();
+      },
+      timeout_s, timed_out, io_error);
+
+  std::istringstream is(payload);
+  std::string tag;
+  if (timed_out || io_error || !(is >> tag) || tag != "ok") {
+    cell.status = timed_out ? Cell::Status::timeout : Cell::Status::error;
+    cell.wall_ms = timeout_s * 1000.0;
+    return cell;
+  }
+  int valid = 0, verified = 0;
+  is >> cell.wall_ms >> cell.stems >> cell.parts >> cell.lc_depth >>
+      valid >> cell.ee >> cell.makespan >> cell.peak >> cell.local_ops >>
+      cell.emissions >> cell.measures >> verified >> cell.circuit_hash;
+  for (std::size_t s = 0; s < kNumStages; ++s) is >> cell.stage[s];
+  cell.valid = valid != 0 && !is.fail();
+  cell.verified = verified != 0;
+  cell.status = Cell::Status::ok;
+  return cell;
+}
+
 void write_json(std::ostream& os, const std::vector<Cell>& cells,
-                int timeout_s) {
+                int timeout_s, bool full) {
   std::vector<const Cell*> ok, failed;
   for (const Cell& c : cells)
     (c.status == Cell::Status::ok ? ok : failed).push_back(&c);
-  os << "{\n  \"bench\": \"scale_partition\",\n  \"timeout_s\": "
-     << timeout_s << ",\n  \"results\": [\n";
+  os << "{\n  \"bench\": \""
+     << (full ? "scale_pipeline" : "scale_partition")
+     << "\",\n  \"timeout_s\": " << timeout_s << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < ok.size(); ++i) {
     const Cell& c = *ok[i];
     os << "    {\"instance\": \"" << json_escape(c.instance)
@@ -196,8 +344,20 @@ void write_json(std::ostream& os, const std::vector<Cell>& cells,
        << c.inner_threads << ", \"wall_ms\": " << c.wall_ms
        << ", \"stems\": " << c.stems << ", \"parts\": " << c.parts
        << ", \"lc_depth\": " << c.lc_depth << ", \"valid\": "
-       << (c.valid ? "true" : "false") << '}'
-       << (i + 1 < ok.size() ? "," : "") << '\n';
+       << (c.valid ? "true" : "false");
+    if (full) {
+      os << ", \"ee_cnot\": " << c.ee << ", \"makespan\": " << c.makespan
+         << ", \"emitters_used\": " << c.peak << ", \"local_count\": "
+         << c.local_ops << ", \"emission_count\": " << c.emissions
+         << ", \"measure_count\": " << c.measures << ", \"verified\": "
+         << (c.verified ? "true" : "false") << ", \"circuit_hash\": \""
+         << json_escape(c.circuit_hash) << "\", \"stage_ms\": {"
+         << "\"partition\": " << c.stage[0] << ", \"subgraph\": "
+         << c.stage[1] << ", \"schedule\": " << c.stage[2]
+         << ", \"correction\": " << c.stage[3] << ", \"verify\": "
+         << c.stage[4] << '}';
+    }
+    os << '}' << (i + 1 < ok.size() ? "," : "") << '\n';
   }
   os << "  ],\n  \"timeouts\": [\n";
   for (std::size_t i = 0; i < failed.size(); ++i) {
@@ -217,8 +377,8 @@ void write_json(std::ostream& os, const std::vector<Cell>& cells,
 
 int main(int argc, char** argv) {
   std::string json_path;
-  int timeout_s = 60;
-  bool quick = false, huge = false;
+  int timeout_s = -1;
+  bool quick = false, huge = false, full = false;
   std::vector<std::string> only;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -230,6 +390,8 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (arg == "--huge") {
       huge = true;
+    } else if (arg == "--full-pipeline") {
+      full = true;
     } else if (arg == "--strategies" && i + 1 < argc) {
       std::istringstream is(argv[++i]);
       std::string item;
@@ -237,10 +399,17 @@ int main(int argc, char** argv) {
         if (!item.empty()) only.push_back(item);
     } else {
       std::cerr << "usage: bench_scale [--json FILE] [--timeout-s N] "
-                   "[--quick] [--huge] [--strategies a,b,c]\n";
+                   "[--quick] [--huge] [--strategies a,b,c] "
+                   "[--full-pipeline]\n";
       return 2;
     }
   }
+  // The full pipeline runs subgraph+schedule+correction on top of the
+  // partition stage; 50k-vertex cells need minutes, not seconds.
+  // The slowest full-pipeline cell measured on the reference container is
+  // random50000 at ~6.5 min serial (lattice grows similarly); 30 min leaves
+  // headroom for slower hosts while still killing a genuine stall.
+  if (timeout_s < 0) timeout_s = full ? 1800 : 60;
 
   std::vector<std::size_t> sizes = quick
                                        ? std::vector<std::size_t>{1000}
@@ -281,6 +450,17 @@ int main(int argc, char** argv) {
       }
     strategies = only;
   }
+  if (full) {
+    // The full pipeline's determinism contract is the multilevel tier's;
+    // flat strategies at these sizes run under binding budgets and would
+    // make every downstream metric load-dependent.
+    if (!only.empty() && strategies != std::vector<std::string>{
+                             "multilevel"}) {
+      std::cerr << "--full-pipeline benches the multilevel strategy only\n";
+      return 2;
+    }
+    strategies = {"multilevel"};
+  }
   std::vector<Cell> cells;
   // Once a (family, strategy) pair times out, larger sizes are skipped —
   // the envelope is already established and the sweep stays bounded.
@@ -309,7 +489,8 @@ int main(int argc, char** argv) {
           } else {
             std::cerr << "cell " << label << '/' << strategy << "/inner"
                       << threads << " ..." << std::flush;
-            cell = run_cell(g, cell, flat_budget_ms, timeout_s);
+            cell = full ? run_full_cell(g, cell, timeout_s)
+                        : run_cell(g, cell, flat_budget_ms, timeout_s);
             std::cerr << (cell.status == Cell::Status::ok
                               ? " done"
                               : cell.status == Cell::Status::timeout
@@ -324,41 +505,62 @@ int main(int argc, char** argv) {
     }
   }
 
-  Table table({"instance", "strategy", "inner", "wall(ms)", "stems",
-               "parts", "lc", "valid"});
+  Table table(full ? std::vector<std::string>{
+                         "instance", "inner", "wall(ms)", "part(ms)",
+                         "subg(ms)", "sched(ms)", "ee", "makespan", "peak",
+                         "valid"}
+                   : std::vector<std::string>{"instance", "strategy",
+                                              "inner", "wall(ms)", "stems",
+                                              "parts", "lc", "valid"});
   for (const Cell& c : cells) {
     const char* status = c.status == Cell::Status::timeout
                              ? "TIMEOUT"
                              : c.status == Cell::Status::skipped
                                    ? "skipped"
                                    : "ERROR";
-    if (c.status == Cell::Status::ok)
+    if (full) {
+      if (c.status == Cell::Status::ok)
+        table.add_row({c.instance, Table::num(c.inner_threads),
+                       Table::num(c.wall_ms, 1), Table::num(c.stage[0], 1),
+                       Table::num(c.stage[1], 1), Table::num(c.stage[2], 1),
+                       Table::num(c.ee),
+                       Table::num(static_cast<std::size_t>(c.makespan)),
+                       Table::num(c.peak), c.valid ? "yes" : "NO"});
+      else
+        table.add_row({c.instance, Table::num(c.inner_threads), status, "-",
+                       "-", "-", "-", "-", "-", "-"});
+    } else if (c.status == Cell::Status::ok) {
       table.add_row({c.instance, c.strategy, Table::num(c.inner_threads),
                      Table::num(c.wall_ms, 1), Table::num(c.stems),
                      Table::num(c.parts), Table::num(c.lc_depth),
                      c.valid ? "yes" : "NO"});
-    else
+    } else {
       table.add_row({c.instance, c.strategy, Table::num(c.inner_threads),
                      status, "-", "-", "-", "-"});
+    }
   }
-  std::cout << "== Scale envelope: partition stage, " << timeout_s
-            << "s budget per cell ==\n";
+  std::cout << "== Scale envelope: "
+            << (full ? "full pipeline" : "partition stage") << ", "
+            << timeout_s << "s budget per cell ==\n";
   table.print(std::cout);
   std::cout << "\n-- csv --\n";
   table.print_csv(std::cout);
 
   int rc = 0;
   // Any completed cell whose child self-check failed (partition
-  // validity, LC replay, LC budget) fails the bench on its own.
+  // validity, LC replay, LC budget; in full mode also emitter-cap
+  // respect, emission coverage, and verification) fails the bench.
   for (const Cell& c : cells)
     if (c.status == Cell::Status::ok && !c.valid) {
-      std::cerr << "INVALID PARTITION: " << c.instance << '/' << c.strategy
-                << "/inner" << c.inner_threads
-                << " failed the outcome self-check\n";
+      std::cerr << (full ? "INVALID COMPILE: " : "INVALID PARTITION: ")
+                << c.instance << '/' << c.strategy << "/inner"
+                << c.inner_threads << " failed the outcome self-check\n";
       rc = 1;
     }
   // Determinism cross-check over the multilevel thread-count cells (each
-  // one ran in its own process).
+  // one ran in its own process). Full-pipeline cells must agree on every
+  // compiled metric and on the schedule digest, not just the partition
+  // shape.
   for (std::size_t i = 0; i < cells.size(); ++i)
     for (std::size_t j = i + 1; j < cells.size(); ++j) {
       const Cell& a = cells[i];
@@ -367,7 +569,11 @@ int main(int argc, char** argv) {
       if (a.status != Cell::Status::ok || b.status != Cell::Status::ok)
         continue;
       if (a.stems != b.stems || a.parts != b.parts ||
-          a.lc_depth != b.lc_depth) {
+          a.lc_depth != b.lc_depth || a.ee != b.ee ||
+          a.makespan != b.makespan || a.peak != b.peak ||
+          a.local_ops != b.local_ops || a.emissions != b.emissions ||
+          a.measures != b.measures || a.verified != b.verified ||
+          a.circuit_hash != b.circuit_hash) {
         std::cerr << "DETERMINISM VIOLATION: " << a.instance << '/'
                   << a.strategy << " differs between inner thread counts "
                   << a.inner_threads << " and " << b.inner_threads << '\n';
@@ -377,7 +583,7 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    write_json(out, cells, timeout_s);
+    write_json(out, cells, timeout_s, full);
     std::cout << "json written to " << json_path << '\n';
   }
   return rc;

@@ -39,6 +39,12 @@ struct FrameworkConfig {
   std::uint32_t ne_limit_override = 0;
   bool alap_tetris = true;   ///< ablation: Tetris scheduling on/off
   bool flexible_ne = true;   ///< ablation: flexible resource constraint
+  /// Cap on full re-schedules the flexible-ne improvement pass may spend
+  /// (each rejected variant swap costs one schedule_parts run; on a
+  /// thousands-of-parts input the uncapped loop is quadratic). 0 = no cap,
+  /// the historical behavior; the scale bench/tests set a modest budget.
+  /// The pass is serial either way, so any cap is deterministic.
+  std::size_t flexible_ne_max_trials = 0;
   int verify_seeds = 2;      ///< 0 disables the final verification
   std::uint64_t seed = 1;
   /// Worker threads for the intra-compile executor when compile_framework

@@ -68,6 +68,45 @@ PartVariants compile_variants(const SubgraphSpec& spec,
   return out;
 }
 
+/// Cache key: the byte-exact (adjacency, boundary, policy, ne_cap) tuple.
+/// stem_key is deliberately absent — it only feeds the key-ordered policy,
+/// which bypasses the cache (see PartCompileCache).
+std::string part_cache_key(const SubgraphSpec& spec,
+                           const SubgraphCompileConfig& cfg,
+                           std::uint32_t ne_cap) {
+  const Graph& g = spec.graph;
+  const auto n = static_cast<std::uint64_t>(g.vertex_count());
+  std::string key;
+  key.reserve(16 + n * g.words_per_row() * 8 + n);
+  key.append(reinterpret_cast<const char*>(&n), sizeof n);
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    key.append(reinterpret_cast<const char*>(g.row(v)),
+               g.words_per_row() * 8);
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    key.push_back(spec.boundary[v] ? 1 : 0);
+  key.append(reinterpret_cast<const char*>(&cfg.dangler.cap),
+             sizeof cfg.dangler.cap);
+  key.append(reinterpret_cast<const char*>(&ne_cap), sizeof ne_cap);
+  return key;
+}
+
+PartVariants cached_compile_variants(PartCompileCache& cache,
+                                     const SubgraphSpec& spec,
+                                     const SubgraphCompileConfig& cfg,
+                                     std::uint32_t ne_cap) {
+  if (cfg.dangler.key_order) return compile_variants(spec, cfg, ne_cap);
+  const std::string key = part_cache_key(spec, cfg, ne_cap);
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    if (auto it = cache.map.find(key); it != cache.map.end())
+      return *it->second;
+  }
+  PartVariants fresh = compile_variants(spec, cfg, ne_cap);
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.map.try_emplace(key, std::make_shared<PartVariants>(fresh));
+  return fresh;
+}
+
 /// Per-photon Cliffords undoing the LC sequence: with
 /// |G_i> = U_i |G_{i-1}>, U_i = sqrt(X)^dag_{v_i} (x) S_{N_{i-1}(v_i)}, the
 /// circuit generates |G_k> and |G> = U_1^dag ... U_k^dag |G_k>.
@@ -112,11 +151,23 @@ class PartitionStage final : public PipelineStage {
  public:
   std::string_view name() const override { return "partition"; }
 
+  /// Above this size the emitter budget comes from the O(n + m) open-vertex
+  /// bound instead of the exact per-prefix cut ranks: the exact height costs
+  /// ~O(n^3) (28 s at 4k vertices, hours at 50k) and would dwarf every other
+  /// stage combined. The bound only ever overestimates (open count >= rank),
+  /// so ne_limit stays a valid cap; paper-sized instances keep the exact
+  /// value bit-for-bit.
+  static constexpr std::size_t kExactHeightLimit = 2048;
+
   void run(PipelineContext& ctx) const override {
     FrameworkResult& result = ctx.result;
     // Emitter budget.
+    const std::vector<Vertex> order = natural_order(ctx.target);
     result.ne_min = std::max<std::size_t>(
-        min_emitters_for_order(ctx.target, natural_order(ctx.target)), 1);
+        ctx.target.vertex_count() <= kExactHeightLimit
+            ? min_emitters_for_order(ctx.target, order)
+            : emitter_bound_for_order(ctx.target, order),
+        1);
     result.ne_limit =
         ctx.cfg.ne_limit_override > 0
             ? ctx.cfg.ne_limit_override
@@ -149,8 +200,9 @@ class SubgraphStage final : public PipelineStage {
     // the node-count reduction below runs in index order, so the fan-out
     // is bit-identical at any lane count.
     ctx.exec.parallel_for(ctx.plan.parts.size(), [&](std::size_t p) {
-      ctx.variants[p] = compile_variants(ctx.plan.parts[p].spec, ctx.scfg,
-                                         ctx.result.ne_limit);
+      ctx.variants[p] =
+          cached_compile_variants(ctx.part_cache, ctx.plan.parts[p].spec,
+                                  ctx.scfg, ctx.result.ne_limit);
     });
     for (const PartVariants& pv : ctx.variants)
       ctx.result.subgraph_nodes += pv.nodes;
@@ -192,8 +244,9 @@ class ScheduleStage final : public PipelineStage {
         tight.dangler = ladder[level];
         ctx.exec.parallel_for(recompile.size(), [&](std::size_t i) {
           const std::uint32_t p = recompile[i];
-          ctx.variants[p] = compile_variants(ctx.plan.parts[p].spec, tight,
-                                             result.ne_limit);
+          ctx.variants[p] =
+              cached_compile_variants(ctx.part_cache, ctx.plan.parts[p].spec,
+                                      tight, result.ne_limit);
         });
         for (std::uint32_t p : recompile)
           result.subgraph_nodes += ctx.variants[p].nodes;
@@ -218,11 +271,15 @@ class ScheduleStage final : public PipelineStage {
                   };
                   return dur(a) > dur(b);
                 });
+      const std::size_t max_trials = ctx.cfg.flexible_ne_max_trials;
+      std::size_t trials = 0;
       for (std::size_t p : by_duration) {
+        if (max_trials != 0 && trials >= max_trials) break;
         PartVariants& pv = ctx.variants[p];
         const std::size_t original = pv.chosen;
         for (std::size_t alt = 0; alt < pv.variants.size(); ++alt) {
           if (alt == original) continue;
+          if (max_trials != 0 && trials >= max_trials) break;
           // A variant with the same (ne_used, ee-CZs, makespan) as the
           // chosen one cannot move the schedule — skip the full
           // schedule_parts re-run. compile_variants currently dedups on
@@ -236,6 +293,7 @@ class ScheduleStage final : public PipelineStage {
               cand.stats.makespan_ticks == cur.stats.makespan_ticks)
             continue;
           pv.chosen = alt;
+          ++trials;
           const GlobalSchedule trial = run_schedule(ctx);
           // Accept only swaps that shorten the schedule without paying
           // more ee-CZs — #CNOT stays the primary objective (paper
@@ -303,7 +361,7 @@ std::vector<std::unique_ptr<PipelineStage>> make_framework_pipeline() {
 FrameworkResult run_pipeline(const Graph& target, const FrameworkConfig& cfg,
                              const Executor& exec) {
   EPG_REQUIRE(target.vertex_count() > 0, "empty target graph");
-  PipelineContext ctx{target, cfg, exec, {}, {}, {}, {}};
+  PipelineContext ctx{target, cfg, exec, {}, {}, {}, {}, {}};
   for (const auto& stage : make_framework_pipeline()) {
     Stopwatch watch;
     stage->run(ctx);

@@ -31,7 +31,10 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "compile/framework.hpp"
@@ -47,6 +50,20 @@ struct PartVariants {
   std::size_t nodes = 0;
 };
 
+/// Exact-duplicate part memo shared by the subgraph stage and the schedule
+/// stage's deadlock-ladder recompiles. Partitioning a large graph yields
+/// thousands of tiny parts, many byte-identical as (adjacency, boundary)
+/// specs; compile_subgraph is a pure function of (spec, cfg) — with one
+/// caveat: spec.stem_key feeds the search only under the key-ordered
+/// dangler policy, so key-ordered compiles bypass the cache and every
+/// other policy caches on the key-free spec. Threads race only on who
+/// computes a value; every contender computes the identical PartVariants,
+/// so the cache never changes results at any lane count.
+struct PartCompileCache {
+  std::mutex mu;
+  std::unordered_map<std::string, std::shared_ptr<const PartVariants>> map;
+};
+
 struct PipelineContext {
   const Graph& target;
   const FrameworkConfig& cfg;
@@ -55,6 +72,7 @@ struct PipelineContext {
   StemPlan plan;
   std::vector<PartVariants> variants;
   SubgraphCompileConfig scfg;  ///< effective per-part config (hw applied)
+  PartCompileCache part_cache;
 };
 
 class PipelineStage {

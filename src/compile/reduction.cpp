@@ -171,9 +171,29 @@ void ReductionState::absorb_dangler(Vertex e, Vertex p) {
   }
   ops_.push_back(op);
   g_.remove_edge(e, p);
-  for (Vertex u : g_.neighbors(p)) {
-    g_.remove_edge(p, u);
-    g_.add_edge(e, u);
+  // Transfer p's edges to e. Snapshot p's row first (the loop mutates it);
+  // parts are tiny, so a small stack buffer covers the common case without
+  // touching the heap.
+  const std::size_t words = g_.words_per_row();
+  std::uint64_t stack_row[8];
+  std::vector<std::uint64_t> heap_row;
+  const std::uint64_t* snap;
+  if (words <= 8) {
+    std::copy(g_.row(p), g_.row(p) + words, stack_row);
+    snap = stack_row;
+  } else {
+    heap_row.assign(g_.row(p), g_.row(p) + words);
+    snap = heap_row.data();
+  }
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t bits = snap[w];
+    while (bits != 0) {
+      const auto u = static_cast<Vertex>(
+          w * 64 + static_cast<std::size_t>(__builtin_ctzll(bits)));
+      bits &= bits - 1;
+      g_.remove_edge(p, u);
+      g_.add_edge(e, u);
+    }
   }
   remove_photon(p);
   maybe_retire(e);
@@ -215,13 +235,13 @@ void ReductionState::local_comp(Vertex v) {
   op.p = v;
   op.lc_on_emitter = role_[v] == Role::emitter;
   if (op.lc_on_emitter) op.lc_slot = static_cast<std::uint32_t>(slot_[v]);
-  for (Vertex u : g_.neighbors(v)) {
+  g_.for_each_neighbor(v, [&](Vertex u) {
     if (role_[u] == Role::emitter)
       op.lc_emitter_neighbors.emplace_back(
           u, static_cast<std::uint32_t>(slot_[u]));
     else
       op.lc_photon_neighbors.push_back(u);
-  }
+  });
   ops_.push_back(std::move(op));
   epg::local_complement(g_, v);
   ++lcs_;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <cstdint>
+#include <queue>
+#include <tuple>
+#include <utility>
 
 #include "circuit/timing.hpp"
 #include "common/assert.hpp"
@@ -13,17 +16,18 @@ namespace {
 struct PartLayout {
   CircuitTiming timing;
   double priority = 0.0;
-  Tick offset = 0;
   std::vector<std::uint32_t> usage;  // local usage curve
+  /// pmin[t] = min over reversed-curve offsets 0..t-1 of the usage value
+  /// (pmin[0] = "none"): the thinnest usage any LATER first-fit alignment
+  /// can still place on a tick that failed at offset t. Lets the packer
+  /// skip provably dead alignments without changing the chosen drop.
+  std::vector<std::uint32_t> pmin;
 };
 
 /// Key for an emitter slot owned by one part.
 struct SlotKey {
   std::uint32_t part;
   std::uint32_t slot;
-  bool operator<(const SlotKey& o) const {
-    return std::tie(part, slot) < std::tie(o.part, o.slot);
-  }
 };
 
 struct MergedGate {
@@ -32,23 +36,55 @@ struct MergedGate {
   std::uint32_t index = 0;     ///< local gate index / stem index
 };
 
-}  // namespace
+/// Host lookup: global boundary vertex -> (part, AnchorInfo) plus the slot
+/// gates preceding its window.
+struct HostRef {
+  std::uint32_t part = 0;
+  const AnchorInfo* info = nullptr;
+  std::vector<std::size_t> prev_gates;  ///< slot gates before tail_begin
+};
 
-namespace {
+/// Everything about one scheduling instance that does not depend on the
+/// packing headroom. schedule_parts retries the headroom-limited packing
+/// many times (and the flexible-ne pass re-enters with one variant
+/// swapped), so the per-part timing analysis, the placement orders, the
+/// host records and the whole precedence DAG are computed once here and
+/// shared by every schedule_once trial.
+struct SchedulePrepass {
+  std::vector<PartLayout> layout;
+  std::vector<std::vector<std::uint32_t>> partners;
+  std::vector<std::uint32_t> order;  ///< placement order (priority-sorted)
 
-/// One full plan->legalize pass with the given packing headroom.
-GlobalSchedule schedule_once(const std::vector<CompiledPart>& parts,
-                             const std::vector<Edge>& stem_edges,
-                             std::size_t num_global_photons,
-                             const ScheduleConfig& cfg,
-                             std::uint32_t packing_limit) {
-  EPG_REQUIRE(!parts.empty(), "nothing to schedule");
-  const Tick ee_dur = cfg.hw.ee_cnot_ticks;
+  std::vector<std::size_t> gate_base;  ///< prefix sums of circuit sizes
+  std::size_t total_gates = 0;
+  std::vector<HostRef> hosts;
+  std::vector<std::int32_t> host_at;  ///< global vertex -> host index or -1
 
-  // ---- 1. local analysis -------------------------------------------------
-  std::vector<PartLayout> layout(parts.size());
+  // Precedence DAG in CSR form. Node layout: [gates | stems | per-host
+  // collectors]; stem nodes are indexed by original stem_edges position so
+  // the edges are independent of the per-trial serialization order. A
+  // collector folds "max release over the slot gates preceding the host's
+  // window" so each incident stem needs one in-edge, not |prev_gates|.
+  std::size_t stem_node = 0;
+  std::size_t coll_node = 0;
+  std::size_t n_nodes = 0;
+  std::vector<std::uint32_t> head;
+  std::vector<std::uint32_t> adj;
+  std::vector<std::uint32_t> indeg;
+
+  std::vector<std::uint32_t> slot_base;  ///< prefix sums of num_emitters
+};
+
+SchedulePrepass build_prepass(const std::vector<CompiledPart>& parts,
+                              const std::vector<Edge>& stem_edges,
+                              std::size_t num_global_photons,
+                              const ScheduleConfig& cfg) {
+  SchedulePrepass pre;
+
+  // ---- local analysis ----------------------------------------------------
+  pre.layout.resize(parts.size());
   for (std::size_t p = 0; p < parts.size(); ++p) {
-    CircuitTiming& timing = layout[p].timing;
+    CircuitTiming& timing = pre.layout[p].timing;
     timing = analyze_timing(parts[p].circuit.circuit, cfg.hw);
     // An anchor idles in |0>/|+> until its first real operation; push its
     // init H right up against that op so the slot is not reserved earlier.
@@ -75,17 +111,19 @@ GlobalSchedule schedule_once(const std::vector<CompiledPart>& parts,
     }
     const double dur =
         std::max<double>(1.0, static_cast<double>(timing.makespan));
-    layout[p].priority =
+    pre.layout[p].priority =
         static_cast<double>(parts[p].circuit.circuit.num_photons()) / dur;
-    layout[p].usage = timing.usage_curve();
+    pre.layout[p].usage = timing.usage_curve();
+    const auto& u = pre.layout[p].usage;
+    auto& pmin = pre.layout[p].pmin;
+    pmin.assign(u.size() + 1, ~0u);
+    for (std::size_t t = 0; t < u.size(); ++t)
+      pmin[t + 1] = std::min(pmin[t], u[u.size() - 1 - t]);
   }
 
-  // ---- 2. placement ------------------------------------------------------
-  std::vector<std::uint32_t> order(parts.size());
-  for (std::uint32_t p = 0; p < parts.size(); ++p) order[p] = p;
   // Stem partners: parts joined by a stem edge want temporal overlap, or
   // their anchors wait (occupying emitters) for the partner to start.
-  std::vector<std::vector<std::uint32_t>> partners(parts.size());
+  pre.partners.resize(parts.size());
   {
     std::vector<std::uint32_t> owner;
     for (std::uint32_t p = 0; p < parts.size(); ++p)
@@ -94,23 +132,176 @@ GlobalSchedule schedule_once(const std::vector<CompiledPart>& parts,
         owner[v] = p;
       }
     for (const auto& [u, v] : stem_edges) {
-      partners[owner[u]].push_back(owner[v]);
-      partners[owner[v]].push_back(owner[u]);
+      pre.partners[owner[u]].push_back(owner[v]);
+      pre.partners[owner[v]].push_back(owner[u]);
     }
   }
 
+  pre.order.resize(parts.size());
+  for (std::uint32_t p = 0; p < parts.size(); ++p) pre.order[p] = p;
   if (cfg.alap_tetris) {
     // Highest priority first = placed latest (smallest reversed offset).
-    std::sort(order.begin(), order.end(),
+    std::sort(pre.order.begin(), pre.order.end(),
               [&](std::uint32_t a, std::uint32_t b) {
-                if (layout[a].priority != layout[b].priority)
-                  return layout[a].priority > layout[b].priority;
+                if (pre.layout[a].priority != pre.layout[b].priority)
+                  return pre.layout[a].priority > pre.layout[b].priority;
                 return a < b;
               });
+  } else {
+    // Sequential ablation: lowest priority earliest.
+    std::sort(pre.order.begin(), pre.order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (pre.layout[a].priority != pre.layout[b].priority)
+                  return pre.layout[a].priority < pre.layout[b].priority;
+                return a < b;
+              });
+  }
+
+  // ---- hosts -------------------------------------------------------------
+  pre.gate_base.assign(parts.size() + 1, 0);
+  for (std::size_t p = 0; p < parts.size(); ++p)
+    pre.gate_base[p + 1] = pre.gate_base[p] + parts[p].circuit.circuit.size();
+  pre.total_gates = pre.gate_base.back();
+
+  // Every boundary vertex owns one host record; the last writer wins on
+  // (impossible) duplicates, matching the former map-assignment behavior.
+  pre.host_at.assign(num_global_photons, -1);
+  for (std::uint32_t p = 0; p < parts.size(); ++p) {
+    const Circuit& c = parts[p].circuit.circuit;
+    for (const AnchorInfo& a : parts[p].circuit.anchors) {
+      HostRef ref;
+      ref.part = p;
+      ref.info = &a;
+      for (std::size_t i = 0; i < a.tail_begin; ++i) {
+        const Gate& g = c.gates()[i];
+        const bool touches =
+            (g.a.kind == QubitKind::emitter && g.a.index == a.slot) ||
+            (g.is_two_qubit() && g.b.kind == QubitKind::emitter &&
+             g.b.index == a.slot);
+        if (touches) ref.prev_gates.push_back(i);
+      }
+      const Vertex gv = parts[p].to_global[a.vertex];
+      if (pre.host_at[gv] >= 0) {
+        pre.hosts[pre.host_at[gv]] = std::move(ref);
+      } else {
+        pre.host_at[gv] = static_cast<std::int32_t>(pre.hosts.size());
+        pre.hosts.push_back(std::move(ref));
+      }
+    }
+  }
+
+  // ---- precedence DAG ----------------------------------------------------
+  pre.stem_node = pre.total_gates;
+  pre.coll_node = pre.total_gates + stem_edges.size();
+  pre.n_nodes = pre.coll_node + pre.hosts.size();
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> dag_edges;
+  dag_edges.reserve(2 * pre.total_gates + 4 * stem_edges.size());
+  {
+    // Wire-chain edges inside each part, mirroring a release cascade: a
+    // gate follows the last gate that *operated* on each of its wires plus
+    // every conditional-correction writer to those wires since then.
+    std::size_t max_wires = 0;
+    for (const CompiledPart& part : parts)
+      max_wires = std::max(max_wires, part.circuit.circuit.num_emitters() +
+                                          part.circuit.circuit.num_photons());
+    std::vector<std::int64_t> last_op(max_wires, -1);
+    std::vector<std::vector<std::uint32_t>> pending(max_wires);
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      const Circuit& c = parts[p].circuit.circuit;
+      const std::size_t ne = c.num_emitters();
+      const std::size_t wires = ne + c.num_photons();
+      for (std::size_t w = 0; w < wires; ++w) {
+        last_op[w] = -1;
+        pending[w].clear();
+      }
+      auto wid = [&](QubitId q) {
+        return q.kind == QubitKind::emitter
+                   ? static_cast<std::size_t>(q.index)
+                   : ne + static_cast<std::size_t>(q.index);
+      };
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        const Gate& g = c.gates()[i];
+        const auto node = static_cast<std::uint32_t>(pre.gate_base[p] + i);
+        auto link = [&](std::size_t w) {
+          if (last_op[w] >= 0)
+            dag_edges.push_back(
+                {static_cast<std::uint32_t>(last_op[w]), node});
+          for (std::uint32_t src : pending[w]) dag_edges.push_back({src, node});
+        };
+        link(wid(g.a));
+        if (g.is_two_qubit()) link(wid(g.b));
+        auto claim = [&](std::size_t w) {
+          last_op[w] = node;
+          pending[w].clear();
+        };
+        claim(wid(g.a));
+        if (g.is_two_qubit()) claim(wid(g.b));
+        for (const auto& corr : g.if_one)
+          pending[wid(corr.target)].push_back(node);
+      }
+    }
+  }
+  for (std::size_t h = 0; h < pre.hosts.size(); ++h)
+    for (std::size_t i : pre.hosts[h].prev_gates)
+      dag_edges.push_back(
+          {static_cast<std::uint32_t>(pre.gate_base[pre.hosts[h].part] + i),
+           static_cast<std::uint32_t>(pre.coll_node + h)});
+  for (std::size_t s = 0; s < stem_edges.size(); ++s) {
+    const auto& [u, v] = stem_edges[s];
+    for (const Vertex end : {u, v}) {
+      EPG_CHECK(pre.host_at[end] >= 0, "stem endpoint has no host record");
+      const auto h = static_cast<std::size_t>(pre.host_at[end]);
+      dag_edges.push_back({static_cast<std::uint32_t>(pre.coll_node + h),
+                           static_cast<std::uint32_t>(pre.stem_node + s)});
+      dag_edges.push_back(
+          {static_cast<std::uint32_t>(pre.stem_node + s),
+           static_cast<std::uint32_t>(pre.gate_base[pre.hosts[h].part] +
+                                      pre.hosts[h].info->tail_begin)});
+    }
+  }
+
+  pre.head.assign(pre.n_nodes + 1, 0);
+  pre.indeg.assign(pre.n_nodes, 0);
+  for (const auto& [from, to] : dag_edges) {
+    ++pre.head[from + 1];
+    ++pre.indeg[to];
+  }
+  for (std::size_t n = 0; n < pre.n_nodes; ++n) pre.head[n + 1] += pre.head[n];
+  pre.adj.resize(dag_edges.size());
+  {
+    std::vector<std::uint32_t> cursor(pre.head.begin(), pre.head.end() - 1);
+    for (const auto& [from, to] : dag_edges) pre.adj[cursor[from]++] = to;
+  }
+
+  // Emitter slots flatten to sid = slot_base[part] + slot, preserving the
+  // (part, slot) lexicographic order of the former SlotKey maps.
+  pre.slot_base.assign(parts.size() + 1, 0);
+  for (std::size_t p = 0; p < parts.size(); ++p)
+    pre.slot_base[p + 1] =
+        pre.slot_base[p] +
+        static_cast<std::uint32_t>(parts[p].circuit.circuit.num_emitters());
+  return pre;
+}
+
+/// One full plan->legalize pass with the given packing headroom.
+GlobalSchedule schedule_once(const std::vector<CompiledPart>& parts,
+                             const std::vector<Edge>& stem_edges,
+                             std::size_t num_global_photons,
+                             const ScheduleConfig& cfg,
+                             std::uint32_t packing_limit,
+                             const SchedulePrepass& pre) {
+  EPG_REQUIRE(!parts.empty(), "nothing to schedule");
+  const Tick ee_dur = cfg.hw.ee_cnot_ticks;
+  const std::vector<PartLayout>& layout = pre.layout;
+
+  // ---- 1. placement ------------------------------------------------------
+  std::vector<Tick> offset(parts.size(), 0);
+  if (cfg.alap_tetris) {
     std::vector<std::uint32_t> global_usage;  // reversed time
     std::vector<Tick> rev_offset(parts.size(), 0);
     std::vector<bool> placed(parts.size(), false);
-    for (std::uint32_t p : order) {
+    for (std::uint32_t p : pre.order) {
       const auto& u = layout[p].usage;
       const std::size_t t_len = u.size();
       // A part whose own curve tops the cap (anchor slots stack on top of
@@ -119,6 +310,7 @@ GlobalSchedule schedule_once(const std::vector<CompiledPart>& parts,
       // realized peak is reported honestly via limit_respected.
       std::uint32_t cap = packing_limit;
       for (std::uint32_t x : u) cap = std::max(cap, x);
+      const std::vector<std::uint32_t>& pmin = layout[p].pmin;
       auto fits = [&](std::size_t r) {
         for (std::size_t t = 0; t < t_len; ++t) {
           const std::size_t g = r + t;
@@ -129,9 +321,33 @@ GlobalSchedule schedule_once(const std::vector<CompiledPart>& parts,
         }
         return true;
       };
+      // First-fit drop, identical to `while (!fits(r)) ++r` but skipping
+      // provably dead alignments: when offset t fails on global tick g,
+      // every later alignment still covering g places one of the curve's
+      // first t reversed values there — if even the thinnest of those
+      // (pmin[t]) tops the cap at g, the window restarts past g. The
+      // tetris packing keeps long prefixes saturated, which made the
+      // naive rescan-from-zero quadratic in the schedule length at scale.
+      auto first_fit = [&]() {
+        std::size_t r = 0, t = 0;
+        while (t < t_len) {
+          const std::size_t g = r + t;
+          const std::uint32_t cur =
+              g < global_usage.size() ? global_usage[g] : 0;
+          if (cur + u[t_len - 1 - t] > cap) {
+            const std::uint64_t thinnest =
+                static_cast<std::uint64_t>(cur) + pmin[t];
+            r = thinnest > cap ? g + 1 : r + 1;
+            t = 0;
+          } else {
+            ++t;
+          }
+        }
+        return r;
+      };
       auto overlap_score = [&](std::size_t r) {
         Tick score = 0;
-        for (std::uint32_t q : partners[p]) {
+        for (std::uint32_t q : pre.partners[p]) {
           if (!placed[q]) continue;
           const Tick lo = std::max<Tick>(r, rev_offset[q]);
           const Tick hi = std::min<Tick>(r + t_len,
@@ -141,8 +357,7 @@ GlobalSchedule schedule_once(const std::vector<CompiledPart>& parts,
         }
         return score;
       };
-      std::size_t r = 0;
-      while (!fits(r)) ++r;
+      std::size_t r = first_fit();
       // Scan a bounded window of later drops for better partner overlap.
       std::size_t best_r = r;
       Tick best_score = overlap_score(r);
@@ -165,71 +380,32 @@ GlobalSchedule schedule_once(const std::vector<CompiledPart>& parts,
     for (std::uint32_t p = 0; p < parts.size(); ++p)
       total = std::max(total, rev_offset[p] + layout[p].timing.makespan);
     for (std::uint32_t p = 0; p < parts.size(); ++p)
-      layout[p].offset = total - rev_offset[p] - layout[p].timing.makespan;
+      offset[p] = total - rev_offset[p] - layout[p].timing.makespan;
   } else {
-    // Sequential ablation: lowest priority earliest.
-    std::sort(order.begin(), order.end(),
-              [&](std::uint32_t a, std::uint32_t b) {
-                if (layout[a].priority != layout[b].priority)
-                  return layout[a].priority < layout[b].priority;
-                return a < b;
-              });
     Tick cursor = 0;
-    for (std::uint32_t p : order) {
-      layout[p].offset = cursor;
+    for (std::uint32_t p : pre.order) {
+      offset[p] = cursor;
       cursor += layout[p].timing.makespan;
     }
   }
 
-  // ---- 3. releases, host windows and stem CZs -----------------------------
-  std::vector<std::vector<Tick>> release(parts.size());
-  for (std::size_t p = 0; p < parts.size(); ++p) {
-    release[p].resize(parts[p].circuit.circuit.size());
-    for (std::size_t i = 0; i < release[p].size(); ++i)
-      release[p][i] = layout[p].offset + layout[p].timing.gate_start[i];
-  }
-
-  // Host lookup: global boundary vertex -> (part, AnchorInfo) plus the slot
-  // gates preceding its window, needed both for the initial readiness and
-  // for the window-order fixpoint below.
-  struct HostRef {
-    std::uint32_t part = 0;
-    const AnchorInfo* info = nullptr;
-    std::vector<std::size_t> prev_gates;  ///< slot gates before tail_begin
-  };
-  std::map<Vertex, HostRef> host_of_global;
-  for (std::uint32_t p = 0; p < parts.size(); ++p) {
-    const Circuit& c = parts[p].circuit.circuit;
-    for (const AnchorInfo& a : parts[p].circuit.anchors) {
-      HostRef ref;
-      ref.part = p;
-      ref.info = &a;
-      for (std::size_t i = 0; i < a.tail_begin; ++i) {
-        const Gate& g = c.gates()[i];
-        const bool touches =
-            (g.a.kind == QubitKind::emitter && g.a.index == a.slot) ||
-            (g.is_two_qubit() && g.b.kind == QubitKind::emitter &&
-             g.b.index == a.slot);
-        if (touches) ref.prev_gates.push_back(i);
-      }
-      host_of_global[parts[p].to_global[a.vertex]] = std::move(ref);
-    }
-  }
-
+  // ---- 2. stem CZ serialization ------------------------------------------
   // Per-host readiness: right after the slot's last gate before the window.
-  std::map<Vertex, Tick> host_ready;
-  for (const auto& [v, ref] : host_of_global) {
+  std::vector<Tick> host_ready(pre.hosts.size(), 0);
+  for (std::size_t h = 0; h < pre.hosts.size(); ++h) {
+    const HostRef& ref = pre.hosts[h];
     Tick ready = 0;
     for (std::size_t i : ref.prev_gates)
-      ready = std::max(ready, layout[ref.part].offset +
-                                  layout[ref.part].timing.gate_end[i]);
-    host_ready[v] = ready;
+      ready = std::max(ready,
+                       offset[ref.part] + layout[ref.part].timing.gate_end[i]);
+    host_ready[h] = ready;
   }
 
   struct StemCz {
     SlotKey a, b;
     Vertex u = 0, v = 0;  ///< global boundary endpoints (hosts)
     Tick release = 0;
+    std::uint32_t orig = 0;  ///< index into stem_edges (= DAG node offset)
   };
   std::vector<StemCz> stems;
   stems.reserve(stem_edges.size());
@@ -237,9 +413,12 @@ GlobalSchedule schedule_once(const std::vector<CompiledPart>& parts,
     // Process stem edges by the earliest feasible time for fairness.
     std::vector<std::size_t> stem_order(stem_edges.size());
     for (std::size_t i = 0; i < stem_order.size(); ++i) stem_order[i] = i;
+    auto host_idx = [&](Vertex v) {
+      return static_cast<std::size_t>(pre.host_at[v]);
+    };
     auto ready_of = [&](std::size_t i) {
       const auto& [u, v] = stem_edges[i];
-      return std::max(host_ready.at(u), host_ready.at(v));
+      return std::max(host_ready[host_idx(u)], host_ready[host_idx(v)]);
     };
     std::sort(stem_order.begin(), stem_order.end(),
               [&](std::size_t a, std::size_t b) {
@@ -247,110 +426,131 @@ GlobalSchedule schedule_once(const std::vector<CompiledPart>& parts,
               });
     for (std::size_t i : stem_order) {
       const auto& [u, v] = stem_edges[i];
-      const HostRef& ra = host_of_global.at(u);
-      const HostRef& rb = host_of_global.at(v);
-      const Tick t = std::max(host_ready.at(u), host_ready.at(v));
+      const std::size_t hu = host_idx(u);
+      const std::size_t hv = host_idx(v);
+      const HostRef& ra = pre.hosts[hu];
+      const HostRef& rb = pre.hosts[hv];
+      const Tick t = std::max(host_ready[hu], host_ready[hv]);
       stems.push_back({{ra.part, ra.info->slot},
                        {rb.part, rb.info->slot},
                        u,
                        v,
-                       t});
-      host_ready[u] = host_ready[v] = t + ee_dur;
+                       t,
+                       static_cast<std::uint32_t>(i)});
+      host_ready[hu] = host_ready[hv] = t + ee_dur;
     }
   }
 
-  // Delay each host's window gate (emission tail / dangler cluster) past its
-  // last stem CZ; the cascade to later gates on the same wires follows.
-  for (const auto& [v, ref] : host_of_global) {
-    Tick& r = release[ref.part][ref.info->tail_begin];
-    r = std::max(r, host_ready.at(v));
+  // ---- 3. releases: longest path over the precedence DAG ------------------
+  // Gate releases start at the placed local times; dangler/anchor windows
+  // and stem CZs layer cross-part precedence on top. Every constraint is a
+  // monotone max (gate after the last gate on each of its wires, stem after
+  // the slot gates preceding both host windows, window tail at least ee_dur
+  // after each of its stem CZs), so the converged release assignment is the
+  // least fixpoint of a max-plus system — i.e. longest path over the
+  // precedence DAG, computed in one Kahn pass. A positive precedence cycle
+  // leaves nodes unprocessed: deadlock.
+  //
+  // Floors: placed local starts for gates, the greedy serialization times
+  // for stems, and the post-serialization host readiness for window tails.
+  std::vector<Tick> val(pre.n_nodes, 0);
+  for (std::size_t p = 0; p < parts.size(); ++p)
+    for (std::size_t i = 0; i < parts[p].circuit.circuit.size(); ++i)
+      val[pre.gate_base[p] + i] = offset[p] + layout[p].timing.gate_start[i];
+  for (const StemCz& s : stems) val[pre.stem_node + s.orig] = s.release;
+  for (std::size_t h = 0; h < pre.hosts.size(); ++h) {
+    Tick& tail =
+        val[pre.gate_base[pre.hosts[h].part] + pre.hosts[h].info->tail_begin];
+    tail = std::max(tail, host_ready[h]);
   }
 
-  // Cascade: releases must be monotone along every qubit's gate chain.
-  auto run_cascade = [&]() {
-    for (std::uint32_t p = 0; p < parts.size(); ++p) {
-      const Circuit& c = parts[p].circuit.circuit;
-      std::map<std::pair<int, std::uint32_t>, Tick> chain;
-      auto key = [](QubitId q) {
-        return std::make_pair(static_cast<int>(q.kind), q.index);
-      };
-      for (std::size_t i = 0; i < c.size(); ++i) {
-        const Gate& g = c.gates()[i];
-        Tick r = release[p][i];
-        r = std::max(r, chain[key(g.a)]);
-        if (g.is_two_qubit()) r = std::max(r, chain[key(g.b)]);
-        release[p][i] = r;
-        chain[key(g.a)] = r;
-        if (g.is_two_qubit()) chain[key(g.b)] = r;
-        for (const auto& corr : g.if_one)
-          chain[key(corr.target)] = std::max(chain[key(corr.target)], r);
+  // Kahn longest path. Stem nodes are the only weighted sources: their
+  // (tail) successors start ee_dur after the CZ release.
+  std::vector<std::uint32_t> indeg = pre.indeg;
+  std::vector<std::uint32_t> topo;
+  topo.reserve(pre.n_nodes);
+  for (std::size_t n = 0; n < pre.n_nodes; ++n)
+    if (indeg[n] == 0) topo.push_back(static_cast<std::uint32_t>(n));
+  std::size_t processed = 0;
+  for (std::size_t qi = 0; qi < topo.size(); ++qi) {
+    const std::uint32_t n = topo[qi];
+    ++processed;
+    const Tick w = (n >= pre.stem_node && n < pre.coll_node)
+                       ? ee_dur
+                       : static_cast<Tick>(0);
+    for (std::uint32_t k = pre.head[n]; k < pre.head[n + 1]; ++k) {
+      const std::uint32_t m = pre.adj[k];
+      val[m] = std::max(val[m], val[n] + w);
+      if (--indeg[m] == 0) topo.push_back(m);
+    }
+  }
+
+  // Unprocessed nodes sit on or downstream of a precedence cycle: the stem
+  // windows deadlocked and no placement exists. Report only the parts whose
+  // stems can still REACH a cycle — everything merely downstream is a
+  // victim, not a cause, and tightening it cannot break the cycle. One
+  // early cycle otherwise cascades into recompiling nearly every part on
+  // stem-dense graphs, which used to dominate the schedule stage at scale.
+  // The culprits are found by stripping the residual (unprocessed)
+  // subgraph from its sinks: a reverse Kahn pass over residual out-degrees
+  // leaves exactly the nodes with a forward path into a cycle.
+  if (processed < pre.n_nodes) {
+    std::vector<std::uint32_t> outdeg(pre.n_nodes, 0);
+    for (std::size_t n = 0; n < pre.n_nodes; ++n) {
+      if (indeg[n] == 0) continue;  // processed
+      for (std::uint32_t k = pre.head[n]; k < pre.head[n + 1]; ++k)
+        if (indeg[pre.adj[k]] != 0)
+          ++outdeg[n];
+    }
+    // Residual predecessor CSR (counts, prefix, fill), then strip sinks.
+    std::vector<std::uint32_t> rhead(pre.n_nodes + 1, 0);
+    for (std::size_t n = 0; n < pre.n_nodes; ++n) {
+      if (indeg[n] == 0) continue;
+      for (std::uint32_t k = pre.head[n]; k < pre.head[n + 1]; ++k)
+        if (indeg[pre.adj[k]] != 0) ++rhead[pre.adj[k] + 1];
+    }
+    for (std::size_t n = 0; n < pre.n_nodes; ++n) rhead[n + 1] += rhead[n];
+    std::vector<std::uint32_t> radj(rhead.back());
+    {
+      std::vector<std::uint32_t> cursor(rhead.begin(), rhead.end() - 1);
+      for (std::size_t n = 0; n < pre.n_nodes; ++n) {
+        if (indeg[n] == 0) continue;
+        for (std::uint32_t k = pre.head[n]; k < pre.head[n + 1]; ++k)
+          if (indeg[pre.adj[k]] != 0)
+            radj[cursor[pre.adj[k]]++] = static_cast<std::uint32_t>(n);
       }
     }
-  };
-  run_cascade();
-
-  // Window-order fixpoint. A slot may host several boundary windows (a
-  // worker emitter dangler-absorbing photon after photon); a later window's
-  // CZ must never be legalized before an earlier window's (delayed) gates.
-  // Raise every CZ above the slot gates preceding its window and re-cascade
-  // until stable. Crossing stems between multi-window slots can form a
-  // positive precedence cycle, in which case no placement exists: report
-  // deadlock so the framework recompiles in the anchor-only mode.
-  bool deadlocked = false;
-  std::vector<std::uint32_t> deadlock_parts;
-  if (!stems.empty()) {
-    // Legitimate convergence can need one iteration per level of the
-    // window-precedence DAG (up to a few per window); only true cycles keep
-    // raising forever, so a generous cap cleanly separates the two.
-    const std::size_t cap =
-        4 * (stems.size() + host_of_global.size()) + 16;
-    bool changed = true;
-    std::size_t iter = 0;
-    while (changed && iter++ < cap) {
-      changed = false;
-      for (StemCz& s : stems) {
-        Tick floor = s.release;
-        for (const Vertex end : {s.u, s.v}) {
-          const HostRef& ref = host_of_global.at(end);
-          for (std::size_t i : ref.prev_gates)
-            floor = std::max(floor, release[ref.part][i]);
-        }
-        bool raised = false;
-        if (floor > s.release) {
-          s.release = floor;
-          changed = raised = true;
-        }
-        for (const Vertex end : {s.u, s.v}) {
-          const HostRef& ref = host_of_global.at(end);
-          Tick& r = release[ref.part][ref.info->tail_begin];
-          if (r < s.release + ee_dur) {
-            r = s.release + ee_dur;
-            changed = raised = true;
-          }
-        }
-        if (raised && iter + 1 >= cap) {
-          deadlock_parts.push_back(s.a.part);
-          deadlock_parts.push_back(s.b.part);
-        }
+    std::vector<std::uint32_t> strip;
+    for (std::size_t n = 0; n < pre.n_nodes; ++n)
+      if (indeg[n] != 0 && outdeg[n] == 0)
+        strip.push_back(static_cast<std::uint32_t>(n));
+    for (std::size_t qi = 0; qi < strip.size(); ++qi) {
+      const std::uint32_t n = strip[qi];
+      for (std::uint32_t k = rhead[n]; k < rhead[n + 1]; ++k) {
+        const std::uint32_t m = radj[k];
+        if (--outdeg[m] == 0) strip.push_back(m);
       }
-      if (changed) run_cascade();
     }
-    deadlocked = changed;
-  }
-  if (deadlocked) {
     GlobalSchedule out;
     out.deadlocked = true;
-    out.deadlock_parts = std::move(deadlock_parts);
+    for (const StemCz& s : stems) {
+      const std::size_t node = pre.stem_node + s.orig;
+      if (indeg[node] == 0 || outdeg[node] == 0) continue;
+      out.deadlock_parts.push_back(s.a.part);
+      out.deadlock_parts.push_back(s.b.part);
+    }
     out.limit_respected = false;
     out.peak_usage = ~0u;
     return out;
   }
+  for (StemCz& s : stems) s.release = val[pre.stem_node + s.orig];
 
   // ---- 4. merge and legalize ---------------------------------------------
   std::vector<MergedGate> merged;
+  merged.reserve(pre.total_gates + stems.size());
   for (std::uint32_t p = 0; p < parts.size(); ++p)
-    for (std::uint32_t i = 0; i < release[p].size(); ++i)
-      merged.push_back({release[p][i], p, i});
+    for (std::uint32_t i = 0; i < parts[p].circuit.circuit.size(); ++i)
+      merged.push_back({val[pre.gate_base[p] + i], p, i});
   for (std::uint32_t s = 0; s < stems.size(); ++s)
     merged.push_back(
         {stems[s].release, static_cast<std::uint32_t>(parts.size()), s});
@@ -361,15 +561,23 @@ GlobalSchedule schedule_once(const std::vector<CompiledPart>& parts,
             });
 
   // Emitter slot entities get legalized busy windows; photons are global.
-  std::map<SlotKey, Tick> slot_free;
-  std::map<SlotKey, std::pair<Tick, Tick>> slot_interval;
+  const std::uint32_t total_slots = pre.slot_base.back();
+  constexpr std::uint32_t no_slot = ~0u;
+  auto sid_of = [&](const SlotKey& k) {
+    return pre.slot_base[k.part] + k.slot;
+  };
+  std::vector<Tick> slot_free(total_slots, 0);
+  std::vector<std::pair<Tick, Tick>> slot_iv(total_slots);
+  std::vector<char> slot_used(total_slots, 0);
   std::vector<Tick> photon_free(num_global_photons, 0);
 
-  auto touch_slot = [&](const SlotKey& k, Tick begin, Tick end) {
-    auto [it, fresh] = slot_interval.try_emplace(k, begin, end);
-    if (!fresh) {
-      it->second.first = std::min(it->second.first, begin);
-      it->second.second = std::max(it->second.second, end);
+  auto touch_slot = [&](std::uint32_t sid, Tick begin, Tick end) {
+    if (!slot_used[sid]) {
+      slot_used[sid] = 1;
+      slot_iv[sid] = {begin, end};
+    } else {
+      slot_iv[sid].first = std::min(slot_iv[sid].first, begin);
+      slot_iv[sid].second = std::max(slot_iv[sid].second, end);
     }
   };
 
@@ -378,7 +586,7 @@ GlobalSchedule schedule_once(const std::vector<CompiledPart>& parts,
   struct PlacedGate {
     Gate gate;  // with *global photon* ids; emitter ids patched later
     Tick start, end;
-    SlotKey slot_a{~0u, 0}, slot_b{~0u, 0};  // emitter operands if any
+    std::uint32_t sid_a = no_slot, sid_b = no_slot;  // emitter operands
   };
   std::vector<PlacedGate> placed;
   placed.reserve(merged.size());
@@ -386,30 +594,32 @@ GlobalSchedule schedule_once(const std::vector<CompiledPart>& parts,
   for (const MergedGate& m : merged) {
     if (m.part == parts.size()) {
       const StemCz& s = stems[m.index];
-      Tick start = std::max({m.release, slot_free[s.a], slot_free[s.b]});
+      const std::uint32_t sa = sid_of(s.a);
+      const std::uint32_t sb = sid_of(s.b);
+      Tick start = std::max({m.release, slot_free[sa], slot_free[sb]});
       const Tick end = start + ee_dur;
-      slot_free[s.a] = slot_free[s.b] = end;
-      touch_slot(s.a, start, end);
-      touch_slot(s.b, start, end);
+      slot_free[sa] = slot_free[sb] = end;
+      touch_slot(sa, start, end);
+      touch_slot(sb, start, end);
       PlacedGate pg;
       pg.gate = Gate::make_ee_cz(0, 1);  // emitter ids patched during emit
       pg.start = start;
       pg.end = end;
-      pg.slot_a = s.a;
-      pg.slot_b = s.b;
+      pg.sid_a = sa;
+      pg.sid_b = sb;
       placed.push_back(std::move(pg));
       continue;
     }
     const CompiledPart& part = parts[m.part];
     Gate g = part.circuit.circuit.gates()[m.index];
     Tick start = m.release;
-    SlotKey sa{~0u, 0}, sb{~0u, 0};
-    auto resolve = [&](QubitId& q, SlotKey& sk) {
+    std::uint32_t sa = no_slot, sb = no_slot;
+    auto resolve = [&](QubitId& q, std::uint32_t& sk) {
       if (q.kind == QubitKind::photon) {
         q.index = part.to_global[q.index];
         start = std::max(start, photon_free[q.index]);
       } else {
-        sk = {m.part, q.index};
+        sk = pre.slot_base[m.part] + q.index;
         start = std::max(start, slot_free[sk]);
       }
     };
@@ -442,33 +652,45 @@ GlobalSchedule schedule_once(const std::vector<CompiledPart>& parts,
     pg.gate = std::move(g);
     pg.start = start;
     pg.end = end;
-    pg.slot_a = sa;
-    pg.slot_b = sb;
+    pg.sid_a = sa;
+    pg.sid_b = sb;
     placed.push_back(std::move(pg));
   }
 
   // ---- 5. physical emitter assignment (interval coloring) ----------------
-  std::vector<std::pair<std::pair<Tick, Tick>, SlotKey>> intervals;
-  intervals.reserve(slot_interval.size());
-  for (const auto& [k, iv] : slot_interval) intervals.push_back({iv, k});
+  // Greedy lowest-free-index coloring, heap-backed: `busy` orders active
+  // colors by their interval end, `free_colors` yields the smallest
+  // released index — the same color the former linear scan picked.
+  std::vector<std::pair<std::pair<Tick, Tick>, std::uint32_t>> intervals;
+  intervals.reserve(total_slots);
+  for (std::uint32_t sid = 0; sid < total_slots; ++sid)
+    if (slot_used[sid]) intervals.push_back({slot_iv[sid], sid});
   std::sort(intervals.begin(), intervals.end());
-  std::map<SlotKey, std::uint32_t> color_of;
-  std::vector<Tick> color_end;
-  for (const auto& [iv, k] : intervals) {
-    bool assigned = false;
-    for (std::uint32_t c = 0; c < color_end.size() && !assigned; ++c) {
-      if (color_end[c] <= iv.first) {
-        color_of[k] = c;
-        color_end[c] = iv.second;
-        assigned = true;
-      }
+  std::vector<std::uint32_t> color_of(total_slots, 0);
+  using BusyColor = std::pair<Tick, std::uint32_t>;  // (interval end, color)
+  std::priority_queue<BusyColor, std::vector<BusyColor>,
+                      std::greater<BusyColor>>
+      busy;
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                      std::greater<std::uint32_t>>
+      free_colors;
+  std::uint32_t num_colors = 0;
+  for (const auto& [iv, sid] : intervals) {
+    while (!busy.empty() && busy.top().first <= iv.first) {
+      free_colors.push(busy.top().second);
+      busy.pop();
     }
-    if (!assigned) {
-      color_of[k] = static_cast<std::uint32_t>(color_end.size());
-      color_end.push_back(iv.second);
+    std::uint32_t c;
+    if (!free_colors.empty()) {
+      c = free_colors.top();
+      free_colors.pop();
+    } else {
+      c = num_colors++;
     }
+    color_of[sid] = c;
+    busy.push({iv.second, c});
   }
-  out.peak_usage = static_cast<std::uint32_t>(color_end.size());
+  out.peak_usage = num_colors;
   out.limit_respected = out.peak_usage <= cfg.ne_limit;
 
   // ---- 6. emit the global circuit ----------------------------------------
@@ -477,14 +699,14 @@ GlobalSchedule schedule_once(const std::vector<CompiledPart>& parts,
                    [](const PlacedGate& a, const PlacedGate& b) {
                      return a.start < b.start;
                    });
-  out.circuit = Circuit(num_global_photons, color_end.size());
+  out.circuit = Circuit(num_global_photons, num_colors);
   out.gate_start.reserve(placed.size());
   out.gate_end.reserve(placed.size());
   for (PlacedGate& pg : placed) {
     if (pg.gate.a.kind == QubitKind::emitter)
-      pg.gate.a.index = color_of.at(pg.slot_a);
+      pg.gate.a.index = color_of[pg.sid_a];
     if (pg.gate.is_two_qubit() && pg.gate.b.kind == QubitKind::emitter)
-      pg.gate.b.index = color_of.at(pg.slot_b);
+      pg.gate.b.index = color_of[pg.sid_b];
     out.circuit.append(pg.gate);
     out.gate_start.push_back(pg.start);
     out.gate_end.push_back(pg.end);
@@ -525,6 +747,8 @@ GlobalSchedule schedule_parts(const std::vector<CompiledPart>& parts,
                               const ScheduleConfig& cfg) {
   (void)part_of;
   (void)local_of;
+  const SchedulePrepass pre =
+      build_prepass(parts, stem_edges, num_global_photons, cfg);
   // Stem CZs and stretched emission tails occupy emitters beyond the local
   // usage curves the packer sees, so the legalized peak can overshoot the
   // cap. Retry the packing with growing headroom until the realized peak
@@ -533,21 +757,49 @@ GlobalSchedule schedule_parts(const std::vector<CompiledPart>& parts,
   for (const CompiledPart& p : parts)
     max_part = std::max(max_part, std::max<std::uint32_t>(
                                       p.circuit.ne_used, 1));
-  GlobalSchedule best;
-  bool have_best = false;
-  for (std::uint32_t limit = cfg.ne_limit;; --limit) {
-    GlobalSchedule trial =
-        schedule_once(parts, stem_edges, num_global_photons, cfg, limit);
-    // A window-precedence cycle is independent of the packing headroom —
-    // no retry can fix it; the caller must recompile anchor-only.
-    if (trial.deadlocked) return trial;
-    trial.limit_respected = trial.peak_usage <= cfg.ne_limit;
-    if (!have_best || trial.peak_usage < best.peak_usage ||
-        (trial.limit_respected && trial.makespan < best.makespan)) {
-      best = std::move(trial);
-      have_best = true;
+  auto attempt = [&](std::uint32_t limit) {
+    GlobalSchedule trial = schedule_once(parts, stem_edges,
+                                         num_global_photons, cfg, limit, pre);
+    trial.limit_respected =
+        !trial.deadlocked && trial.peak_usage <= cfg.ne_limit;
+    return trial;
+  };
+  GlobalSchedule best = attempt(cfg.ne_limit);
+  // A window-precedence cycle is independent of the packing headroom — no
+  // retry can fix it; the caller must recompile anchor-only.
+  if (best.deadlocked) return best;
+  const std::uint32_t floor_limit = std::max<std::uint32_t>(max_part, 1);
+  if (!best.limit_respected && cfg.ne_limit > floor_limit) {
+    // The realized peak shrinks as the packing cap tightens (parts overlap
+    // less, so fewer slot intervals cross). Bisect for the loosest cap
+    // whose realized peak fits instead of walking the cap down one step at
+    // a time — the former linear descent cost O(ne_limit) full packing
+    // passes, which dominated the schedule stage on stem-heavy graphs.
+    GlobalSchedule at_floor = attempt(floor_limit);
+    if (at_floor.deadlocked) return at_floor;
+    if (!at_floor.limit_respected) {
+      // No cap fits; keep the lower-peak packing (looser cap on ties).
+      if (at_floor.peak_usage < best.peak_usage) best = std::move(at_floor);
+    } else {
+      std::uint32_t lo = floor_limit;       // respected
+      std::uint32_t hi = cfg.ne_limit;      // not respected
+      best = std::move(at_floor);
+      // Each probe is a full packing pass; eight of them pin the loosest
+      // respected cap to within 1/256 of the search range, and the caps
+      // that close to the boundary pack near-identically. Deterministic:
+      // the probe sequence is a pure function of (floor, ne_limit).
+      for (int probe = 0; hi - lo > 1 && probe < 8; ++probe) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        GlobalSchedule trial = attempt(mid);
+        if (trial.deadlocked) return trial;
+        if (trial.limit_respected) {
+          lo = mid;
+          best = std::move(trial);
+        } else {
+          hi = mid;
+        }
+      }
     }
-    if (best.limit_respected || limit <= max_part || limit == 1) break;
   }
   return best;
 }

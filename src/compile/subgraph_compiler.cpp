@@ -1,6 +1,7 @@
 #include "compile/subgraph_compiler.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 
 #include "circuit/simulate.hpp"
@@ -21,14 +22,122 @@ std::uint64_t pack_cost(std::uint32_t disconnects, std::uint32_t swaps) {
   return (static_cast<std::uint64_t>(disconnects) << 32) | swaps;
 }
 
+/// Open-addressed, size-capped replacement for the search's old
+/// unordered_map<hash, cost> memo. Below the cap it reproduces the map's
+/// behavior exactly (same keys, same prune decisions); at the cap it stops
+/// admitting *new* states — pruning through already-stored states and
+/// cost updates keep working — so memory stays bounded on pathological
+/// parts instead of growing with every explored node.
+class FlatMemo {
+ public:
+  void reset(std::size_t cap_entries) {
+    cap_ = std::max<std::size_t>(cap_entries, 16);
+    slots_.assign(1024, Slot{});
+    size_ = 0;
+    zero_used_ = false;
+    zero_cost_ = 0;
+  }
+
+  std::size_t size() const { return size_ + (zero_used_ ? 1 : 0); }
+
+  /// unordered_map semantics of the DFS memo check: skip (return false)
+  /// when `key` is stored with cost <= `cost`; otherwise store/update and
+  /// visit. When the table is saturated at the cap, unseen keys are not
+  /// inserted but the node is still visited.
+  bool should_visit(std::uint64_t key, std::uint64_t cost) {
+    if (key == 0) {  // the sentinel slot value, kept out of the table
+      if (zero_used_ && zero_cost_ <= cost) return false;
+      zero_used_ = true;
+      zero_cost_ = cost;
+      return true;
+    }
+    std::size_t i = index_of(key);
+    while (slots_[i].key != 0) {
+      if (slots_[i].key == key) {
+        if (slots_[i].cost <= cost) return false;
+        slots_[i].cost = cost;
+        return true;
+      }
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    if (size_ < cap_) {
+      slots_[i] = {key, cost};
+      ++size_;
+      maybe_grow();
+    }
+    return true;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint64_t cost = 0;
+  };
+
+  std::size_t index_of(std::uint64_t key) const {
+    // Fibonacci mixing; the probe start must depend on high bits too.
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> 32) &
+           (slots_.size() - 1);
+  }
+
+  void maybe_grow() {
+    // Keep load under ~0.7 while below the cap; once slots cover the cap,
+    // the size_ < cap_ guard above stops further inserts (the table always
+    // keeps >= 30% headroom, so probes terminate).
+    if (size_ * 10 < slots_.size() * 7) return;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    for (const Slot& s : old) {
+      if (s.key == 0) continue;
+      std::size_t i = index_of(s.key);
+      while (slots_[i].key != 0) i = (i + 1) & (slots_.size() - 1);
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 16;
+  bool zero_used_ = false;
+  std::uint64_t zero_cost_ = 0;
+};
+
+/// Per-depth scratch: one reusable ReductionState per DFS level, so a child
+/// candidate is produced by copy-*assignment* (which reuses the vectors'
+/// capacity from the previous candidate at this depth) instead of a fresh
+/// copy-construction with ~10 heap allocations per node. unique_ptr keeps
+/// the states address-stable while the arena vector grows under live
+/// references held by outer frames.
+struct DepthScratch {
+  ReductionState state;
+  std::vector<Vertex> photons;  ///< swap-move enumeration buffer
+
+  explicit DepthScratch(const ReductionState& proto) : state(proto) {}
+};
+
 struct SearchContext {
   const SubgraphCompileConfig* cfg = nullptr;
   Stopwatch clock;
   std::size_t nodes = 0;
   bool out_of_budget = false;
+  /// Large-part mode: unwind as soon as one reduction is recorded.
+  bool stop_at_first = false;
   std::uint64_t best_cost = ~0ULL;
   std::vector<std::vector<ReduceOp>> candidates;
-  std::unordered_map<std::uint64_t, std::uint64_t> memo;
+  FlatMemo memo;
+  std::size_t memo_peak = 0;
+  std::vector<std::unique_ptr<DepthScratch>> arena;
+
+  void init(const SubgraphCompileConfig& config) {
+    cfg = &config;
+    memo.reset(config.memo_cap);
+  }
+
+  DepthScratch& scratch(std::size_t depth, const ReductionState& proto) {
+    while (arena.size() <= depth)
+      arena.push_back(std::make_unique<DepthScratch>(proto));
+    return *arena[depth];
+  }
 
   bool budget_exhausted() {
     if (out_of_budget) return true;
@@ -50,9 +159,10 @@ void record_solution(SearchContext& ctx, ReductionState state) {
   if (cost == ctx.best_cost &&
       ctx.candidates.size() < ctx.cfg->keep_candidates)
     ctx.candidates.push_back(state.ops());
+  if (ctx.stop_at_first) ctx.out_of_budget = true;
 }
 
-void dfs(SearchContext& ctx, const ReductionState& state) {
+void dfs(SearchContext& ctx, const ReductionState& state, std::size_t depth) {
   if (ctx.budget_exhausted()) return;
   ++ctx.nodes;
 
@@ -63,24 +173,24 @@ void dfs(SearchContext& ctx, const ReductionState& state) {
     record_solution(ctx, state);
     return;
   }
-  const std::uint64_t key = state.state_hash();
-  if (auto it = ctx.memo.find(key); it != ctx.memo.end() && it->second <= cost)
-    return;
-  ctx.memo[key] = cost;
+  if (!ctx.memo.should_visit(state.state_hash(), cost)) return;
+  ctx.memo_peak = std::max(ctx.memo_peak, ctx.memo.size());
 
   const Graph& g = state.graph();
   const std::size_t n = g.vertex_count();
+  DepthScratch& sc = ctx.scratch(depth, state);
+  ReductionState& next = sc.state;
 
   // Move enumeration, cheapest first. Absorptions cost nothing; swaps cost a
   // measurement; LC costs local gates; disconnects cost an ee-CZ.
   // 1) absorb_leaf
   for (Vertex p = 0; p < n; ++p) {
     if (state.role(p) != Role::photon || g.degree(p) != 1) continue;
-    const Vertex e = g.neighbors(p)[0];
+    const Vertex e = g.first_neighbor(p);
     if (!state.can_absorb_leaf(e, p)) continue;
-    ReductionState next = state;
+    next = state;
     next.absorb_leaf(e, p);
-    dfs(ctx, next);
+    dfs(ctx, next, depth + 1);
     if (ctx.budget_exhausted()) return;
   }
   // 2) absorb_twin
@@ -88,26 +198,27 @@ void dfs(SearchContext& ctx, const ReductionState& state) {
     if (state.role(e) != Role::emitter) continue;
     for (Vertex p = 0; p < n; ++p) {
       if (!state.can_absorb_twin(e, p)) continue;
-      ReductionState next = state;
+      next = state;
       next.absorb_twin(e, p);
-      dfs(ctx, next);
+      dfs(ctx, next, depth + 1);
       if (ctx.budget_exhausted()) return;
     }
   }
   // 3) absorb_dangler
   for (Vertex e = 0; e < n; ++e) {
     if (state.role(e) != Role::emitter || g.degree(e) != 1) continue;
-    const Vertex p = g.neighbors(e)[0];
+    const Vertex p = g.first_neighbor(e);
     if (!state.can_absorb_dangler(e, p)) continue;
-    ReductionState next = state;
+    next = state;
     next.absorb_dangler(e, p);
-    dfs(ctx, next);
+    dfs(ctx, next, depth + 1);
     if (ctx.budget_exhausted()) return;
   }
   // 4) swaps, high-degree photons first (hubs become emitters so their
   //    edges are realized by emissions rather than ee-CZs).
   if (state.has_free_capacity()) {
-    std::vector<Vertex> photons;
+    std::vector<Vertex>& photons = sc.photons;
+    photons.clear();
     for (Vertex p = 0; p < n; ++p)
       if (state.role(p) == Role::photon) photons.push_back(p);
     std::sort(photons.begin(), photons.end(), [&](Vertex a, Vertex b) {
@@ -115,9 +226,9 @@ void dfs(SearchContext& ctx, const ReductionState& state) {
       return a < b;
     });
     for (Vertex p : photons) {
-      ReductionState next = state;
+      next = state;
       next.swap_photon(p);
-      dfs(ctx, next);
+      dfs(ctx, next, depth + 1);
       if (ctx.budget_exhausted()) return;
     }
   }
@@ -125,22 +236,24 @@ void dfs(SearchContext& ctx, const ReductionState& state) {
   if (state.lc_count() < ctx.cfg->max_lc_ops) {
     for (Vertex v = 0; v < n; ++v) {
       if (!state.can_local_comp(v)) continue;
-      ReductionState next = state;
+      next = state;
       next.local_comp(v);
-      dfs(ctx, next);
+      dfs(ctx, next, depth + 1);
       if (ctx.budget_exhausted()) return;
     }
   }
   // 6) disconnects.
   for (Vertex e1 = 0; e1 < n; ++e1) {
     if (state.role(e1) != Role::emitter) continue;
-    for (Vertex e2 : g.neighbors(e1)) {
-      if (e2 < e1 || !state.can_disconnect(e1, e2)) continue;
-      ReductionState next = state;
+    bool stop = false;
+    g.for_each_neighbor(e1, [&](Vertex e2) {
+      if (stop || e2 < e1 || !state.can_disconnect(e1, e2)) return;
+      next = state;
       next.disconnect(e1, e2);
-      dfs(ctx, next);
-      if (ctx.budget_exhausted()) return;
-    }
+      dfs(ctx, next, depth + 1);
+      if (ctx.budget_exhausted()) stop = true;
+    });
+    if (stop) return;
   }
 }
 
@@ -418,27 +531,40 @@ SubgraphCompileResult compile_subgraph(const SubgraphSpec& spec,
   SubgraphCompileResult result;
   const auto n = static_cast<std::uint32_t>(spec.graph.vertex_count());
 
+  // Scalability path for oversized subgraphs: the exhaustive branch-and-
+  // bound is exponential in the part size, so past the threshold only the
+  // LC-free search runs and it stops at the first reduction found
+  // (deterministic: the enumeration order is fixed).
+  const bool large = n >= cfg.large_part_threshold;
+
   for (std::uint32_t ne = cfg.ne_limit; ne <= n + 1; ++ne) {
     // Phase 1: a quick LC-free pass establishes a strong incumbent so the
     // full branch-and-bound can prune deep LC branches early.
     SubgraphCompileConfig lc_free = cfg;
     lc_free.max_lc_ops = 0;
-    if (cfg.max_lc_ops > 0) {
+    if (cfg.max_lc_ops > 0 && !large) {
       lc_free.node_budget = std::max<std::size_t>(cfg.node_budget / 8, 2000);
       lc_free.time_budget_ms = cfg.time_budget_ms / 4;
     }
     SearchContext warmup;
-    warmup.cfg = &lc_free;
-    dfs(warmup, ReductionState(spec, ne, cfg.dangler));
+    warmup.init(lc_free);
+    warmup.stop_at_first = large;
+    {
+      const ReductionState root(spec, ne, cfg.dangler);
+      dfs(warmup, root, 0);
+    }
     result.nodes_explored += warmup.nodes;
+    result.memo_peak = std::max(result.memo_peak, warmup.memo_peak);
 
     SearchContext ctx;
-    ctx.cfg = &cfg;
+    ctx.init(cfg);
     ctx.best_cost = warmup.best_cost;
     ctx.candidates = std::move(warmup.candidates);
-    if (cfg.max_lc_ops > 0) {
-      dfs(ctx, ReductionState(spec, ne, cfg.dangler));
+    if (cfg.max_lc_ops > 0 && !large) {
+      const ReductionState root(spec, ne, cfg.dangler);
+      dfs(ctx, root, 0);
       result.nodes_explored += ctx.nodes;
+      result.memo_peak = std::max(result.memo_peak, ctx.memo_peak);
     }
     if (ctx.candidates.empty()) continue;
 

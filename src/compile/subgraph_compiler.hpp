@@ -30,6 +30,19 @@ struct SubgraphCompileConfig {
   std::size_t max_lc_ops = 3;      ///< LC moves allowed inside the search
   std::size_t keep_candidates = 6;
   double time_budget_ms = 200.0;
+  /// Hard cap on memoization-table entries (16 bytes each). The table grows
+  /// on demand and stops admitting new states at the cap, so a pathological
+  /// part cannot blow memory; pruning via already-stored states keeps
+  /// working. The default exceeds anything `node_budget` can insert
+  /// (inserts <= nodes explored), so searches under the default budgets
+  /// behave exactly as an unbounded table.
+  std::size_t memo_cap = 1u << 20;
+  /// Parts at or above this many vertices take the scalability path: the
+  /// LC-free search only, stopping at the first reduction found, instead of
+  /// the exhaustive branch-and-bound. Partitioning caps parts at g_max
+  /// (single digits), so this only fires when compile_subgraph is driven
+  /// directly with an oversized subgraph.
+  std::size_t large_part_threshold = 24;
   HardwareModel hw = HardwareModel::quantum_dot();
   bool verify = true;  ///< tableau-check each synthesized circuit
   /// How freely boundary photons may be emitted by absorb_dangler hosts
@@ -66,6 +79,9 @@ struct SubgraphCompileResult {
   SubgraphCircuit best;
   std::size_t sequences_found = 0;
   std::size_t nodes_explored = 0;
+  /// Peak memo-table occupancy across the searches (for the memory-bound
+  /// regression test; never exceeds cfg.memo_cap).
+  std::size_t memo_peak = 0;
   /// True when the requested ne_limit was infeasible within budget and a
   /// larger limit was used.
   bool relaxed_ne = false;

@@ -43,6 +43,33 @@ class Graph {
   /// Sorted neighbor list (materialized on demand from the bitset).
   std::vector<Vertex> neighbors(Vertex v) const;
 
+  /// Smallest neighbor of v, or kNoVertex if v is isolated. O(n/64) and
+  /// allocation-free — the hot-path replacement for neighbors(v)[0].
+  Vertex first_neighbor(Vertex v) const {
+    const std::uint64_t* r = adj_.data() + v * words_;
+    for (std::size_t w = 0; w < words_; ++w)
+      if (r[w] != 0)
+        return static_cast<Vertex>(
+            w * 64 + static_cast<std::size_t>(__builtin_ctzll(r[w])));
+    return kNoVertex;
+  }
+
+  /// Visit v's neighbors in ascending order without materializing a list.
+  /// `fn` takes the neighbor Vertex; mutating the graph during iteration is
+  /// undefined (copy the row or use neighbors() in that case).
+  template <typename Fn>
+  void for_each_neighbor(Vertex v, Fn&& fn) const {
+    const std::uint64_t* r = adj_.data() + v * words_;
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t bits = r[w];
+      while (bits != 0) {
+        const auto b = static_cast<std::size_t>(__builtin_ctzll(bits));
+        fn(static_cast<Vertex>(w * 64 + b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
   /// True when N(u) \ {v} == N(v) \ {u} — the "same neighborhood" test of
   /// the absorption rules, computed word-wise.
   bool same_neighborhood(Vertex u, Vertex v) const;

@@ -64,6 +64,33 @@ std::size_t min_emitters_for_order(const Graph& g,
   return *std::max_element(h.begin(), h.end());
 }
 
+std::size_t emitter_bound_for_order(const Graph& g,
+                                    const std::vector<Vertex>& order) {
+  const std::size_t n = g.vertex_count();
+  EPG_REQUIRE(order.size() == n,
+              "emitter_bound_for_order: order must list every vertex once");
+  std::vector<std::size_t> pos(n, 0);
+  for (std::size_t i = 0; i < n; ++i) pos[order[i]] = i;
+  // Vertex v is open exactly for cuts i in (pos[v], last_neighbor_pos(v)];
+  // accumulate the open count per cut with a difference array.
+  std::vector<std::int64_t> diff(n + 2, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    std::size_t last = pos[v];
+    for (Vertex u : g.neighbors(v)) last = std::max(last, pos[u]);
+    if (last > pos[v]) {
+      ++diff[pos[v] + 1];
+      --diff[last + 1];
+    }
+  }
+  std::size_t best = 0;
+  std::int64_t open = 0;
+  for (std::size_t i = 0; i <= n; ++i) {
+    open += diff[i];
+    best = std::max(best, static_cast<std::size_t>(open));
+  }
+  return best;
+}
+
 std::size_t max_degree(const Graph& g) {
   std::size_t d = 0;
   for (Vertex v = 0; v < g.vertex_count(); ++v)

@@ -34,6 +34,16 @@ std::vector<std::size_t> height_function(const Graph& g,
 std::size_t min_emitters_for_order(const Graph& g,
                                    const std::vector<Vertex>& order);
 
+/// Upper bound on min_emitters_for_order in O(n + m) instead of the exact
+/// version's per-prefix Gaussian eliminations (O(n^3)-ish, minutes beyond
+/// ~4k vertices): counts, at every cut, the *open* prefix vertices — those
+/// with at least one unemitted neighbor. Each open vertex contributes an
+/// independent row candidate to the cut matrix, so open count >= cut rank
+/// at every prefix; equality holds on forests. Deterministic and a pure
+/// function of (graph, order), like the exact height.
+std::size_t emitter_bound_for_order(const Graph& g,
+                                    const std::vector<Vertex>& order);
+
 std::size_t max_degree(const Graph& g);
 double average_degree(const Graph& g);
 

@@ -79,6 +79,26 @@ TEST(Metrics, MinEmittersRing) {
   EXPECT_EQ(min_emitters_for_order(g, order), 2u);
 }
 
+TEST(Metrics, EmitterBoundDominatesExactHeight) {
+  // The O(n + m) open-vertex bound can never undercut the exact cut-rank
+  // height (it feeds ne_limit above the exact path's size cutoff): the cut
+  // matrix's nonzero rows are exactly the open vertices, so its rank is at
+  // most their count. On a path emitted in order the two coincide.
+  for (const Graph& g :
+       {make_ring(8), make_lattice(3, 4), make_erdos_renyi(12, 0.4, 5),
+        make_random_tree(20, 3, 3), make_linear_cluster(9)}) {
+    std::vector<Vertex> order(g.vertex_count());
+    for (Vertex v = 0; v < g.vertex_count(); ++v) order[v] = v;
+    EXPECT_GE(emitter_bound_for_order(g, order),
+              min_emitters_for_order(g, order));
+  }
+  const Graph path = make_linear_cluster(9);
+  std::vector<Vertex> order(path.vertex_count());
+  for (Vertex v = 0; v < path.vertex_count(); ++v) order[v] = v;
+  EXPECT_EQ(emitter_bound_for_order(path, order), 1u);
+  EXPECT_EQ(min_emitters_for_order(path, order), 1u);
+}
+
 TEST(Metrics, DegreeStats) {
   const Graph g = make_star(5);
   EXPECT_EQ(max_degree(g), 4u);

@@ -4,6 +4,13 @@
 // and the end-to-end pipeline beats or matches structural invariants.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "circuit/serialize.hpp"
 #include "circuit/simulate.hpp"
 #include "common/rng.hpp"
 #include "compile/baseline_compiler.hpp"
@@ -161,6 +168,88 @@ TEST(Pipelines, FinalStateDecomposesToTargetGraph) {
   std::vector<Vertex> photons(g.vertex_count());
   for (Vertex v = 0; v < g.vertex_count(); ++v) photons[v] = v;
   EXPECT_EQ(gv.graph.induced(photons), g);
+}
+
+/// One text line summarizing everything a FrameworkResult commits to:
+/// every CircuitStats metric, the structural counters, and an FNV-1a
+/// digest of the serialized circuit plus the explicit per-gate and
+/// per-photon schedule times.
+std::string result_fingerprint(const FrameworkResult& r) {
+  const std::string text = serialize_circuit(r.schedule.circuit);
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  mix(text.data(), text.size());
+  mix(r.schedule.gate_start.data(),
+      r.schedule.gate_start.size() * sizeof(Tick));
+  mix(r.schedule.gate_end.data(), r.schedule.gate_end.size() * sizeof(Tick));
+  mix(r.schedule.photon_emit.data(),
+      r.schedule.photon_emit.size() * sizeof(Tick));
+  std::ostringstream os;
+  os << r.stem_count << ' ' << r.partition.parts.size() << ' '
+     << r.subgraph_nodes << ' ' << r.ne_limit << ' ' << r.dangler_fallback
+     << ' ' << r.stats().ee_cnot_count << ' ' << r.stats().emission_count
+     << ' ' << r.stats().local_count << ' ' << r.stats().measure_count << ' '
+     << r.stats().emitters_used << ' ' << r.stats().makespan_ticks << ' '
+     << std::hex << h;
+  return os.str();
+}
+
+/// Property: the full pipeline is a pure function of its input. A second
+/// OS process compiling the same 10k-vertex graph under the same config
+/// must produce the identical metrics and the identical serialized
+/// circuit — guarding against hidden global state, address-dependent
+/// container iteration, or ASLR-sensitive tie-breaks that same-process
+/// repetition cannot expose.
+TEST(Pipelines, FullPipelineIdenticalAcrossProcesses) {
+  const Graph g = shuffle_labels(make_random_tree(10000, 10000 * 13 + 1, 3),
+                                 10000);
+  FrameworkConfig cfg;
+  cfg.partition.strategy = "multilevel";
+  cfg.partition.g_max = 7;
+  cfg.partition.max_lc_ops = 15;
+  cfg.partition.seed = 7;
+  cfg.partition.time_budget_ms = 1e15;
+  cfg.subgraph.time_budget_ms = 1e15;
+  cfg.seed = 0;
+  cfg.verify_seeds = 0;
+  cfg.flexible_ne_max_trials = 16;
+  cfg.inner_threads = 0;  // keep the child fork-safe: no pool threads
+
+  int fds[2];
+  ASSERT_EQ(0, pipe(fds));
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    close(fds[0]);
+    const std::string line = result_fingerprint(compile_framework(g, cfg));
+    ssize_t off = 0;
+    while (off < static_cast<ssize_t>(line.size())) {
+      const ssize_t w =
+          write(fds[1], line.data() + off, line.size() - off);
+      if (w <= 0) _exit(2);
+      off += w;
+    }
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  const std::string mine = result_fingerprint(compile_framework(g, cfg));
+  std::string theirs;
+  char buf[256];
+  ssize_t got;
+  while ((got = read(fds[0], buf, sizeof buf)) > 0) theirs.append(buf, got);
+  close(fds[0]);
+  int status = 0;
+  ASSERT_EQ(pid, waitpid(pid, &status, 0));
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "child status " << status;
+  EXPECT_EQ(mine, theirs);
 }
 
 }  // namespace
