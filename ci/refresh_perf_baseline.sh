@@ -1,17 +1,22 @@
 #!/usr/bin/env sh
-# One-command refresh of the perf-gate baseline (bench/baseline.json).
+# One-command refresh of the perf-gate baselines (bench/baseline.json +
+# bench/baseline_kernels.json).
 #
 # Run after an intentional performance or metrics change, from the repo
 # root, with a Release build in ./build. Commit the regenerated JSON
-# together with the change that motivated it — the CI perf gate
-# (ci/check_perf.py) compares every future run against this file.
+# together with the change that motivated it — the CI perf gates
+# (ci/check_perf.py) compare every future run against these files.
 set -eu
 cd "$(dirname "$0")/.."
-if [ ! -x build/bench_pipeline ]; then
-  echo "build/bench_pipeline missing: cmake -B build -S . && cmake --build build -j" >&2
-  exit 2
-fi
-# Same cells and reps as the CI gate: quick instances, best-of-5 so the
+for bin in bench_pipeline bench_kernels; do
+  if [ ! -x "build/$bin" ]; then
+    echo "build/$bin missing: cmake -B build -S . && cmake --build build -j" >&2
+    exit 2
+  fi
+done
+# Same cells and reps as the CI gates: quick instances, best-of-5 so the
 # recorded latency is a stable per-machine floor, not a noisy single shot.
 ./build/bench_pipeline --quick --reps 5 --json bench/baseline.json
-echo "bench/baseline.json refreshed; commit it with your change."
+./build/bench_kernels --quick --reps 5 --json bench/baseline_kernels.json
+echo "bench/baseline.json + bench/baseline_kernels.json refreshed;"
+echo "commit them with your change."

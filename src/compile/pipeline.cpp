@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/assert.hpp"
 #include "common/stopwatch.hpp"
+#include "graph/csr.hpp"
 #include "graph/local_complement.hpp"
 #include "graph/metrics.hpp"
 #include "partition/partition_strategy.hpp"
@@ -18,21 +20,43 @@ std::vector<Vertex> natural_order(const Graph& g) {
   return order;
 }
 
+std::string part_cache_key(const SubgraphSpec& spec,
+                           const SubgraphCompileConfig& cfg,
+                           std::uint32_t ne_cap);
+
 PartVariants compile_variants(const SubgraphSpec& spec,
                               const SubgraphCompileConfig& base,
-                              std::uint32_t ne_cap) {
+                              std::uint32_t ne_cap,
+                              PartCompileCache& cache) {
   PartVariants out;
   const std::uint32_t ne_min = subgraph_ne_min(spec.graph);
   const bool has_boundary =
       std::find(spec.boundary.begin(), spec.boundary.end(), true) !=
       spec.boundary.end();
+  // Per-(policy, ne) searches go through the sub-compile memo: a part
+  // recompiled under a different outer policy (the deadlock ladder) still
+  // shares every single-policy search it has in common with the original
+  // compile — in particular the anchors-only trio, which does not read
+  // stem keys and so caches identically under every outer policy.
+  auto cached_subgraph = [&](const SubgraphCompileConfig& cfg) {
+    const std::string key = part_cache_key(spec, cfg, cfg.ne_limit);
+    {
+      std::lock_guard<std::mutex> lock(cache.mu);
+      if (auto it = cache.sub_map.find(key); it != cache.sub_map.end())
+        return it->second;
+    }
+    auto fresh = std::make_shared<const SubgraphCompileResult>(
+        compile_subgraph(spec, cfg));
+    std::lock_guard<std::mutex> lock(cache.mu);
+    return cache.sub_map.try_emplace(key, std::move(fresh)).first->second;
+  };
   auto add_variants = [&](const SubgraphCompileConfig& policy_cfg) {
     for (std::uint32_t extra = 0; extra < 3; ++extra) {
       const std::uint32_t ne = ne_min + extra;
       if (extra > 0 && ne > ne_cap) break;
       SubgraphCompileConfig cfg = policy_cfg;
       cfg.ne_limit = ne;
-      const SubgraphCompileResult r = compile_subgraph(spec, cfg);
+      const SubgraphCompileResult& r = *cached_subgraph(cfg);
       out.nodes += r.nodes_explored;
       if (!r.success) continue;
       const bool duplicate = std::any_of(
@@ -68,16 +92,16 @@ PartVariants compile_variants(const SubgraphSpec& spec,
   return out;
 }
 
-/// Cache key: the byte-exact (adjacency, boundary, policy, ne_cap) tuple.
-/// stem_key is deliberately absent — it only feeds the key-ordered policy,
-/// which bypasses the cache (see PartCompileCache).
+/// Cache key: the byte-exact (adjacency, boundary, policy, ne_cap) tuple,
+/// plus the stem keys when the key-ordered policy reads them (callers
+/// normalize those to ranks first — see rank_normalized below).
 std::string part_cache_key(const SubgraphSpec& spec,
                            const SubgraphCompileConfig& cfg,
                            std::uint32_t ne_cap) {
   const Graph& g = spec.graph;
   const auto n = static_cast<std::uint64_t>(g.vertex_count());
   std::string key;
-  key.reserve(16 + n * g.words_per_row() * 8 + n);
+  key.reserve(16 + n * g.words_per_row() * 8 + n * 5);
   key.append(reinterpret_cast<const char*>(&n), sizeof n);
   for (Vertex v = 0; v < g.vertex_count(); ++v)
     key.append(reinterpret_cast<const char*>(g.row(v)),
@@ -86,22 +110,58 @@ std::string part_cache_key(const SubgraphSpec& spec,
     key.push_back(spec.boundary[v] ? 1 : 0);
   key.append(reinterpret_cast<const char*>(&cfg.dangler.cap),
              sizeof cfg.dangler.cap);
+  key.push_back(cfg.dangler.key_order ? 1 : 0);
+  if (cfg.dangler.key_order)
+    key.append(reinterpret_cast<const char*>(spec.stem_key.data()),
+               spec.stem_key.size() * sizeof(std::uint32_t));
   key.append(reinterpret_cast<const char*>(&ne_cap), sizeof ne_cap);
   return key;
+}
+
+/// Rewrite a spec's stem keys as their dense ranks among the part's
+/// boundary keys (must_swap preserved, never-read non-boundary keys
+/// zeroed). The search consumes keys only through order comparisons and
+/// must_swap equality (ReductionState::can_absorb_dangler), so the
+/// normalized spec compiles to the same reduction as the original — and
+/// parts that differ only by a monotone relabeling of their stem keys now
+/// share one cache entry. That is what makes the scheduler's deadlock
+/// ladder affordable at scale: its key-ordered recompiles used to bypass
+/// the cache entirely and dominated the schedule stage's wall time.
+SubgraphSpec rank_normalized(const SubgraphSpec& spec) {
+  const std::size_t n = spec.graph.vertex_count();
+  std::vector<std::uint32_t> sorted;
+  for (Vertex v = 0; v < n; ++v)
+    if (spec.boundary[v] && spec.stem_key[v] != SubgraphSpec::must_swap)
+      sorted.push_back(spec.stem_key[v]);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::vector<std::uint32_t> keys(n, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    if (!spec.boundary[v]) continue;
+    keys[v] = spec.stem_key[v] == SubgraphSpec::must_swap
+                  ? SubgraphSpec::must_swap
+                  : static_cast<std::uint32_t>(
+                        std::lower_bound(sorted.begin(), sorted.end(),
+                                         spec.stem_key[v]) -
+                        sorted.begin());
+  }
+  return SubgraphSpec(spec.graph, spec.boundary, std::move(keys));
 }
 
 PartVariants cached_compile_variants(PartCompileCache& cache,
                                      const SubgraphSpec& spec,
                                      const SubgraphCompileConfig& cfg,
                                      std::uint32_t ne_cap) {
-  if (cfg.dangler.key_order) return compile_variants(spec, cfg, ne_cap);
-  const std::string key = part_cache_key(spec, cfg, ne_cap);
+  std::optional<SubgraphSpec> norm;
+  if (cfg.dangler.key_order) norm.emplace(rank_normalized(spec));
+  const SubgraphSpec& use = norm ? *norm : spec;
+  const std::string key = part_cache_key(use, cfg, ne_cap);
   {
     std::lock_guard<std::mutex> lock(cache.mu);
     if (auto it = cache.map.find(key); it != cache.map.end())
       return *it->second;
   }
-  PartVariants fresh = compile_variants(spec, cfg, ne_cap);
+  PartVariants fresh = compile_variants(use, cfg, ne_cap, cache);
   std::lock_guard<std::mutex> lock(cache.mu);
   cache.map.try_emplace(key, std::make_shared<PartVariants>(fresh));
   return fresh;
@@ -166,7 +226,10 @@ class PartitionStage final : public PipelineStage {
     result.ne_min = std::max<std::size_t>(
         ctx.target.vertex_count() <= kExactHeightLimit
             ? min_emitters_for_order(ctx.target, order)
-            : emitter_bound_for_order(ctx.target, order),
+            // The O(n + m) bound reads a CSR flattening of the target so
+            // its neighbor scans do not pay the O(n^2/64) bitset sweep
+            // (same result either way; the CSR build is one such sweep).
+            : emitter_bound_for_order(CsrView(ctx.target, ctx.exec), order),
         1);
     result.ne_limit =
         ctx.cfg.ne_limit_override > 0

@@ -55,13 +55,24 @@ struct PartVariants {
 /// thousands of tiny parts, many byte-identical as (adjacency, boundary)
 /// specs; compile_subgraph is a pure function of (spec, cfg) — with one
 /// caveat: spec.stem_key feeds the search only under the key-ordered
-/// dangler policy, so key-ordered compiles bypass the cache and every
-/// other policy caches on the key-free spec. Threads race only on who
-/// computes a value; every contender computes the identical PartVariants,
-/// so the cache never changes results at any lane count.
+/// dangler policy, and only through order comparisons, so key-ordered
+/// compiles are cached on rank-normalized keys (see rank_normalized in
+/// pipeline.cpp) and every other policy caches on the key-free spec.
+/// Threads race only on who computes a value; every contender computes
+/// the identical PartVariants, so the cache never changes results at any
+/// lane count.
 struct PartCompileCache {
   std::mutex mu;
   std::unordered_map<std::string, std::shared_ptr<const PartVariants>> map;
+  /// Single-policy compile_subgraph memo, keyed on (spec, policy, ne).
+  /// compile_variants assembles each PartVariants from up to six such
+  /// searches; caching at this finer granularity lets the scheduler's
+  /// deadlock-ladder recompiles (key-ordered outer policy) reuse the
+  /// anchors-only searches the subgraph stage already paid for, instead
+  /// of re-running them under a different whole-variants key.
+  std::unordered_map<std::string,
+                     std::shared_ptr<const SubgraphCompileResult>>
+      sub_map;
 };
 
 struct PipelineContext {

@@ -8,18 +8,52 @@ namespace epg {
 ReductionState::ReductionState(const SubgraphSpec& spec,
                                std::uint32_t ne_limit, DanglerPolicy policy)
     : g_(spec.graph),
-      boundary_(spec.boundary),
+      spec_(&spec),
       role_(spec.graph.vertex_count(), Role::photon),
       slot_(spec.graph.vertex_count(), -1),
       ne_limit_(ne_limit),
       policy_(policy),
-      stem_key_(spec.stem_key),
       photons_left_(spec.graph.vertex_count()) {
   EPG_REQUIRE(ne_limit >= 1, "need at least one emitter");
-  EPG_REQUIRE(boundary_.size() == g_.vertex_count(),
+  EPG_REQUIRE(spec.boundary.size() == g_.vertex_count(),
               "boundary flag per vertex required");
-  EPG_REQUIRE(stem_key_.size() == g_.vertex_count(),
+  EPG_REQUIRE(spec.stem_key.size() == g_.vertex_count(),
               "stem key per vertex required");
+}
+
+const std::vector<ReduceOp>& ReductionState::ops() const {
+  EPG_REQUIRE(ops_sink_ == nullptr,
+              "ops() needs own recording mode; use ops_copy() after "
+              "share_op_log()");
+  return ops_own_;
+}
+
+std::vector<ReduceOp> ReductionState::ops_copy() const {
+  if (ops_sink_ == nullptr) return ops_own_;
+  return std::vector<ReduceOp>(ops_sink_->begin(),
+                               ops_sink_->begin() + ops_len_);
+}
+
+void ReductionState::share_op_log(std::vector<ReduceOp>& sink) {
+  EPG_REQUIRE(ops_own_.empty() && ops_sink_ == nullptr,
+              "share_op_log must be called before any op is recorded");
+  ops_sink_ = &sink;
+  ops_len_ = 0;
+}
+
+void ReductionState::push_op(ReduceOp&& op) {
+  if (ops_sink_ != nullptr) {
+    // Overwrite the dead tail beyond this state's prefix (assignment
+    // reuses the slot's vector capacities) instead of shrinking the
+    // buffer, so deep LC ops do not churn the heap on every append.
+    if (ops_len_ < ops_sink_->size())
+      (*ops_sink_)[ops_len_] = std::move(op);
+    else
+      ops_sink_->push_back(std::move(op));
+    ++ops_len_;
+  } else {
+    ops_own_.push_back(std::move(op));
+  }
 }
 
 std::uint32_t ReductionState::slot_of(Vertex v) const {
@@ -32,7 +66,7 @@ bool ReductionState::reduced() const {
   for (Vertex v = 0; v < g_.vertex_count(); ++v) {
     if (role_[v] != Role::emitter) continue;
     // Only isolated anchors may remain.
-    if (!boundary_[v] || !g_.is_isolated(v)) return false;
+    if (!spec_->boundary[v] || !g_.is_isolated(v)) return false;
   }
   return true;
 }
@@ -51,7 +85,7 @@ bool ReductionState::can_absorb_leaf(Vertex e, Vertex p) const {
   // (b): p's single neighborhood edge goes to e. Boundary photons must keep
   // their identity until their swap.
   return role_[e] == Role::emitter && role_[p] == Role::photon &&
-         !boundary_[p] && g_.degree(p) == 1 && g_.has_edge(e, p);
+         !spec_->boundary[p] && g_.degree(p) == 1 && g_.has_edge(e, p);
 }
 
 bool ReductionState::can_absorb_dangler(Vertex e, Vertex p) const {
@@ -60,12 +94,12 @@ bool ReductionState::can_absorb_dangler(Vertex e, Vertex p) const {
   // boundary photon may leave this way too: its stem CZs are applied to the
   // host in the window right before the emission and ride onto the photon.
   if (role_[e] != Role::emitter || role_[p] != Role::photon) return false;
-  if (boundary_[p]) {
+  if (spec_->boundary[p]) {
     // A window may host any number of stem CZs in free form; the key-
     // ordered policy needs one stem per window (unique keys) and strictly
     // decreasing keys along the reverse sequence for its acyclicity proof.
     if (policy_.key_order) {
-      const std::uint32_t key = stem_key_[p];
+      const std::uint32_t key = spec_->stem_key[p];
       if (key == SubgraphSpec::must_swap) return false;
       if (static_cast<std::int64_t>(key) >= last_dangler_key_) return false;
     }
@@ -80,7 +114,7 @@ bool ReductionState::can_absorb_dangler(Vertex e, Vertex p) const {
 bool ReductionState::can_absorb_twin(Vertex e, Vertex p) const {
   // (d): same neighborhood modulo each other.
   return role_[e] == Role::emitter && role_[p] == Role::photon &&
-         !boundary_[p] && g_.same_neighborhood(e, p);
+         !spec_->boundary[p] && g_.same_neighborhood(e, p);
 }
 
 bool ReductionState::can_disconnect(Vertex e1, Vertex e2) const {
@@ -91,17 +125,17 @@ bool ReductionState::can_disconnect(Vertex e1, Vertex e2) const {
 bool ReductionState::can_local_comp(Vertex v) const {
   // LC toggles edges among N(v); anchors would leak the change onto their
   // external stem edges, and the forward unitary on v is not Z-diagonal.
-  return role_[v] != Role::done && !boundary_[v] && g_.degree(v) >= 2;
+  return role_[v] != Role::done && !spec_->boundary[v] && g_.degree(v) >= 2;
 }
 
 void ReductionState::maybe_retire(Vertex v) {
-  if (role_[v] != Role::emitter || boundary_[v] || !g_.is_isolated(v)) return;
+  if (role_[v] != Role::emitter || spec_->boundary[v] || !g_.is_isolated(v)) return;
   ReduceOp op;
   op.kind = ReduceOpKind::retire_emitter;
   op.e = v;
   op.slot_e = static_cast<std::uint32_t>(slot_[v]);
   op.anchor = false;
-  ops_.push_back(op);
+  push_op(std::move(op));
   free_slots_.push_back(static_cast<std::uint32_t>(slot_[v]));
   slot_[v] = -1;
   role_[v] = Role::done;
@@ -115,7 +149,7 @@ void ReductionState::remove_photon(Vertex p) {
 
 void ReductionState::swap_photon(Vertex p) {
   EPG_REQUIRE(can_swap(p), "illegal swap");
-  const bool anchor = boundary_[p];
+  const bool anchor = spec_->boundary[p];
   std::uint32_t slot;
   if (!anchor && !free_slots_.empty()) {
     slot = free_slots_.back();
@@ -131,7 +165,7 @@ void ReductionState::swap_photon(Vertex p) {
   op.p = p;
   op.slot_p = slot;
   op.anchor = anchor;
-  ops_.push_back(op);
+  push_op(std::move(op));
 
   role_[p] = Role::emitter;
   slot_[p] = static_cast<std::int32_t>(slot);
@@ -148,8 +182,8 @@ void ReductionState::absorb_leaf(Vertex e, Vertex p) {
   op.p = p;
   op.e = e;
   op.slot_e = static_cast<std::uint32_t>(slot_[e]);
-  op.anchor = boundary_[e];
-  ops_.push_back(op);
+  op.anchor = spec_->boundary[e];
+  push_op(std::move(op));
   g_.remove_edge(e, p);
   remove_photon(p);
   maybe_retire(e);
@@ -162,14 +196,14 @@ void ReductionState::absorb_dangler(Vertex e, Vertex p) {
   op.p = p;
   op.e = e;
   op.slot_e = static_cast<std::uint32_t>(slot_[e]);
-  op.anchor = boundary_[p];  // stem-carrying emission: host window needed
+  op.anchor = spec_->boundary[p];  // stem-carrying emission: host window needed
   if (op.anchor) {
     const auto slot = static_cast<std::size_t>(slot_[e]);
     if (dangler_windows_.size() <= slot) dangler_windows_.resize(slot + 1, 0);
     ++dangler_windows_[slot];
-    last_dangler_key_ = static_cast<std::int64_t>(stem_key_[p]);
+    last_dangler_key_ = static_cast<std::int64_t>(spec_->stem_key[p]);
   }
-  ops_.push_back(op);
+  push_op(std::move(op));
   g_.remove_edge(e, p);
   // Transfer p's edges to e. Snapshot p's row first (the loop mutates it);
   // parts are tiny, so a small stack buffer covers the common case without
@@ -207,7 +241,7 @@ void ReductionState::absorb_twin(Vertex e, Vertex p) {
   op.e = e;
   op.slot_e = static_cast<std::uint32_t>(slot_[e]);
   op.twin_adjacent = g_.has_edge(e, p);
-  ops_.push_back(op);
+  push_op(std::move(op));
   g_.isolate(p);
   remove_photon(p);
   maybe_retire(e);
@@ -221,7 +255,7 @@ void ReductionState::disconnect(Vertex e1, Vertex e2) {
   op.p = e2;
   op.slot_e = static_cast<std::uint32_t>(slot_[e1]);
   op.slot_p = static_cast<std::uint32_t>(slot_[e2]);
-  ops_.push_back(op);
+  push_op(std::move(op));
   g_.remove_edge(e1, e2);
   ++disconnects_;
   maybe_retire(e1);
@@ -242,7 +276,7 @@ void ReductionState::local_comp(Vertex v) {
     else
       op.lc_photon_neighbors.push_back(u);
   });
-  ops_.push_back(std::move(op));
+  push_op(std::move(op));
   epg::local_complement(g_, v);
   ++lcs_;
 }
@@ -251,13 +285,13 @@ void ReductionState::finalize() {
   EPG_REQUIRE(reduced(), "finalize requires a fully reduced state");
   for (Vertex v = 0; v < g_.vertex_count(); ++v) {
     if (role_[v] != Role::emitter) continue;
-    EPG_CHECK(boundary_[v], "only anchors survive reduction");
+    EPG_CHECK(spec_->boundary[v], "only anchors survive reduction");
     ReduceOp op;
     op.kind = ReduceOpKind::retire_emitter;
     op.e = v;
     op.slot_e = static_cast<std::uint32_t>(slot_[v]);
     op.anchor = true;
-    ops_.push_back(op);
+    push_op(std::move(op));
     slot_[v] = -1;
     role_[v] = Role::done;
     --active_;

@@ -133,14 +133,34 @@ struct DanglerPolicy {
 };
 
 /// Copyable search state for the subgraph compiler's DFS.
+///
+/// The spec is held by pointer, not copied: it is immutable during a
+/// reduction (boundary flags and stem keys never change), so every copy
+/// of a state shares it. The spec must therefore outlive the state and
+/// every copy made from it — true for the DFS (the spec frames the whole
+/// search) and for calibration replays.
+///
+/// Op recording has two modes. By default each state owns its op list
+/// (`ops()`), preserving value semantics for callers that keep states
+/// around. The DFS instead calls `share_op_log()` on the root: all ops
+/// then live in one caller-owned path buffer and a state carries only its
+/// prefix length, so the per-node copy shrinks from O(depth) ReduceOps
+/// (two heap vectors each) to one integer. The buffer holds the ops of
+/// the CURRENT search path; states on one root-to-leaf chain may coexist,
+/// while a sibling's appends overwrite the dead tail beyond its parent's
+/// prefix — exactly the lifetime discipline of a depth-first search.
 class ReductionState {
  public:
   ReductionState(const SubgraphSpec& spec, std::uint32_t ne_limit,
                  DanglerPolicy policy = DanglerPolicy{});
+  /// A temporary spec would dangle behind the stored pointer — callers
+  /// must keep the spec alive for the state's whole lifetime.
+  ReductionState(SubgraphSpec&&, std::uint32_t,
+                 DanglerPolicy = DanglerPolicy{}) = delete;
 
   const Graph& graph() const { return g_; }
   Role role(Vertex v) const { return role_[v]; }
-  bool is_boundary(Vertex v) const { return boundary_[v]; }
+  bool is_boundary(Vertex v) const { return spec_->boundary[v]; }
   std::uint32_t slot_of(Vertex v) const;
 
   std::uint32_t ne_limit() const { return ne_limit_; }
@@ -173,7 +193,19 @@ class ReductionState {
   /// Retire the anchors once reduced(); afterwards the op list is complete.
   void finalize();
 
-  const std::vector<ReduceOp>& ops() const { return ops_; }
+  /// Own-mode op list (the default). Invalid after share_op_log().
+  const std::vector<ReduceOp>& ops() const;
+  /// The recorded ops as a fresh vector; works in both recording modes.
+  std::vector<ReduceOp> ops_copy() const;
+  std::size_t ops_size() const {
+    return ops_sink_ != nullptr ? ops_len_ : ops_own_.size();
+  }
+
+  /// Switch to shared op recording: this state's ops (must currently be
+  /// empty) and those of every copy land in `sink`, each state keeping
+  /// only its prefix length. `sink` must outlive all such states; see the
+  /// class comment for the DFS lifetime discipline this assumes.
+  void share_op_log(std::vector<ReduceOp>& sink);
 
   // Search bookkeeping.
   std::uint32_t disconnect_count() const { return disconnects_; }
@@ -183,13 +215,12 @@ class ReductionState {
 
  private:
   Graph g_;
-  std::vector<bool> boundary_;
+  const SubgraphSpec* spec_ = nullptr;  ///< shared, immutable; not owned
   std::vector<Role> role_;
   std::vector<std::int32_t> slot_;  // -1 when not an emitter
   std::uint32_t ne_limit_ = 0;
   DanglerPolicy policy_;
   std::vector<std::uint32_t> dangler_windows_;  ///< per-slot, lifetime count
-  std::vector<std::uint32_t> stem_key_;
   /// Key watermark for policy_.key_order: keys of dangler-hosted boundary
   /// photons must strictly decrease along the reverse sequence — i.e.
   /// increase along forward emission time on every wire chain.
@@ -199,8 +230,11 @@ class ReductionState {
   std::vector<std::uint32_t> free_slots_;
   std::size_t photons_left_ = 0;
   std::uint32_t disconnects_ = 0, swaps_ = 0, lcs_ = 0;
-  std::vector<ReduceOp> ops_;
+  std::vector<ReduceOp> ops_own_;          ///< own recording mode
+  std::vector<ReduceOp>* ops_sink_ = nullptr;  ///< shared mode when set
+  std::uint32_t ops_len_ = 0;              ///< prefix length in *ops_sink_
 
+  void push_op(ReduceOp&& op);
   void maybe_retire(Vertex v);
   void remove_photon(Vertex p);
 };

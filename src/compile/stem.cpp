@@ -1,6 +1,7 @@
 #include "compile/stem.hpp"
 
 #include "common/assert.hpp"
+#include "graph/csr.hpp"
 
 namespace epg {
 
@@ -26,18 +27,41 @@ StemPlan plan_stems(const PartitionOutcome& outcome) {
     }
   }
 
-  plan.parts.reserve(outcome.parts.size());
+  // Membership tables once for the whole plan, then one CSR flattening of
+  // the transformed graph so every part's subgraph is cut out by walking
+  // its members' adjacency lists: O(n + m) over all parts together. The
+  // old per-part Graph::induced calls each re-allocated and re-filled an
+  // n-sized vertex map and re-scanned bitset rows — O(n * parts + n^2/64)
+  // on large instances. Same subgraphs, bit for bit.
+  constexpr std::uint32_t kNoPart = ~0u;
+  std::vector<std::uint32_t> owner(n, kNoPart);
   for (std::size_t p = 0; p < outcome.parts.size(); ++p) {
     const std::vector<Vertex>& members = outcome.parts[p];
     EPG_CHECK(!members.empty(), "partition produced an empty part");
-    Graph sub = g.induced(members);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const Vertex v = members[i];
+      EPG_REQUIRE(v < n, "partition names an out-of-range vertex");
+      EPG_REQUIRE(owner[v] == kNoPart, "partition repeats a vertex");
+      owner[v] = static_cast<std::uint32_t>(p);
+      plan.part_of[v] = static_cast<std::uint32_t>(p);
+      plan.local_of[v] = static_cast<Vertex>(i);
+    }
+  }
+  const CsrView csr(g);
+  plan.parts.reserve(outcome.parts.size());
+  for (std::size_t p = 0; p < outcome.parts.size(); ++p) {
+    const std::vector<Vertex>& members = outcome.parts[p];
+    Graph sub(members.size());
     std::vector<bool> sub_boundary(members.size(), false);
     std::vector<std::uint32_t> sub_key(members.size(), 0);
     for (std::size_t i = 0; i < members.size(); ++i) {
-      sub_boundary[i] = boundary[members[i]];
-      sub_key[i] = key[members[i]];
-      plan.part_of[members[i]] = static_cast<std::uint32_t>(p);
-      plan.local_of[members[i]] = static_cast<Vertex>(i);
+      const Vertex v = members[i];
+      csr.for_each_neighbor(v, [&](Vertex u) {
+        if (owner[u] == p && plan.local_of[u] > i)
+          sub.add_edge(static_cast<Vertex>(i), plan.local_of[u]);
+      });
+      sub_boundary[i] = boundary[v];
+      sub_key[i] = key[v];
     }
     plan.parts.push_back(
         {SubgraphSpec(std::move(sub), std::move(sub_boundary),

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <unordered_map>
 
 #include "circuit/simulate.hpp"
 #include "circuit/timing.hpp"
@@ -110,7 +109,10 @@ class FlatMemo {
 /// references held by outer frames.
 struct DepthScratch {
   ReductionState state;
-  std::vector<Vertex> photons;  ///< swap-move enumeration buffer
+  std::vector<Vertex> photons;     ///< live photons, ascending
+  std::vector<Vertex> emitters;    ///< live emitters, ascending
+  std::vector<Vertex> live;        ///< photons + emitters, ascending
+  std::vector<Vertex> swap_order;  ///< photons re-sorted for swap moves
 
   explicit DepthScratch(const ReductionState& proto) : state(proto) {}
 };
@@ -127,6 +129,10 @@ struct SearchContext {
   FlatMemo memo;
   std::size_t memo_peak = 0;
   std::vector<std::unique_ptr<DepthScratch>> arena;
+  /// Shared DFS op log (see ReductionState::share_op_log): all states of
+  /// this search append into one buffer, so copying a state costs one
+  /// integer instead of O(depth) ReduceOps.
+  std::vector<ReduceOp> path;
 
   void init(const SubgraphCompileConfig& config) {
     cfg = &config;
@@ -158,7 +164,7 @@ void record_solution(SearchContext& ctx, ReductionState state) {
   }
   if (cost == ctx.best_cost &&
       ctx.candidates.size() < ctx.cfg->keep_candidates)
-    ctx.candidates.push_back(state.ops());
+    ctx.candidates.push_back(state.ops_copy());
   if (ctx.stop_at_first) ctx.out_of_budget = true;
 }
 
@@ -181,11 +187,27 @@ void dfs(SearchContext& ctx, const ReductionState& state, std::size_t depth) {
   DepthScratch& sc = ctx.scratch(depth, state);
   ReductionState& next = sc.state;
 
+  // One role sweep feeds every enumeration loop below. The state is const
+  // while moves are generated, so the lists stay valid for the whole node;
+  // each is ascending, preserving the exact visit order of the original
+  // full 0..n scans (six of them, one per move family) they replace.
+  sc.photons.clear();
+  sc.emitters.clear();
+  sc.live.clear();
+  for (Vertex v = 0; v < n; ++v) {
+    const Role r = state.role(v);
+    if (r == Role::photon)
+      sc.photons.push_back(v);
+    else if (r == Role::emitter)
+      sc.emitters.push_back(v);
+    if (r != Role::done) sc.live.push_back(v);
+  }
+
   // Move enumeration, cheapest first. Absorptions cost nothing; swaps cost a
   // measurement; LC costs local gates; disconnects cost an ee-CZ.
   // 1) absorb_leaf
-  for (Vertex p = 0; p < n; ++p) {
-    if (state.role(p) != Role::photon || g.degree(p) != 1) continue;
+  for (Vertex p : sc.photons) {
+    if (g.degree(p) != 1) continue;
     const Vertex e = g.first_neighbor(p);
     if (!state.can_absorb_leaf(e, p)) continue;
     next = state;
@@ -194,9 +216,8 @@ void dfs(SearchContext& ctx, const ReductionState& state, std::size_t depth) {
     if (ctx.budget_exhausted()) return;
   }
   // 2) absorb_twin
-  for (Vertex e = 0; e < n; ++e) {
-    if (state.role(e) != Role::emitter) continue;
-    for (Vertex p = 0; p < n; ++p) {
+  for (Vertex e : sc.emitters) {
+    for (Vertex p : sc.photons) {
       if (!state.can_absorb_twin(e, p)) continue;
       next = state;
       next.absorb_twin(e, p);
@@ -205,8 +226,8 @@ void dfs(SearchContext& ctx, const ReductionState& state, std::size_t depth) {
     }
   }
   // 3) absorb_dangler
-  for (Vertex e = 0; e < n; ++e) {
-    if (state.role(e) != Role::emitter || g.degree(e) != 1) continue;
+  for (Vertex e : sc.emitters) {
+    if (g.degree(e) != 1) continue;
     const Vertex p = g.first_neighbor(e);
     if (!state.can_absorb_dangler(e, p)) continue;
     next = state;
@@ -217,15 +238,13 @@ void dfs(SearchContext& ctx, const ReductionState& state, std::size_t depth) {
   // 4) swaps, high-degree photons first (hubs become emitters so their
   //    edges are realized by emissions rather than ee-CZs).
   if (state.has_free_capacity()) {
-    std::vector<Vertex>& photons = sc.photons;
-    photons.clear();
-    for (Vertex p = 0; p < n; ++p)
-      if (state.role(p) == Role::photon) photons.push_back(p);
-    std::sort(photons.begin(), photons.end(), [&](Vertex a, Vertex b) {
+    std::vector<Vertex>& order = sc.swap_order;
+    order.assign(sc.photons.begin(), sc.photons.end());
+    std::sort(order.begin(), order.end(), [&](Vertex a, Vertex b) {
       if (g.degree(a) != g.degree(b)) return g.degree(a) > g.degree(b);
       return a < b;
     });
-    for (Vertex p : photons) {
+    for (Vertex p : order) {
       next = state;
       next.swap_photon(p);
       dfs(ctx, next, depth + 1);
@@ -234,7 +253,7 @@ void dfs(SearchContext& ctx, const ReductionState& state, std::size_t depth) {
   }
   // 5) local complementation (bounded).
   if (state.lc_count() < ctx.cfg->max_lc_ops) {
-    for (Vertex v = 0; v < n; ++v) {
+    for (Vertex v : sc.live) {
       if (!state.can_local_comp(v)) continue;
       next = state;
       next.local_comp(v);
@@ -243,8 +262,7 @@ void dfs(SearchContext& ctx, const ReductionState& state, std::size_t depth) {
     }
   }
   // 6) disconnects.
-  for (Vertex e1 = 0; e1 < n; ++e1) {
-    if (state.role(e1) != Role::emitter) continue;
+  for (Vertex e1 : sc.emitters) {
     bool stop = false;
     g.for_each_neighbor(e1, [&](Vertex e2) {
       if (stop || e2 < e1 || !state.can_disconnect(e1, e2)) return;
@@ -408,7 +426,10 @@ SubgraphCircuit synthesize_forward(const SubgraphSpec& spec,
   out.ops = ops;
   Circuit& c = out.circuit;
 
-  std::unordered_map<std::uint32_t, AnchorInfo> anchor_by_slot;
+  // Anchor bookkeeping indexed directly by emitter slot (slots are dense
+  // 0..slots_used-1), replacing a hashed map on the synthesis hot path.
+  std::vector<AnchorInfo> anchor_by_slot(slots_used);
+  std::vector<bool> anchor_slot_used(slots_used, false);
 
   for (std::size_t idx = ops.size(); idx-- > 0;) {
     const ReduceOp& op = ops[idx];
@@ -418,7 +439,10 @@ SubgraphCircuit synthesize_forward(const SubgraphSpec& spec,
           AnchorInfo info;
           info.slot = op.slot_e;
           info.init_gate = c.size();
+          EPG_CHECK(op.slot_e < anchor_by_slot.size(),
+                    "anchor retire references an out-of-range slot");
           anchor_by_slot[op.slot_e] = info;
+          anchor_slot_used[op.slot_e] = true;
         }
         c.local(QubitId::emitter(op.slot_e), Clifford1::h());
         break;
@@ -442,11 +466,11 @@ SubgraphCircuit synthesize_forward(const SubgraphSpec& spec,
       }
       case ReduceOpKind::swap_photon: {
         if (op.anchor) {
-          auto it = anchor_by_slot.find(op.slot_p);
-          EPG_CHECK(it != anchor_by_slot.end(),
+          EPG_CHECK(op.slot_p < anchor_by_slot.size() &&
+                        anchor_slot_used[op.slot_p],
                     "anchor swap without matching init");
-          it->second.vertex = op.p;
-          it->second.tail_begin = c.size();
+          anchor_by_slot[op.slot_p].vertex = op.p;
+          anchor_by_slot[op.slot_p].tail_begin = c.size();
         }
         c.emission(op.slot_p, op.p);
         c.local(QubitId::emitter(op.slot_p), Clifford1::h());
@@ -482,7 +506,8 @@ SubgraphCircuit synthesize_forward(const SubgraphSpec& spec,
     }
   }
 
-  for (auto& [slot, info] : anchor_by_slot) out.anchors.push_back(info);
+  for (std::uint32_t slot = 0; slot < anchor_by_slot.size(); ++slot)
+    if (anchor_slot_used[slot]) out.anchors.push_back(anchor_by_slot[slot]);
   std::sort(out.anchors.begin(), out.anchors.end(),
             [](const AnchorInfo& a, const AnchorInfo& b) {
               return std::tie(a.slot, a.tail_begin) <
@@ -511,11 +536,12 @@ std::uint32_t subgraph_ne_min(const Graph& g) {
       seen[s] = true;
       for (std::size_t h = 0; h < queue.size(); ++h) {
         bfs.push_back(queue[h]);
-        for (Vertex u : g.neighbors(queue[h]))
+        g.for_each_neighbor(queue[h], [&](Vertex u) {
           if (!seen[u]) {
             seen[u] = true;
             queue.push_back(u);
           }
+        });
       }
     }
   }
@@ -550,7 +576,8 @@ SubgraphCompileResult compile_subgraph(const SubgraphSpec& spec,
     warmup.init(lc_free);
     warmup.stop_at_first = large;
     {
-      const ReductionState root(spec, ne, cfg.dangler);
+      ReductionState root(spec, ne, cfg.dangler);
+      root.share_op_log(warmup.path);
       dfs(warmup, root, 0);
     }
     result.nodes_explored += warmup.nodes;
@@ -561,7 +588,8 @@ SubgraphCompileResult compile_subgraph(const SubgraphSpec& spec,
     ctx.best_cost = warmup.best_cost;
     ctx.candidates = std::move(warmup.candidates);
     if (cfg.max_lc_ops > 0 && !large) {
-      const ReductionState root(spec, ne, cfg.dangler);
+      ReductionState root(spec, ne, cfg.dangler);
+      root.share_op_log(ctx.path);
       dfs(ctx, root, 0);
       result.nodes_explored += ctx.nodes;
       result.memo_peak = std::max(result.memo_peak, ctx.memo_peak);

@@ -33,9 +33,11 @@ CoarseGraph coarse_from_graph(const Graph& g, const Executor& exec) {
   cg.adjncy.resize(cg.xadj[n]);
   cg.adjwgt.assign(cg.xadj[n], 1);
   exec.parallel_for(n, [&](std::size_t v) {
+    // Write straight into the row's slice (ascending word scan) instead of
+    // materializing a neighbors() vector per vertex.
     std::uint32_t slot = cg.xadj[v];
-    for (Vertex u : g.neighbors(static_cast<Vertex>(v)))
-      cg.adjncy[slot++] = u;  // neighbors() is sorted already
+    g.for_each_neighbor(static_cast<Vertex>(v),
+                        [&](Vertex u) { cg.adjncy[slot++] = u; });
   });
   return cg;
 }

@@ -1,0 +1,26 @@
+#include "graph/csr.hpp"
+
+namespace epg {
+
+void CsrView::build(const Graph& g, const Executor& exec) {
+  const std::size_t n = g.vertex_count();
+  n_ = n;
+  xadj_.assign(n + 1, 0);
+
+  // Degrees (parallel popcounts), serial prefix sum, then each row fills
+  // its own adjncy slice — the same deterministic two-sweep shape as
+  // coarse_from_graph, minus the weight arrays.
+  exec.parallel_for(n, [&](std::size_t v) {
+    xadj_[v + 1] =
+        static_cast<std::uint32_t>(g.degree(static_cast<Vertex>(v)));
+  });
+  for (std::size_t v = 0; v < n; ++v) xadj_[v + 1] += xadj_[v];
+  adjncy_.resize(xadj_[n]);
+  exec.parallel_for(n, [&](std::size_t v) {
+    Vertex* slot = adjncy_.data() + xadj_[v];
+    g.for_each_neighbor(static_cast<Vertex>(v),
+                        [&](Vertex u) { *slot++ = u; });
+  });
+}
+
+}  // namespace epg

@@ -1,0 +1,150 @@
+// CSR neighbor view + reusable kernel scratch.
+//
+// `Graph` stores adjacency as dense bitset rows, so every neighbor scan
+// costs O(n/64) words regardless of degree — fine for neighborhood
+// algebra (local complementation, absorption legality), ruinous for
+// whole-graph traversals on sparse instances, where n scans become
+// O(n^2/64). `CsrView` is the antidote: a one-shot O(n^2/64) build that
+// flattens the rows into offset + neighbor arrays, after which every
+// full traversal is O(n + m).
+//
+// The view is immutable and ASCENDING: row v lists v's neighbors in
+// increasing id order, exactly the order `Graph::for_each_neighbor`'s
+// word scan produces. Hot loops switched from the bitset to a CsrView
+// therefore visit identical elements in identical order — metrics,
+// digests and every downstream tie-break stay bit-identical (pinned by
+// tests/test_csr.cpp across all generator families).
+//
+// Lifetime rule: a CsrView is a snapshot. Any Graph mutation (add/remove
+// /toggle edge, isolate, local complementation) invalidates it; rebuild
+// or fall back to the bitset row for the mutated vertices. See
+// docs/architecture.md ("Memory discipline") for when each representation
+// wins.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/executor.hpp"
+
+namespace epg {
+
+class CsrView {
+ public:
+  CsrView() = default;
+  explicit CsrView(const Graph& g, const Executor& exec = Executor::serial()) {
+    build(g, exec);
+  }
+
+  /// (Re)build from `g`'s bitset rows. Buffers are reused across builds —
+  /// a view that lives in an arena never reallocates once warm. The
+  /// executor parallelizes the per-row fill (each row owns its output
+  /// slice, so the result is lane-count independent).
+  void build(const Graph& g, const Executor& exec = Executor::serial());
+
+  /// Drop to an empty view, keeping capacity for the next build.
+  void clear() {
+    n_ = 0;
+    xadj_.assign(1, 0);
+    adjncy_.clear();
+  }
+
+  std::size_t vertex_count() const { return n_; }
+  std::size_t edge_count() const { return adjncy_.size() / 2; }
+  std::size_t degree(Vertex v) const { return xadj_[v + 1] - xadj_[v]; }
+
+  /// Row v as a contiguous ascending [begin, end) range.
+  const Vertex* row_begin(Vertex v) const { return adjncy_.data() + xadj_[v]; }
+  const Vertex* row_end(Vertex v) const {
+    return adjncy_.data() + xadj_[v + 1];
+  }
+
+  /// Visit v's neighbors in ascending order — drop-in for
+  /// Graph::for_each_neighbor, O(deg v) instead of O(n/64).
+  template <typename Fn>
+  void for_each_neighbor(Vertex v, Fn&& fn) const {
+    const Vertex* end = row_end(v);
+    for (const Vertex* it = row_begin(v); it != end; ++it) fn(*it);
+  }
+
+  const std::vector<std::uint32_t>& xadj() const { return xadj_; }
+  const std::vector<Vertex>& adjncy() const { return adjncy_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint32_t> xadj_{0};  ///< n+1 row offsets
+  std::vector<Vertex> adjncy_;          ///< ascending per row
+};
+
+/// Timestamped dense accumulator over a small integer key space (part
+/// ids, cluster ids): add/get are O(1), clear is O(1) via an epoch bump
+/// instead of an O(domain) wipe, and the touched-key list makes sparse
+/// iteration possible. Replaces the per-move `unordered_map<key, weight>`
+/// tallies in the refinement kernels — same values, no hashing, no
+/// allocation after warm-up.
+class DenseAccumulator {
+ public:
+  /// Ensure the key domain covers [0, size) and start an empty tally.
+  void reset(std::size_t size) {
+    if (stamp_.size() < size) {
+      stamp_.resize(size, 0);
+      value_.resize(size, 0);
+    }
+    clear();
+  }
+
+  /// O(1): forget every tallied key (capacity untouched).
+  void clear() {
+    touched_.clear();
+    ++epoch_;
+  }
+
+  void add(std::uint32_t key, std::uint64_t w) {
+    if (stamp_[key] != epoch_) {
+      stamp_[key] = epoch_;
+      value_[key] = 0;
+      touched_.push_back(key);
+    }
+    value_[key] += w;
+  }
+
+  std::uint64_t get(std::uint32_t key) const {
+    return key < stamp_.size() && stamp_[key] == epoch_ ? value_[key] : 0;
+  }
+
+  /// Keys with a tally this epoch, in first-touch order (callers needing
+  /// a canonical order sort this — it is at most `degree` long).
+  const std::vector<std::uint32_t>& touched() const { return touched_; }
+
+ private:
+  std::vector<std::uint64_t> stamp_;
+  std::vector<std::uint64_t> value_;
+  std::vector<std::uint32_t> touched_;
+  std::uint64_t epoch_ = 0;  ///< clear() pre-increments, so stamps start stale
+};
+
+/// Reusable scratch for the partition/refinement kernels: one arena per
+/// compile (or per level), handed down by reference so inner loops never
+/// allocate. Contents are garbage between uses — every consumer resets
+/// what it touches. Arena reuse must not change results; the invariant is
+/// pinned by tests/test_csr.cpp.
+struct ScratchArena {
+  CsrView csr;             ///< per-level neighbor view
+  DenseAccumulator conn;   ///< part/cluster connection tallies
+  std::vector<std::uint32_t> cands;  ///< candidate ids (sorted by callers)
+  std::vector<Vertex> verts;         ///< neighbor list scratch
+
+  /// Free all memory (a long-lived arena can be trimmed between batches).
+  void release() {
+    csr = CsrView();
+    conn = DenseAccumulator();
+    cands.clear();
+    cands.shrink_to_fit();
+    verts.clear();
+    verts.shrink_to_fit();
+  }
+};
+
+}  // namespace epg

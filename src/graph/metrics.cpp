@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/bitmat.hpp"
+#include "graph/csr.hpp"
 
 namespace epg {
 
@@ -64,9 +65,14 @@ std::size_t min_emitters_for_order(const Graph& g,
   return *std::max_element(h.begin(), h.end());
 }
 
-std::size_t emitter_bound_for_order(const Graph& g,
-                                    const std::vector<Vertex>& order) {
-  const std::size_t n = g.vertex_count();
+namespace {
+
+/// Shared core of the two emitter_bound_for_order overloads; `neighbors`
+/// is any callable(v, fn) visiting v's neighbors.
+template <typename NeighborFn>
+std::size_t emitter_bound_impl(std::size_t n,
+                               const std::vector<Vertex>& order,
+                               NeighborFn&& neighbors) {
   EPG_REQUIRE(order.size() == n,
               "emitter_bound_for_order: order must list every vertex once");
   std::vector<std::size_t> pos(n, 0);
@@ -76,7 +82,7 @@ std::size_t emitter_bound_for_order(const Graph& g,
   std::vector<std::int64_t> diff(n + 2, 0);
   for (Vertex v = 0; v < n; ++v) {
     std::size_t last = pos[v];
-    for (Vertex u : g.neighbors(v)) last = std::max(last, pos[u]);
+    neighbors(v, [&](Vertex u) { last = std::max(last, pos[u]); });
     if (last > pos[v]) {
       ++diff[pos[v] + 1];
       --diff[last + 1];
@@ -89,6 +95,24 @@ std::size_t emitter_bound_for_order(const Graph& g,
     best = std::max(best, static_cast<std::size_t>(open));
   }
   return best;
+}
+
+}  // namespace
+
+std::size_t emitter_bound_for_order(const Graph& g,
+                                    const std::vector<Vertex>& order) {
+  return emitter_bound_impl(g.vertex_count(), order,
+                            [&](Vertex v, auto&& fn) {
+                              g.for_each_neighbor(v, fn);
+                            });
+}
+
+std::size_t emitter_bound_for_order(const CsrView& csr,
+                                    const std::vector<Vertex>& order) {
+  return emitter_bound_impl(csr.vertex_count(), order,
+                            [&](Vertex v, auto&& fn) {
+                              csr.for_each_neighbor(v, fn);
+                            });
 }
 
 std::size_t max_degree(const Graph& g) {

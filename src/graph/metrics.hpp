@@ -44,6 +44,14 @@ std::size_t min_emitters_for_order(const Graph& g,
 std::size_t emitter_bound_for_order(const Graph& g,
                                     const std::vector<Vertex>& order);
 
+/// Same bound computed from a prebuilt CSR view: truly O(n + m) — the
+/// Graph overload's neighbor scans cost O(n^2/64) on the bitset rows,
+/// which dominates at the 50k+ scale where the bound replaces the exact
+/// height. Identical result to the Graph overload on the same topology.
+class CsrView;
+std::size_t emitter_bound_for_order(const CsrView& csr,
+                                    const std::vector<Vertex>& order);
+
 std::size_t max_degree(const Graph& g);
 double average_degree(const Graph& g);
 

@@ -18,12 +18,12 @@ std::vector<Vertex> bfs_order(const Graph& g, Vertex start) {
   seen[start] = true;
   for (std::size_t head = 0; head < queue.size(); ++head) {
     order.push_back(queue[head]);
-    for (Vertex u : g.neighbors(queue[head])) {
+    g.for_each_neighbor(queue[head], [&](Vertex u) {
       if (!seen[u]) {
         seen[u] = true;
         queue.push_back(u);
       }
-    }
+    });
   }
   for (Vertex v = 0; v < n; ++v)  // disconnected leftovers
     if (!seen[v]) order.push_back(v);

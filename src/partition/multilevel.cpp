@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <numeric>
 #include <tuple>
-#include <unordered_map>
 
 #include "common/assert.hpp"
 #include "graph/coarsen.hpp"
+#include "graph/csr.hpp"
 #include "graph/local_complement.hpp"
 
 namespace epg {
@@ -19,7 +19,8 @@ constexpr Vertex kUnassigned = Graph::kNoVertex;
 /// most strongly connected to among those with spare weight capacity; a
 /// cluster with no positive connection opens its own part (gluing
 /// unrelated clusters would not reduce the cut but would burn capacity).
-PartitionLabels pack_coarsest(const CoarseGraph& g, std::uint64_t cap) {
+PartitionLabels pack_coarsest(const CoarseGraph& g, std::uint64_t cap,
+                              ScratchArena& arena) {
   std::vector<Vertex> order(g.n);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](Vertex a, Vertex b) {
@@ -28,20 +29,29 @@ PartitionLabels pack_coarsest(const CoarseGraph& g, std::uint64_t cap) {
 
   PartitionLabels labels(g.n, kUnassigned);
   std::vector<std::uint64_t> part_weight;
-  std::vector<std::uint64_t> conn;  // connection weight per part
+  // Per-cluster connection tallies. The dense O(P) wipe the old
+  // `conn.assign(part_weight.size(), 0)` paid per cluster made the whole
+  // packing O(n * P); the accumulator clears in O(1) and only the parts
+  // actually adjacent to `c` are visited below (sorted ascending, so the
+  // smallest-id-wins tie-break of the old full scan is preserved).
+  DenseAccumulator& conn = arena.conn;
+  conn.reset(g.n);  // part ids are bounded by the cluster count
   for (Vertex c : order) {
-    conn.assign(part_weight.size(), 0);
+    conn.clear();
     for (std::uint32_t s = g.xadj[c]; s < g.xadj[c + 1]; ++s) {
       const std::uint32_t p = labels[g.adjncy[s]];
-      if (p != kUnassigned) conn[p] += g.adjwgt[s];
+      if (p != kUnassigned) conn.add(p, g.adjwgt[s]);
     }
+    arena.cands.assign(conn.touched().begin(), conn.touched().end());
+    std::sort(arena.cands.begin(), arena.cands.end());
     std::uint32_t best = kUnassigned;
     std::uint64_t best_conn = 0;
-    for (std::uint32_t p = 0; p < part_weight.size(); ++p) {
-      if (conn[p] == 0 || part_weight[p] + g.vwgt[c] > cap) continue;
-      if (best == kUnassigned || conn[p] > best_conn) {
+    for (std::uint32_t p : arena.cands) {
+      const std::uint64_t w = conn.get(p);
+      if (w == 0 || part_weight[p] + g.vwgt[c] > cap) continue;
+      if (best == kUnassigned || w > best_conn) {
         best = p;
-        best_conn = conn[p];
+        best_conn = w;
       }
     }
     if (best == kUnassigned) {
@@ -59,32 +69,35 @@ PartitionLabels pack_coarsest(const CoarseGraph& g, std::uint64_t cap) {
 /// the weighted cut and the part has weight capacity left. Deterministic:
 /// ascending vertex order, ties prefer the smaller part id.
 void refine_level(const CoarseGraph& g, PartitionLabels& labels,
-                  std::uint64_t cap, int passes) {
+                  std::uint64_t cap, int passes, ScratchArena& arena) {
   std::size_t num_parts = 0;
   for (std::uint32_t p : labels) num_parts = std::max<std::size_t>(num_parts, p + 1);
   std::vector<std::uint64_t> part_weight(num_parts, 0);
   for (Vertex v = 0; v < g.n; ++v) part_weight[labels[v]] += g.vwgt[v];
 
-  std::unordered_map<std::uint32_t, std::uint64_t> conn;
+  // Per-move tallies through the arena instead of a fresh unordered_map
+  // fill per vertex: no hashing, no rehash churn, O(1) clear.
+  DenseAccumulator& conn = arena.conn;
+  conn.reset(num_parts);
   for (int pass = 0; pass < passes; ++pass) {
     bool improved = false;
     for (Vertex v = 0; v < g.n; ++v) {
       const std::uint32_t from = labels[v];
       conn.clear();
       for (std::uint32_t s = g.xadj[v]; s < g.xadj[v + 1]; ++s)
-        conn[labels[g.adjncy[s]]] += g.adjwgt[s];
-      const std::uint64_t stay = conn.count(from) ? conn[from] : 0;
+        conn.add(labels[g.adjncy[s]], g.adjwgt[s]);
+      const std::uint64_t stay = conn.get(from);
       std::uint32_t best = from;
       std::uint64_t best_gain = 0;
       // Iterate candidate parts in ascending id for a stable tie-break.
-      std::vector<std::uint32_t> cands;
-      cands.reserve(conn.size());
-      for (const auto& [p, w] : conn)
+      std::vector<std::uint32_t>& cands = arena.cands;
+      cands.clear();
+      for (std::uint32_t p : conn.touched())
         if (p != from) cands.push_back(p);
       std::sort(cands.begin(), cands.end());
       for (std::uint32_t p : cands) {
         if (part_weight[p] + g.vwgt[v] > cap) continue;
-        const std::uint64_t w = conn[p];
+        const std::uint64_t w = conn.get(p);
         if (w > stay && w - stay > best_gain) {
           best = p;
           best_gain = w - stay;
@@ -141,13 +154,18 @@ void merge_parts(const CoarseGraph& g, PartitionLabels& labels,
 /// loop terminates) and recorded in `lc_sequence`.
 bool lc_refine_pass(Graph& t, const PartitionLabels& labels,
                     std::vector<Vertex>& lc_sequence,
-                    const LcPartitionConfig& cfg) {
+                    const LcPartitionConfig& cfg, ScratchArena& arena) {
   bool improved = false;
+  // Neighbor lists come from the live bitset rows (an accepted LC rewires
+  // N(v), so a prebuilt CSR snapshot would go stale mid-pass) but land in
+  // one reused arena buffer instead of a fresh vector per vertex.
+  std::vector<Vertex>& nb = arena.verts;
   for (Vertex v = 0; v < t.vertex_count(); ++v) {
     if (lc_sequence.size() >= cfg.max_lc_ops) break;
     const std::size_t d = t.degree(v);
     if (d < 2 || d > cfg.multilevel_lc_degree_cap) continue;
-    const std::vector<Vertex> nb = t.neighbors(v);
+    nb.clear();
+    t.for_each_neighbor(v, [&](Vertex u) { nb.push_back(u); });
     long delta = 0;
     for (std::size_t i = 0; i < nb.size(); ++i)
       for (std::size_t j = i + 1; j < nb.size(); ++j) {
@@ -184,18 +202,24 @@ class MultilevelStrategy final : public PartitionStrategy {
     opt.seed = cfg.seed;
     const CoarsenHierarchy hier = coarsen_to_floor(g, opt, exec);
 
+    // One scratch arena serves every packing/refinement kernel across all
+    // levels: tally buffers warm up once and are reused level to level.
+    ScratchArena arena;
+
     // Per-level polish: move sweeps, then part merging (moves can never
     // fuse two underfull parts), then one more move sweep to clean up
     // the merged boundaries.
     const auto polish = [&](const CoarseGraph& level,
                             PartitionLabels& labels) {
-      refine_level(level, labels, cfg.g_max, cfg.multilevel_refine_passes);
+      refine_level(level, labels, cfg.g_max, cfg.multilevel_refine_passes,
+                   arena);
       merge_parts(level, labels, cfg.g_max, cfg.seed);
-      refine_level(level, labels, cfg.g_max, cfg.multilevel_refine_passes);
+      refine_level(level, labels, cfg.g_max, cfg.multilevel_refine_passes,
+                   arena);
     };
 
     // 2. Initial packing + polish on the coarsest graph.
-    PartitionLabels labels = pack_coarsest(hier.coarsest(), cfg.g_max);
+    PartitionLabels labels = pack_coarsest(hier.coarsest(), cfg.g_max, arena);
     polish(hier.coarsest(), labels);
 
     // 3. Uncoarsen: project one level down, polish, repeat. maps[i]
@@ -212,9 +236,9 @@ class MultilevelStrategy final : public PartitionStrategy {
     std::vector<Vertex> lc_sequence;
     if (cfg.max_lc_ops > 0) {
       for (int round = 0; round < cfg.multilevel_refine_passes; ++round) {
-        const bool lc = lc_refine_pass(t, labels, lc_sequence, cfg);
+        const bool lc = lc_refine_pass(t, labels, lc_sequence, cfg, arena);
         if (lc) refine_level(coarse_from_graph(t, exec), labels,
-                             cfg.g_max, 1);
+                             cfg.g_max, 1, arena);
         if (!lc) break;
       }
     }

@@ -5,12 +5,12 @@
 #include <mutex>
 #include <numeric>
 #include <tuple>
-#include <unordered_map>
 
 #include "common/assert.hpp"
 #include "common/stopwatch.hpp"
 #include "graph/local_complement.hpp"
 #include "partition/multilevel.hpp"
+#include "partition/seen_set.hpp"
 #include "solver/anneal.hpp"
 
 namespace epg {
@@ -26,39 +26,6 @@ std::uint64_t derive_seed(std::uint64_t base, std::uint64_t a,
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
-
-/// Search-state dedup keyed on (fingerprint, edge count, labelled degree-
-/// sequence hash): a candidate is discarded only when all three match a
-/// seen graph, so a 64-bit Graph::fingerprint() collision alone can never
-/// silently prune a genuinely new candidate — while memory stays at a few
-/// words per candidate instead of retaining full graph copies across the
-/// whole search.
-class GraphSeenSet {
- public:
-  /// True when `g` is new; false when a matching graph was seen before.
-  bool insert(const Graph& g) {
-    std::vector<Confirm>& bucket = buckets_[g.fingerprint()];
-    const Confirm key{g.edge_count(), degree_sequence_hash(g)};
-    for (const Confirm& existing : bucket)
-      if (existing == key) return false;
-    bucket.push_back(key);
-    return true;
-  }
-
- private:
-  using Confirm = std::pair<std::size_t, std::uint64_t>;
-
-  static std::uint64_t degree_sequence_hash(const Graph& g) {
-    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
-    for (Vertex v = 0; v < g.vertex_count(); ++v) {
-      h ^= g.degree(v) + 0x100;
-      h *= 0x100000001b3ULL;
-    }
-    return h;
-  }
-
-  std::unordered_map<std::uint64_t, std::vector<Confirm>> buckets_;
-};
 
 // ---- beam ------------------------------------------------------------------
 
@@ -82,6 +49,10 @@ class BeamStrategy final : public PartitionStrategy {
     std::vector<Entry> beam;
     beam.push_back(best);
     GraphSeenSet seen;
+    // One step proposes at most beam_width * n candidates; pre-size for a
+    // step's worth (capped — a long search grows by doubling from there).
+    seen.reserve(std::min<std::size_t>(
+        1 + cfg.beam_width * g.vertex_count(), std::size_t{1} << 20));
     seen.insert(g);
 
     for (std::size_t step = 0; step < cfg.max_lc_ops; ++step) {

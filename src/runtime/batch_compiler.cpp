@@ -306,7 +306,11 @@ std::vector<JobResult> BatchCompiler::run(
   std::vector<JobResult> results(jobs.size());
 
   // Key every job and group exact duplicates behind a representative.
+  // Pre-size both maps from the batch size (the worst case is every job
+  // distinct) so keying never rehashes mid-batch.
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+  groups.reserve(jobs.size());
+  cache_.reserve(cache_.size() + jobs.size());
   std::vector<std::size_t> to_compile;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     Keyed& k = keyed[i];

@@ -43,7 +43,8 @@ std::uint64_t canonical_graph_hash(const Graph& g, std::size_t rounds) {
   for (std::size_t round = 0; round < rounds; ++round) {
     for (Vertex v = 0; v < n; ++v) {
       neighbor_colors.clear();
-      for (Vertex u : g.neighbors(v)) neighbor_colors.push_back(color[u]);
+      g.for_each_neighbor(
+          v, [&](Vertex u) { neighbor_colors.push_back(color[u]); });
       std::sort(neighbor_colors.begin(), neighbor_colors.end());
       HashStream h;
       h.mix(color[v]);

@@ -39,15 +39,14 @@ PartitionLabels grow_seed_partition(const Graph& g, std::size_t k,
       // Pop one frontier vertex and claim an unassigned neighbor.
       bool grew = false;
       for (std::size_t f = 0; f < frontier[p].size() && !grew; ++f) {
-        for (Vertex u : g.neighbors(frontier[p][f])) {
-          if (labels[u] == k) {
+        g.for_each_neighbor(frontier[p][f], [&](Vertex u) {
+          if (!grew && labels[u] == k) {
             labels[u] = static_cast<std::uint32_t>(p);
             ++size[p];
             frontier[p].push_back(u);
             grew = true;
-            break;
           }
-        }
+        });
       }
       progress = progress || grew;
     }
@@ -74,10 +73,10 @@ bool refine_pass(const Graph& g, PartitionLabels& labels, std::size_t k,
   // most a few hundred in our workloads so this stays cheap).
   auto gain_of_move = [&](Vertex v, std::uint32_t to) {
     int internal = 0, external = 0;
-    for (Vertex u : g.neighbors(v)) {
+    g.for_each_neighbor(v, [&](Vertex u) {
       if (labels[u] == labels[v]) ++internal;
       if (labels[u] == to) ++external;
-    }
+    });
     return external - internal;  // cut delta = -(gain)
   };
 
@@ -106,10 +105,11 @@ bool refine_pass(const Graph& g, PartitionLabels& labels, std::size_t k,
     }
   }
 
-  // Pairwise swaps unlock moves blocked by the size cap.
+  // Pairwise swaps unlock moves blocked by the size cap. (Labels mutate
+  // inside the visit, the graph does not — the live row scan is safe.)
   for (Vertex v : order) {
-    for (Vertex u : g.neighbors(v)) {
-      if (labels[u] == labels[v]) continue;
+    g.for_each_neighbor(v, [&](Vertex u) {
+      if (labels[u] == labels[v]) return;
       const std::uint32_t pv = labels[v], pu = labels[u];
       const int before = static_cast<int>(cut_edge_count(g, labels));
       labels[v] = pu;
@@ -121,7 +121,7 @@ bool refine_pass(const Graph& g, PartitionLabels& labels, std::size_t k,
         labels[v] = pv;
         labels[u] = pu;
       }
-    }
+    });
   }
   return improved;
 }

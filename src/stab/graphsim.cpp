@@ -87,10 +87,12 @@ void GraphSim::local_complement(std::size_t v) {
   // |LC_v(G)> = U |G> with U = sqrt(X)^dag_v (x) S_{N(v)}; hence
   // |G> = U^dagger |LC_v(G)> and the VOPs absorb U^dagger on the right
   // (applied before the existing vop).
-  const auto nb = graph_.neighbors(static_cast<Vertex>(v));
+  nb_scratch_.clear();
+  graph_.for_each_neighbor(static_cast<Vertex>(v),
+                           [&](Vertex w) { nb_scratch_.push_back(w); });
   epg::local_complement(graph_, static_cast<Vertex>(v));
   vops_[v] = Clifford1::sqrt_x().then(vops_[v]);
-  for (Vertex w : nb) vops_[w] = Clifford1::sdg().then(vops_[w]);
+  for (Vertex w : nb_scratch_) vops_[w] = Clifford1::sdg().then(vops_[w]);
 }
 
 bool GraphSim::normalize_isolated(std::size_t q) {
@@ -124,17 +126,17 @@ bool GraphSim::reduce_vop(std::size_t a, std::size_t avoid) {
       local_complement(a);
       continue;
     }
-    // consume_u: LC at a neighbor multiplies S^dagger onto vop[a].
-    const auto nb = graph_.neighbors(static_cast<Vertex>(a));
-    if (nb.empty()) return normalize_isolated(a);
-    std::size_t partner = nb[0];
-    for (Vertex c : nb) {
-      if (c != avoid) {
-        partner = c;
-        break;
-      }
-    }
-    local_complement(partner);
+    // consume_u: LC at a neighbor multiplies S^dagger onto vop[a]. The
+    // partner is the first neighbor other than `avoid` (or the first
+    // neighbor outright when `avoid` is the only one).
+    Vertex first = Graph::kNoVertex;
+    Vertex partner = Graph::kNoVertex;
+    graph_.for_each_neighbor(static_cast<Vertex>(a), [&](Vertex c) {
+      if (first == Graph::kNoVertex) first = c;
+      if (partner == Graph::kNoVertex && c != avoid) partner = c;
+    });
+    if (first == Graph::kNoVertex) return normalize_isolated(a);
+    local_complement(partner == Graph::kNoVertex ? first : partner);
   }
   return false;  // pathological ping-pong; caller falls back.
 }

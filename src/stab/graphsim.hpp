@@ -63,6 +63,10 @@ class GraphSim {
   Graph graph_;
   std::vector<Clifford1> vops_;
   std::size_t fallbacks_ = 0;
+  /// Neighborhood snapshot reused by local_complement (LC mutates the
+  /// graph before the VOPs absorb the compensation, so the list must be
+  /// taken first; the buffer keeps the hot CZ path allocation-free).
+  std::vector<Vertex> nb_scratch_;
 
   /// Make vop[a] diagonal using local complementations, preferring
   /// swapping partners other than `avoid`. Returns false when stuck (e.g.

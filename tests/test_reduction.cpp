@@ -8,7 +8,9 @@ namespace epg {
 namespace {
 
 TEST(Reduction, SwapTurnsPhotonIntoEmitter) {
-  ReductionState st(SubgraphSpec(make_linear_cluster(3)), 2);
+  const SubgraphSpec st_spec((make_linear_cluster(3)));
+
+  ReductionState st(st_spec, 2);
   EXPECT_EQ(st.photons_left(), 3u);
   EXPECT_TRUE(st.can_swap(1));
   st.swap_photon(1);
@@ -19,7 +21,9 @@ TEST(Reduction, SwapTurnsPhotonIntoEmitter) {
 }
 
 TEST(Reduction, SwapCapacityLimit) {
-  ReductionState st(SubgraphSpec(make_complete(4)), 1);
+  const SubgraphSpec st_spec((make_complete(4)));
+
+  ReductionState st(st_spec, 1);
   st.swap_photon(0);
   EXPECT_FALSE(st.can_swap(1));
   EXPECT_THROW(st.swap_photon(1), std::invalid_argument);
@@ -27,7 +31,9 @@ TEST(Reduction, SwapCapacityLimit) {
 
 TEST(Reduction, LeafAbsorption) {
   // Path 0-1-2: make 1 an emitter, absorb leaf 0.
-  ReductionState st(SubgraphSpec(make_linear_cluster(3)), 2);
+  const SubgraphSpec st_spec((make_linear_cluster(3)));
+
+  ReductionState st(st_spec, 2);
   st.swap_photon(1);
   EXPECT_TRUE(st.can_absorb_leaf(1, 0));
   EXPECT_TRUE(st.can_absorb_leaf(1, 2));   // 2 is a leaf on the emitter too
@@ -39,7 +45,9 @@ TEST(Reduction, LeafAbsorption) {
 
 TEST(Reduction, DanglerAbsorptionInheritsNeighbors) {
   // Path 0-1-2-3: emitter at 0 (dangling), absorbs 1 and inherits 2.
-  ReductionState st(SubgraphSpec(make_linear_cluster(4)), 2);
+  const SubgraphSpec st_spec((make_linear_cluster(4)));
+
+  ReductionState st(st_spec, 2);
   st.swap_photon(0);
   EXPECT_TRUE(st.can_absorb_dangler(0, 1));
   st.absorb_dangler(0, 1);
@@ -50,7 +58,9 @@ TEST(Reduction, DanglerAbsorptionInheritsNeighbors) {
 
 TEST(Reduction, TwinAbsorption) {
   // C4 0-1-2-3: 0 and 2 share neighborhood {1,3}.
-  ReductionState st(SubgraphSpec(make_ring(4)), 2);
+  const SubgraphSpec st_spec((make_ring(4)));
+
+  ReductionState st(st_spec, 2);
   st.swap_photon(0);
   EXPECT_TRUE(st.can_absorb_twin(0, 2));
   st.absorb_twin(0, 2);
@@ -60,7 +70,9 @@ TEST(Reduction, TwinAbsorption) {
 }
 
 TEST(Reduction, DisconnectCostsTracked) {
-  ReductionState st(SubgraphSpec(make_linear_cluster(2)), 2);
+  const SubgraphSpec st_spec((make_linear_cluster(2)));
+
+  ReductionState st(st_spec, 2);
   st.swap_photon(0);
   st.swap_photon(1);
   EXPECT_TRUE(st.can_disconnect(0, 1));
@@ -72,7 +84,9 @@ TEST(Reduction, DisconnectCostsTracked) {
 }
 
 TEST(Reduction, AutoRetireFreesSlotForReuse) {
-  ReductionState st(SubgraphSpec(make_linear_cluster(3)), 1);
+  const SubgraphSpec st_spec((make_linear_cluster(3)));
+
+  ReductionState st(st_spec, 1);
   st.swap_photon(2);
   st.absorb_dangler(2, 1);
   st.absorb_leaf(2, 0);  // emitter isolates -> auto retire
@@ -211,12 +225,16 @@ TEST(Reduction, LocalComplementRules) {
 }
 
 TEST(Reduction, FinalizeRequiresReduced) {
-  ReductionState st(SubgraphSpec(make_ring(4)), 2);
+  const SubgraphSpec st_spec((make_ring(4)));
+
+  ReductionState st(st_spec, 2);
   EXPECT_THROW(st.finalize(), std::invalid_argument);
 }
 
 TEST(Reduction, HashDistinguishesStates) {
-  ReductionState a(SubgraphSpec(make_ring(5)), 2);
+  const SubgraphSpec a_spec((make_ring(5)));
+
+  ReductionState a(a_spec, 2);
   ReductionState b = a;
   b.swap_photon(0);
   EXPECT_NE(a.state_hash(), b.state_hash());
@@ -224,7 +242,9 @@ TEST(Reduction, HashDistinguishesStates) {
 
 TEST(Reduction, IsolatedPhotonSwapInstantRetire) {
   Graph g(2);  // two isolated vertices
-  ReductionState st(SubgraphSpec(std::move(g)), 1);
+  const SubgraphSpec st_spec((std::move(g)));
+
+  ReductionState st(st_spec, 1);
   st.swap_photon(0);
   EXPECT_EQ(st.active_emitters(), 0u);  // retired immediately
   st.swap_photon(1);
