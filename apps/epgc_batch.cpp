@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "cli_common.hpp"
+#include "common/compile_spec.hpp"
 #include "graph/generators.hpp"
 #include "io/graph_io.hpp"
 #include "metrics/report.hpp"
@@ -172,68 +173,38 @@ epg::Graph generate_graph(const std::string& family,
   throw ManifestError("unknown generator family '" + family + "'");
 }
 
-epg::HardwareModel hardware_by_name(const std::string& name) {
-  using epg::HardwareModel;
-  if (name == "quantum_dot" || name == "qd")
-    return HardwareModel::quantum_dot();
-  if (name == "nv") return HardwareModel::nv_center();
-  if (name == "siv") return HardwareModel::siv_center();
-  if (name == "rydberg") return HardwareModel::rydberg();
-  throw ManifestError("unknown hardware model '" + name + "'");
+// Keys consumed by the graph source (generator parameters + relabeling),
+// not by the compile configuration. Everything else must be a CompileSpec
+// knob — a typo'd key is an error, never a silently-ignored default.
+bool is_source_key(const std::string& key) {
+  static const std::set<std::string> keys = {
+      "n",     "gseed", "rows",   "cols",  "deg",     "alpha",
+      "beta",  "p",     "m",      "branch", "depth",  "shuffle"};
+  return keys.count(key) > 0;
 }
 
 epg::CompileJob make_job(const std::string& label, const std::string& source,
                          const std::map<std::string, std::string>& kv,
                          const std::string& default_strategy) {
   using namespace epg;
-  CompileJob job;
-  job.label = label;
-  if (source.rfind("gen:", 0) == 0) {
-    job.graph = generate_graph(source.substr(4), kv);
-  } else {
-    job.graph = load_graph_file(source);
+  // All result-relevant knobs flow through the shared CompileSpec — the
+  // same parse/defaults path as epgc_compile flags and the service's JSON
+  // spec keys ('-' and '_' spellings both accepted).
+  CompileSpec spec;
+  spec.strategy = default_strategy;
+  for (const auto& [key, value] : kv) {
+    if (is_source_key(key)) continue;
+    if (!is_compile_spec_key(key))
+      throw ManifestError("unknown job key '" + key + "'");
+    apply_compile_spec_key(spec, key, value);
   }
-  if (kv.count("shuffle") > 0)
-    job.graph = shuffle_labels(job.graph, parse_u64(kv, "shuffle", 0));
 
-  const auto compiler_it = kv.find("compiler");
-  const std::string compiler =
-      compiler_it == kv.end() ? "framework" : compiler_it->second;
-  const auto hw_it = kv.find("hw");
-  const HardwareModel hw =
-      hardware_by_name(hw_it == kv.end() ? "quantum_dot" : hw_it->second);
-  const bool verify = parse_u64(kv, "verify", 1) != 0;
-  if (compiler == "framework") {
-    job.kind = CompilerKind::framework;
-    job.framework.hw = hw;
-    job.framework.subgraph.hw = hw;
-    job.framework.partition.g_max = parse_u64(kv, "gmax", 7);
-    job.framework.partition.max_lc_ops = parse_u64(kv, "lc", 15);
-    job.framework.partition.time_budget_ms =
-        parse_double(kv, "budget-ms", 800.0);
-    const auto strategy_it = kv.find("strategy");
-    job.framework.partition.strategy =
-        strategy_it == kv.end() ? default_strategy : strategy_it->second;
-    job.framework.partition.coarsen_floor =
-        parse_u64(kv, "coarsen-floor", 192);
-    const auto inner_it = kv.find("multilevel-inner");
-    if (inner_it != kv.end())
-      job.framework.partition.multilevel_inner = inner_it->second;
-    job.framework.ne_limit_factor = parse_double(kv, "ne-factor", 1.5);
-    job.framework.ne_limit_override =
-        static_cast<std::uint32_t>(parse_u64(kv, "ne", 0));
-    job.framework.seed = parse_u64(kv, "seed", 1);
-    job.framework.verify_seeds = verify ? 2 : 0;
-  } else if (compiler == "baseline") {
-    job.kind = CompilerKind::baseline;
-    job.baseline.hw = hw;
-    job.baseline.seed = parse_u64(kv, "seed", 1);
-    job.baseline.num_emitters = parse_u64(kv, "ne", 0);
-    job.baseline.verify = verify;
-  } else {
-    throw ManifestError("unknown compiler '" + compiler + "'");
-  }
-  return job;
+  Graph graph = source.rfind("gen:", 0) == 0
+                    ? generate_graph(source.substr(4), kv)
+                    : load_graph_file(source);
+  if (kv.count("shuffle") > 0)
+    graph = shuffle_labels(graph, parse_u64(kv, "shuffle", 0));
+  return make_compile_job(spec, label, std::move(graph));
 }
 
 std::vector<epg::CompileJob> parse_manifest(

@@ -13,6 +13,7 @@
 #include "cli_common.hpp"
 #include "circuit/render.hpp"
 #include "circuit/serialize.hpp"
+#include "common/compile_spec.hpp"
 #include "compile/baseline_compiler.hpp"
 #include "compile/framework.hpp"
 #include "io/graph_io.hpp"
@@ -59,14 +60,30 @@ options:
   --quiet                 metrics only (suppress the banner)
 )";
 
-epg::HardwareModel hardware_by_name(const epg::cli::Args& args) {
-  const std::string name = args.get("hw", "quantum_dot");
-  if (name == "quantum_dot" || name == "qd")
-    return epg::HardwareModel::quantum_dot();
-  if (name == "nv") return epg::HardwareModel::nv_center();
-  if (name == "siv") return epg::HardwareModel::siv_center();
-  if (name == "rydberg") return epg::HardwareModel::rydberg();
-  args.fail("unknown hardware model '" + name + "'");
+// Every result-relevant knob flows through the shared CompileSpec, so the
+// CLI, the batch manifest keys and the service JSON specs parse and
+// default identically (common/compile_spec.hpp). Flags whose spelling
+// differs from the canonical key are mapped here.
+epg::CompileSpec spec_from_args(const epg::cli::Args& args) {
+  epg::CompileSpec spec;
+  static constexpr std::pair<const char*, const char*> kFlagToKey[] = {
+      {"compiler", "compiler"},
+      {"hw", "hw"},
+      {"gmax", "gmax"},
+      {"lc", "lc"},
+      {"budget-ms", "budget_ms"},
+      {"partition-strategy", "strategy"},
+      {"coarsen-floor", "coarsen_floor"},
+      {"multilevel-inner", "multilevel_inner"},
+      {"ne-factor", "ne_factor"},
+      {"ne", "ne"},
+      {"seed", "seed"},
+  };
+  for (const auto& [flag, key] : kFlagToKey)
+    if (args.has(flag))
+      epg::apply_compile_spec_key(spec, key, args.get(flag, ""));
+  if (args.has("no-verify")) spec.verify = false;
+  return spec;
 }
 
 void print_stats(const epg::CircuitStats& s, std::size_t ne_limit) {
@@ -96,7 +113,18 @@ int main(int argc, char** argv) {
     std::cout << "target: " << target.vertex_count() << " photons, "
               << target.edge_count() << " entanglement bonds\n";
 
-  const std::string compiler = args.get("compiler", "framework");
+  CompileSpec spec;
+  CompileJob job;
+  try {
+    spec = spec_from_args(args);
+    job = make_compile_job(spec, "cli", target);
+  } catch (const std::exception& e) {
+    args.fail(e.what());
+  }
+  // Execution shape, not a result knob: deliberately outside the spec (and
+  // the config fingerprint).
+  job.framework.inner_threads = args.get_u64("inner-threads", 0);
+
   std::unique_ptr<CompileResultStore> store;
   if (args.has("store-dir")) {
     StoreConfig scfg;
@@ -111,23 +139,8 @@ int main(int argc, char** argv) {
 
   Circuit circuit(0, 0);
   try {
-    if (compiler == "framework") {
-      FrameworkConfig cfg;
-      cfg.hw = hardware_by_name(args);
-      cfg.subgraph.hw = cfg.hw;
-      cfg.partition.g_max = args.get_u64("gmax", 7);
-      cfg.partition.max_lc_ops = args.get_u64("lc", 15);
-      cfg.partition.time_budget_ms = args.get_double("budget-ms", 800.0);
-      cfg.partition.strategy = args.get("partition-strategy", "beam");
-      cfg.partition.coarsen_floor = args.get_u64("coarsen-floor", 192);
-      cfg.partition.multilevel_inner =
-          args.get("multilevel-inner", "beam");
-      cfg.inner_threads = args.get_u64("inner-threads", 0);
-      cfg.ne_limit_factor = args.get_double("ne-factor", 1.5);
-      cfg.ne_limit_override =
-          static_cast<std::uint32_t>(args.get_u64("ne", 0));
-      cfg.seed = args.get_u64("seed", 1);
-      cfg.verify_seeds = args.has("no-verify") ? 0 : 2;
+    if (job.kind == CompilerKind::framework) {
+      const FrameworkConfig& cfg = job.framework;
       const std::uint64_t fp = config_fingerprint(cfg);
       std::optional<StoredResult> warm;
       if (store != nullptr)
@@ -169,12 +182,8 @@ int main(int argc, char** argv) {
           store->put(target, fp, CompilerKind::framework, sr);
         }
       }
-    } else if (compiler == "baseline") {
-      BaselineConfig cfg;
-      cfg.hw = hardware_by_name(args);
-      cfg.seed = args.get_u64("seed", 1);
-      cfg.num_emitters = args.get_u64("ne", 0);
-      cfg.verify = !args.has("no-verify");
+    } else {
+      const BaselineConfig& cfg = job.baseline;
       const std::uint64_t fp = config_fingerprint(cfg);
       std::optional<StoredResult> warm;
       if (store != nullptr)
@@ -202,8 +211,6 @@ int main(int argc, char** argv) {
           store->put(target, fp, CompilerKind::baseline, sr);
         }
       }
-    } else {
-      args.fail("unknown compiler '" + compiler + "'");
     }
   } catch (const std::exception& e) {
     std::cerr << "compilation failed: " << e.what() << '\n';
@@ -219,6 +226,6 @@ int main(int argc, char** argv) {
     out << serialize_circuit(circuit);
   }
   if (args.has("render"))
-    std::cout << render_schedule(circuit, hardware_by_name(args));
+    std::cout << render_schedule(circuit, hardware_by_name(spec.hw));
   return 0;
 }

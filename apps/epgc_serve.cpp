@@ -1,11 +1,14 @@
 // epgc-serve: long-lived compilation service.
 //
-// Serves the NDJSON protocol (docs/service.md) over stdin/stdout, or over
-// a Unix domain socket for concurrent clients. Every compile goes through
-// one shared BatchCompiler — the in-memory result cache stays warm across
-// requests — and, with --store-dir, through the persistent result store
-// shared with epgc_compile and epgc_batch, so a result compiled anywhere
-// is a disk read everywhere else.
+// Serves the NDJSON protocol (docs/service.md) over stdin/stdout, over a
+// Unix domain socket, or over TCP for remote clients and the epgc_cluster
+// front. Every compile goes through one shared BatchCompiler — the
+// in-memory result cache stays warm across requests — and, with
+// --store-dir, through the persistent result store shared with
+// epgc_compile and epgc_batch, so a result compiled anywhere is a disk
+// read everywhere else. SIGTERM/SIGINT request a draining shutdown: stop
+// accepting, answer everything already admitted, exit clean.
+#include <csignal>
 #include <iostream>
 
 #include "cli_common.hpp"
@@ -20,14 +23,18 @@ Long-lived graph-state compilation service (NDJSON request/response).
 Requests arrive one JSON object per line on stdin (or the socket):
   {"op":"compile","id":1,"graph":"<graph6>","seed":7,"circuit":true}
   {"op":"batch","id":2,"jobs":[{"graph":"..."},{"graph":"..."}]}
-  {"op":"stats","id":3}   {"op":"ping","id":4}   {"op":"shutdown","id":5}
+  {"op":"stats","id":3}   {"op":"health","id":4}
+  {"op":"ping","id":5}    {"op":"shutdown","id":6}
 Compile specs take the epgc_compile knobs (same defaults): compiler, hw,
 gmax, lc, ne_factor, ne, seed, budget_ms, strategy, coarsen_floor,
 multilevel_inner, verify, label, and deadline_ms (max admission wait).
-Responses echo "id" and carry "ok".
+Responses echo "id", carry "ok" and the protocol revision "proto";
+requests may pin "proto" and unknown majors are rejected structurally.
 
 options:
   --socket PATH     serve a Unix domain socket instead of stdin/stdout
+  --tcp HOST:PORT   serve TCP (PORT alone binds 127.0.0.1; port 0 picks an
+                    ephemeral port, printed as 'listening' on stderr)
   --store-dir DIR   persistent result store (shared with the other CLIs)
   --store-cap-mb N  LRU-evict the store beyond N MiB (default 0 = no cap)
   --jobs N          batch worker threads (default: hardware concurrency)
@@ -38,6 +45,15 @@ options:
                     across runs and identical to epgc_compile output
   --once            stream mode: answer one request, then exit
 )";
+
+epg::Service* g_service = nullptr;
+
+// Draining shutdown: stop accepting, answer what was already admitted,
+// return from the serve loop. Service::stop() is an atomic store, so this
+// is async-signal-safe.
+void on_signal(int) {
+  if (g_service != nullptr) g_service->stop();
+}
 
 }  // namespace
 
@@ -55,13 +71,35 @@ int main(int argc, char** argv) {
   cfg.max_queue = args.get_u64("max-queue", 64);
   cfg.default_deadline_ms = args.get_double("deadline-ms", 0.0);
   cfg.once = args.has("once");
-  if (cfg.once && args.has("socket"))
+  if (args.has("socket") && args.has("tcp"))
+    args.fail("--socket and --tcp are mutually exclusive");
+  if (cfg.once && (args.has("socket") || args.has("tcp")))
     args.fail("--once is stream-mode only");
 
   try {
     Service service(cfg);
+    g_service = &service;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
     if (args.has("socket"))
       return service.serve_socket(args.get("socket", ""));
+    if (args.has("tcp")) {
+      const std::string spec = args.get("tcp", "");
+      const std::size_t colon = spec.rfind(':');
+      const std::string host =
+          colon == std::string::npos ? "127.0.0.1" : spec.substr(0, colon);
+      const std::string port_text =
+          colon == std::string::npos ? spec : spec.substr(colon + 1);
+      int port = -1;
+      try {
+        port = std::stoi(port_text);
+      } catch (const std::exception&) {
+      }
+      if (port < 0 || port > 65535)
+        args.fail("--tcp needs HOST:PORT or PORT, got '" + spec + "'");
+      return service.serve_tcp(host.empty() ? "127.0.0.1" : host,
+                               static_cast<std::uint16_t>(port));
+    }
     return service.serve_stream(std::cin, std::cout);
   } catch (const std::exception& e) {
     std::cerr << "epgc_serve: " << e.what() << '\n';

@@ -27,7 +27,7 @@ import subprocess
 import sys
 
 CLIS = ("epgc_compile", "epgc_graphgen", "epgc_verify", "epgc_batch",
-        "epgc_fuzz", "epgc_serve")
+        "epgc_fuzz", "epgc_serve", "epgc_cluster")
 FLAG_RE = re.compile(r"--[a-zA-Z][a-zA-Z0-9-]*")
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 EXEMPT_FLAGS = {"--help", "--version"}  # shared parser, documented globally

@@ -2,7 +2,7 @@
 # Differential end-to-end check: epgc_serve must never drift from
 # epgc_compile.
 #
-# Three legs over every corpus entry (.epgc) in CORPUS_DIR:
+# Five legs over every corpus entry (.epgc) in CORPUS_DIR:
 #   * drift: each graph is compiled by epgc_compile (reference metrics +
 #     --epgc circuit) and through the service with DEFAULT budgets — the
 #     two run the exact same effective configuration, so metrics must
@@ -11,7 +11,11 @@
 #     requests must produce byte-identical NDJSON (deterministic
 #     responses carry no timings);
 #   * --once: the one-shot service path the nightly fuzz oracle uses must
-#     answer exactly like the long-lived loop.
+#     answer exactly like the long-lived loop;
+#   * cluster: the same requests through a 3-worker epgc_cluster must be
+#     byte-identical to the single-process responses (det1.ndjson);
+#   * cluster kill/respawn: same check with one worker SIGKILLed mid-run —
+#     the front must respawn it, redeliver, and still match byte-for-byte.
 #
 # Usage: ci/serve_e2e.sh BUILD_DIR CORPUS_DIR
 set -euo pipefail
@@ -75,6 +79,73 @@ head -1 "$WORK/requests.ndjson" | "$BUILD/epgc_serve" --deterministic --once \
   > "$WORK/once.ndjson"
 head -1 "$WORK/det1.ndjson" | diff - "$WORK/once.ndjson" \
   || { echo "serve-e2e: --once response drifted from serving loop" >&2; exit 1; }
+
+# Legs 4+5 (cluster): the sharded front must be indistinguishable, byte
+# for byte, from the single process — with and without a worker dying
+# mid-run. The client script drives the front over its Unix socket,
+# SIGKILLs one worker (pid learned from the front's health op) halfway
+# through when asked to, and checks the front reports the respawn.
+run_cluster_leg() {
+  local tag=$1 kill_flag=$2
+  "$BUILD/epgc_cluster" --workers 3 --deterministic \
+    --runtime-dir "$WORK/rt-$tag" --socket "$WORK/$tag.sock" \
+    2> "$WORK/$tag.log" &
+  local front_pid=$!
+  python3 - "$WORK" "$tag" "$kill_flag" <<'EOF'
+import json
+import os
+import pathlib
+import signal
+import socket
+import sys
+import time
+
+work, tag, do_kill = pathlib.Path(sys.argv[1]), sys.argv[2], sys.argv[3] == "kill"
+path = work / f"{tag}.sock"
+deadline = time.time() + 30
+while not path.exists():
+    if time.time() > deadline:
+        sys.exit(f"cluster-{tag}: front socket never appeared")
+    time.sleep(0.05)
+conn = socket.socket(socket.AF_UNIX)
+conn.connect(str(path))
+f = conn.makefile("rw")
+
+def ask(obj):
+    f.write(json.dumps(obj) + "\n")
+    f.flush()
+    return f.readline().rstrip("\n")
+
+requests = (work / "requests.ndjson").read_text().splitlines()
+responses = []
+for i, line in enumerate(requests):
+    if do_kill and i == len(requests) // 2:
+        # Learn a live worker pid from the front itself, then kill it.
+        health = json.loads(ask({"op": "health", "id": "__kill_probe__"}))
+        pid = next(w["pid"] for w in health["workers"]
+                   if w.get("up") and w.get("pid", -1) > 0)
+        os.kill(pid, signal.SIGKILL)
+    f.write(line + "\n")
+    f.flush()
+    responses.append(f.readline().rstrip("\n"))
+if do_kill:
+    stats = json.loads(ask({"op": "stats", "id": "__respawn_check__"}))
+    if stats.get("respawns", 0) < 1:
+        sys.exit(f"cluster-{tag}: worker killed but front reports no respawn")
+ask({"op": "shutdown", "id": "__drain__"})
+(work / f"{tag}.ndjson").write_text("".join(r + "\n" for r in responses))
+EOF
+  wait "$front_pid" \
+    || { echo "serve-e2e: cluster front ($tag) exited nonzero" >&2;
+         cat "$WORK/$tag.log" >&2; exit 1; }
+  diff "$WORK/$tag.ndjson" "$WORK/det1.ndjson" \
+    || { echo "serve-e2e: cluster ($tag) drifted from single-process bytes" >&2;
+         exit 1; }
+}
+
+run_cluster_leg cluster no-kill
+run_cluster_leg cluster-kill kill
+echo "serve-e2e: cluster legs byte-equal (3 workers, incl. kill/respawn)"
 
 python3 - "$WORK" <<'EOF'
 import json

@@ -1,0 +1,535 @@
+#include "cluster/cluster.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/build_info.hpp"
+#include "common/compile_spec.hpp"
+#include "common/json_value.hpp"
+#include "runtime/graph_hash.hpp"
+
+namespace epg {
+
+namespace {
+
+void sleep_ms(double ms) {
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<long>(ms * 1000.0)));
+}
+
+/// True when `resp` is a structured queue-full rejection. The substring
+/// pre-check is exact: a raw '"' cannot occur inside a JSON string value,
+/// so "queue_full" as a code can only be the code field.
+bool is_queue_full_response(const std::string& resp) {
+  if (resp.find(kErrQueueFull) == std::string::npos) return false;
+  try {
+    return JsonValue::parse(resp).get_string("code", "") == kErrQueueFull;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+ClusterFront::ClusterFront(ClusterConfig cfg)
+    : cfg_(std::move(cfg)), ring_(cfg_.workers, cfg_.ring_replicas) {
+  EPG_REQUIRE(cfg_.workers > 0, "cluster needs at least one worker");
+  EPG_REQUIRE(!cfg_.worker_bin.empty(), "cluster needs a worker binary");
+}
+
+ClusterFront::~ClusterFront() {
+  stop();
+  if (started_.load()) shutdown_workers();
+}
+
+// ---- worker lifecycle ------------------------------------------------------
+
+bool ClusterFront::spawn_locked(Worker& w, std::string& err) {
+  ::unlink(w.socket_path.c_str());
+  std::vector<std::string> arg_strings = {cfg_.worker_bin, "--socket",
+                                          w.socket_path};
+  arg_strings.insert(arg_strings.end(), cfg_.worker_args.begin(),
+                     cfg_.worker_args.end());
+  std::vector<char*> argv;
+  argv.reserve(arg_strings.size() + 1);
+  for (std::string& s : arg_strings) argv.push_back(s.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    err = std::string("fork(): ") + std::strerror(errno);
+    return false;
+  }
+  if (pid == 0) {
+    // Child: workers own no stdin; stdout/stderr are inherited so worker
+    // diagnostics surface in the front's log.
+    const int devnull = ::open("/dev/null", O_RDONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, 0);
+      ::close(devnull);
+    }
+    ::execvp(argv[0], argv.data());
+    std::perror("epgc_cluster: exec worker");
+    ::_exit(127);
+  }
+
+  // Parent: the worker is up once its socket accepts a connection.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<long>(cfg_.spawn_wait_ms));
+  while (std::chrono::steady_clock::now() < deadline) {
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) {
+      err = "worker " + std::to_string(w.index) + " exited during startup";
+      return false;
+    }
+    std::string connect_err;
+    const int fd = connect_unix(w.socket_path, connect_err);
+    if (fd >= 0) {
+      w.pid = pid;
+      w.conn = LineConn(fd);
+      return true;
+    }
+    sleep_ms(10.0);
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+  err = "worker " + std::to_string(w.index) + " did not bind " +
+        w.socket_path + " within " + std::to_string(cfg_.spawn_wait_ms) +
+        " ms";
+  return false;
+}
+
+void ClusterFront::respawn_locked(Worker& w) {
+  if (w.pid > 0) {
+    ::kill(w.pid, SIGKILL);
+    ::waitpid(w.pid, nullptr, 0);
+  }
+  w.pid = -1;
+  w.conn.close();
+  w.last_health.clear();
+  if (workers_down_.load()) return;  // draining: stay down
+  std::string err;
+  if (spawn_locked(w, err)) {
+    respawns_.fetch_add(1);
+  } else {
+    std::cerr << "epgc_cluster: respawn failed: " << err << '\n';
+  }
+}
+
+void ClusterFront::start() {
+  if (started_.exchange(true)) return;
+  std::filesystem::create_directories(cfg_.runtime_dir);
+  for (std::size_t i = 0; i < cfg_.workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->index = i;
+    w->socket_path =
+        cfg_.runtime_dir + "/worker-" + std::to_string(i) + ".sock";
+    workers_.push_back(std::move(w));
+  }
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->mutex);
+    std::string err;
+    if (!spawn_locked(*w, err)) throw std::runtime_error(err);
+  }
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+void ClusterFront::monitor_loop() {
+  // Liveness supervision: reap + respawn dead workers, and ride the same
+  // `health` verb external load balancers use. try_lock everywhere — a
+  // worker whose mutex is held is mid-request, which is proof of life,
+  // and probing must never stall the request path.
+  while (!workers_down_.load()) {
+    sleep_ms(cfg_.probe_interval_ms);
+    if (workers_down_.load()) break;
+    for (auto& wp : workers_) {
+      Worker& w = *wp;
+      std::unique_lock<std::mutex> lock(w.mutex, std::try_to_lock);
+      if (!lock.owns_lock()) continue;
+      if (w.pid > 0) {
+        int status = 0;
+        if (::waitpid(w.pid, &status, WNOHANG) == w.pid) {
+          w.pid = -1;  // already reaped; respawn must not re-kill
+          respawn_locked(w);
+        }
+      }
+      if (w.pid < 0 || !w.conn.valid()) {
+        respawn_locked(w);
+        if (w.pid < 0) continue;
+      }
+      if (!w.conn.write_line(R"({"op":"health","id":"__probe__"})")) {
+        respawn_locked(w);
+        continue;
+      }
+      std::string resp;
+      if (!w.conn.read_line(
+              resp, static_cast<int>(cfg_.probe_timeout_ms))) {
+        respawn_locked(w);
+        continue;
+      }
+      w.last_health = resp;
+    }
+  }
+}
+
+void ClusterFront::shutdown_workers() {
+  if (workers_down_.exchange(true)) return;
+  if (monitor_.joinable()) monitor_.join();
+  for (auto& wp : workers_) {
+    Worker& w = *wp;
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (w.pid > 0) {
+      // Polite first: the protocol shutdown drains the worker cleanly.
+      if (w.conn.valid() &&
+          w.conn.write_line(R"({"op":"shutdown","id":"__drain__"})")) {
+        std::string resp;
+        w.conn.read_line(resp, 2000);
+      }
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(5000);
+      bool exited = false;
+      while (std::chrono::steady_clock::now() < deadline) {
+        int status = 0;
+        if (::waitpid(w.pid, &status, WNOHANG) == w.pid) {
+          exited = true;
+          break;
+        }
+        sleep_ms(20.0);
+      }
+      if (!exited) {
+        ::kill(w.pid, SIGKILL);
+        ::waitpid(w.pid, nullptr, 0);
+      }
+    }
+    w.conn.close();
+    ::unlink(w.socket_path.c_str());
+    w.pid = -1;
+  }
+}
+
+pid_t ClusterFront::worker_pid(std::size_t i) const {
+  if (i >= workers_.size()) return -1;
+  std::lock_guard<std::mutex> lock(workers_[i]->mutex);
+  return workers_[i]->pid;
+}
+
+// ---- request path ----------------------------------------------------------
+
+std::string ClusterFront::forward(std::size_t worker,
+                                  const std::string& line) {
+  Worker& w = *workers_[worker];
+  std::lock_guard<std::mutex> lock(w.mutex);
+  for (std::size_t attempt = 0; attempt < cfg_.delivery_attempts;
+       ++attempt) {
+    if (attempt > 0) sleep_ms(cfg_.retry_backoff_ms);
+    if (w.pid < 0 || !w.conn.valid()) {
+      respawn_locked(w);
+      if (w.pid < 0) continue;
+    }
+    if (!w.conn.write_line(line)) {
+      respawn_locked(w);
+      continue;
+    }
+    std::string resp;
+    if (!w.conn.read_line(resp)) {
+      // Worker died mid-request (the CI kill leg exercises exactly this):
+      // respawn and redeliver. Compiles are pure functions of the request,
+      // so redelivery can change at most the result's cache tier.
+      respawn_locked(w);
+      continue;
+    }
+    // Worker-side backpressure: bounded retry with backoff, then pass the
+    // rejection through so the client sees the pressure.
+    bool broken = false;
+    for (std::size_t retry = 0;
+         retry < cfg_.queue_full_retries && is_queue_full_response(resp);
+         ++retry) {
+      sleep_ms(cfg_.retry_backoff_ms * static_cast<double>(retry + 1));
+      if (!w.conn.write_line(line) || !w.conn.read_line(resp)) {
+        broken = true;
+        break;
+      }
+    }
+    if (broken) {
+      respawn_locked(w);
+      continue;
+    }
+    return resp;
+  }
+  errors_.fetch_add(1);
+  return error_response(extract_request_id(line), kErrWorkerFailed,
+                        "worker " + std::to_string(worker) +
+                            " unavailable after " +
+                            std::to_string(cfg_.delivery_attempts) +
+                            " delivery attempts");
+}
+
+std::string ClusterFront::route_and_forward(const std::string& line) {
+  // Compile/batch requests route by labelled-graph hash — the same graph
+  // always lands on the same worker, preserving single-process cache
+  // progression per graph. Anything unroutable (malformed JSON, unknown
+  // op, undecodable graph) routes by line hash and is answered by the
+  // worker's parser, which renders exactly the bytes a single-process
+  // epgc_serve would.
+  std::optional<std::uint64_t> key;
+  try {
+    const JsonValue v = JsonValue::parse(line);
+    if (v.type() == JsonValue::Type::object) {
+      const std::string op = v.get_string("op", "");
+      if (op == "compile") {
+        key = labelled_graph_hash(graph_from_json_spec(v));
+      } else if (op == "batch") {
+        const JsonValue* jobs = v.find("jobs");
+        if (jobs != nullptr && !jobs->items().empty()) {
+          // One batch = one worker (its summary is a per-run contract);
+          // the combined hash keeps equal batches on equal workers.
+          HashStream h;
+          for (const JsonValue& job : jobs->items())
+            h.mix(labelled_graph_hash(graph_from_json_spec(job)));
+          key = h.digest();
+        }
+      }
+    }
+  } catch (const std::exception&) {
+    // unroutable: fall through to line-hash routing
+  }
+  const std::uint64_t route_key =
+      key ? *key : HashStream().mix(line).digest();
+  return forward(ring_.route(route_key), line);
+}
+
+std::string ClusterFront::handle_line(const std::string& line,
+                                      double queued_ms) {
+  requests_.fetch_add(1);
+  std::string op;
+  std::string id_json = "null";
+  double deadline = cfg_.default_deadline_ms;
+  std::optional<JsonValue> parsed;
+  try {
+    parsed = JsonValue::parse(line);
+  } catch (const std::exception&) {
+    // forwarded below; the worker's parser answers
+  }
+  if (parsed && parsed->type() == JsonValue::Type::object) {
+    const JsonValue* id = parsed->find("id");
+    if (id != nullptr) id_json = id->dump();
+    try {
+      op = parsed->get_string("op", "");
+      const double d = parsed->get_number("deadline_ms", 0.0);
+      if (d > 0.0) deadline = d;
+    } catch (const std::exception&) {
+      op.clear();  // wrong-typed op/deadline: the worker renders the error
+    }
+  }
+
+  // The deadline is charged against the front's queue wait, exactly like
+  // a single epgc_serve charges it against its own admission queue.
+  if (deadline > 0.0 && queued_ms > deadline) {
+    expired_.fetch_add(1);
+    errors_.fetch_add(1);
+    return error_response(id_json, kErrDeadline,
+                          "deadline exceeded: request queued " +
+                              std::to_string(queued_ms) + " ms, deadline " +
+                              std::to_string(deadline) + " ms");
+  }
+
+  const bool front_op =
+      op == "ping" || op == "stats" || op == "health" || op == "shutdown";
+  if (front_op) {
+    try {
+      check_request_proto(*parsed);
+    } catch (const UnsupportedProtoError& e) {
+      errors_.fetch_add(1);
+      return error_response(id_json, kErrUnsupportedProto, e.what());
+    } catch (const std::exception& e) {
+      errors_.fetch_add(1);
+      return error_response(id_json, kErrBadRequest, e.what());
+    }
+    ok_.fetch_add(1);
+    if (op == "ping") return pong_response(id_json);
+    if (op == "shutdown") {
+      stop_.store(true);
+      return shutdown_response(id_json);
+    }
+    if (op == "stats") return stats_response_line(id_json);
+    return health_response_line(id_json);
+  }
+
+  const std::string resp = route_and_forward(line);
+  // A raw '"' cannot occur inside a JSON string value, so this substring
+  // test reads the response's actual ok field.
+  if (resp.find("\"ok\":false") == std::string::npos)
+    ok_.fetch_add(1);
+  else
+    errors_.fetch_add(1);
+  return resp;
+}
+
+// ---- aggregated observability ---------------------------------------------
+
+std::string ClusterFront::stats_response_line(const std::string& id_json) {
+  // Live per-worker snapshots, summed into a cluster view; a worker that
+  // cannot answer contributes a failure placeholder instead of stalling
+  // the whole snapshot.
+  struct Totals {
+    std::uint64_t requests = 0, ok = 0, errors = 0, rejected = 0,
+                  expired = 0, jobs = 0, compiled = 0, cache_hits = 0,
+                  memory_hits = 0, store_hits = 0, dedup_hits = 0,
+                  failures = 0;
+  } agg;
+  std::vector<std::string> per_worker(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const std::string resp = forward(
+        i, R"({"op":"stats","id":"__stats__"})");
+    per_worker[i] = resp;
+    try {
+      const JsonValue v = JsonValue::parse(resp);
+      agg.requests += v.get_u64("requests", 0);
+      agg.ok += v.get_u64("ok_count", 0);
+      agg.errors += v.get_u64("errors", 0);
+      agg.rejected += v.get_u64("rejected", 0);
+      agg.expired += v.get_u64("expired", 0);
+      agg.jobs += v.get_u64("jobs", 0);
+      agg.compiled += v.get_u64("compiled", 0);
+      agg.cache_hits += v.get_u64("cache_hits", 0);
+      agg.memory_hits += v.get_u64("memory_hits", 0);
+      agg.store_hits += v.get_u64("store_hits", 0);
+      agg.dedup_hits += v.get_u64("dedup_hits", 0);
+      agg.failures += v.get_u64("failures", 0);
+    } catch (const std::exception&) {
+      // placeholder already carries the error response
+    }
+  }
+  LineServer* server = server_.load();
+  std::ostringstream os;
+  os << "{\"id\":" << id_json << ",\"proto\":\"" << proto_string()
+     << "\",\"op\":\"stats\",\"ok\":true,\"role\":\"front\""
+     << ",\"workers_configured\":" << workers_.size() << ",\"respawns\":"
+     << respawns_.load() << ",\"requests\":" << requests_.load()
+     << ",\"ok_count\":" << ok_.load() << ",\"errors\":" << errors_.load()
+     << ",\"rejected\":"
+     << transport_rejected_.load() +
+            (server != nullptr ? server->rejected() : 0)
+     << ",\"expired\":" << expired_.load() << ",\"aggregate\":{"
+     << "\"requests\":" << agg.requests << ",\"ok_count\":" << agg.ok
+     << ",\"errors\":" << agg.errors << ",\"rejected\":" << agg.rejected
+     << ",\"expired\":" << agg.expired << ",\"jobs\":" << agg.jobs
+     << ",\"compiled\":" << agg.compiled << ",\"cache_hits\":"
+     << agg.cache_hits << ",\"memory_hits\":" << agg.memory_hits
+     << ",\"store_hits\":" << agg.store_hits << ",\"dedup_hits\":"
+     << agg.dedup_hits << ",\"failures\":" << agg.failures
+     << "},\"workers\":[";
+  for (std::size_t i = 0; i < per_worker.size(); ++i) {
+    if (i) os << ',';
+    os << per_worker[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string ClusterFront::health_response_line(const std::string& id_json) {
+  const std::uint64_t uptime_ms = static_cast<std::uint64_t>(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  LineServer* server = server_.load();
+  std::ostringstream os;
+  os << "{\"id\":" << id_json << ",\"proto\":\"" << proto_string()
+     << "\",\"op\":\"health\",\"ok\":true,\"role\":\"front\""
+     << ",\"uptime_ms\":" << uptime_ms << ",\"queue_depth\":"
+     << (server != nullptr ? server->queue_depth() : 0) << ",\"max_queue\":"
+     << cfg_.max_queue << ",\"respawns\":" << respawns_.load()
+     << ",\"workers\":[";
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    Worker& w = *workers_[i];
+    if (i) os << ',';
+    std::unique_lock<std::mutex> lock(w.mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      // Mid-request: the mutex holder is talking to a live worker.
+      os << "{\"worker\":" << i << ",\"busy\":true,\"up\":true}";
+      continue;
+    }
+    os << "{\"worker\":" << i << ",\"busy\":false,\"up\":"
+       << (w.pid > 0 ? "true" : "false") << ",\"pid\":" << w.pid;
+    if (!w.last_health.empty()) os << ",\"probe\":" << w.last_health;
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+// ---- transports ------------------------------------------------------------
+
+int ClusterFront::serve_listener(int listen_fd) {
+  LineServerConfig scfg;
+  scfg.max_queue = cfg_.max_queue;
+  scfg.max_frame_bytes = cfg_.max_frame_bytes;
+  // One executor per worker: independent workers make progress in
+  // parallel, while the per-worker mutex keeps each worker serving one
+  // request at a time (admission order per worker == response order).
+  scfg.executors = workers_.size();
+  scfg.handler = [this](const std::string& line, double queued_ms) {
+    return handle_line(line, queued_ms);
+  };
+  scfg.reject_response = [this](const std::string& line) {
+    return error_response(extract_request_id(line), kErrQueueFull,
+                          "queue full (" + std::to_string(cfg_.max_queue) +
+                              " pending); retry later");
+  };
+  scfg.oversize_response = [this](const std::string& line) {
+    return error_response(extract_request_id(line), kErrOversizedFrame,
+                          "request line exceeds " +
+                              std::to_string(cfg_.max_frame_bytes) +
+                              " bytes");
+  };
+  LineServer server(scfg);
+  server_.store(&server);
+  const int rc = server.serve(listen_fd, stop_);
+  transport_rejected_.fetch_add(server.rejected());
+  server_.store(nullptr);
+  // The serve loop returned == every admitted request was answered; now
+  // drain the workers too (SIGTERM-clean restarts).
+  shutdown_workers();
+  return rc;
+}
+
+int ClusterFront::serve_socket(const std::string& path) {
+  start();
+  std::string err;
+  const int listen_fd = listen_unix(path, err);
+  if (listen_fd < 0) {
+    std::cerr << "epgc_cluster: " << err << '\n';
+    return 1;
+  }
+  const int rc = serve_listener(listen_fd);
+  ::unlink(path.c_str());
+  return rc;
+}
+
+int ClusterFront::serve_tcp(const std::string& host, std::uint16_t port) {
+  start();
+  std::string err;
+  std::uint16_t bound = 0;
+  const int listen_fd = listen_tcp(host, port, bound, err);
+  if (listen_fd < 0) {
+    std::cerr << "epgc_cluster: " << err << '\n';
+    return 1;
+  }
+  tcp_port_.store(bound);
+  std::cerr << "epgc_cluster: listening on " << host << ':' << bound
+            << '\n';
+  return serve_listener(listen_fd);
+}
+
+}  // namespace epg

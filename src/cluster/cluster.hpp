@@ -1,0 +1,161 @@
+// epgc_cluster — multi-worker front for the epgc_serve protocol.
+//
+// The front owns N worker `epgc_serve` processes (one Unix socket each,
+// spawned and supervised by the front) and fans client requests across
+// them by consistent-hashing the labelled-graph hash (cluster/hash_ring):
+// the same graph always lands on the same worker, so every worker's
+// in-memory cache progresses exactly as a single-process epgc_serve would
+// for its shard — which is what keeps cluster responses byte-identical to
+// single-process responses (the `ci/serve_e2e.sh` differential gate).
+// Workers may additionally share one on-disk CompileResultStore
+// (--store-dir); the store's rename-atomic writes make the sharing safe.
+//
+// Responsibilities, Katana-runtime style (ownership + supervision at the
+// front, computation at the workers):
+//   * routing    — compile/batch by graph hash; malformed or unknown-op
+//                  lines by line hash (the worker renders the same error
+//                  bytes a single process would); ping/stats/health/
+//                  shutdown answered by the front itself.
+//   * pass-through — a worker's response line is relayed verbatim, so the
+//                  front can never reformat (and thus never drift) a
+//                  compile result.
+//   * backpressure — the front's own admission queue is bounded, and a
+//                  worker's `queue_full` rejection is retried with backoff
+//                  a bounded number of times, then passed through to the
+//                  client: pressure is always visible, never buffered
+//                  without bound.
+//   * supervision — a monitor thread reaps dead workers and respawns
+//                  them; a request whose worker dies mid-flight is
+//                  retried on the respawned worker, then answered with
+//                  `worker_failed`. Health probes ride the same `health`
+//                  verb external load balancers use.
+//   * draining shutdown — SIGTERM/`shutdown` stops accepting, answers
+//                  everything already admitted, shuts workers down
+//                  cleanly, then returns.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/hash_ring.hpp"
+#include "service/protocol.hpp"
+#include "service/transport.hpp"
+
+namespace epg {
+
+struct ClusterConfig {
+  std::size_t workers = 3;
+  /// Path to the epgc_serve binary the front spawns.
+  std::string worker_bin = "epgc_serve";
+  /// Directory for worker sockets (created when absent).
+  std::string runtime_dir = "/tmp/epgc-cluster";
+  /// Extra epgc_serve flags appended to every worker's command line
+  /// (--deterministic, --store-dir, --inner-threads, ...).
+  std::vector<std::string> worker_args;
+  std::size_t ring_replicas = 64;
+  /// Front admission queue + frame cap (same discipline as epgc_serve).
+  std::size_t max_queue = 256;
+  std::size_t max_frame_bytes = std::size_t{64} << 20;
+  /// Applied to requests that carry no deadline_ms (0 = none).
+  double default_deadline_ms = 0.0;
+  /// Worker said queue_full: retry up to N times, backoff between tries,
+  /// then pass the rejection through to the client.
+  std::size_t queue_full_retries = 3;
+  double retry_backoff_ms = 25.0;
+  /// Worker connection died mid-request: respawn and retry, up to N total
+  /// delivery attempts, then answer worker_failed.
+  std::size_t delivery_attempts = 3;
+  /// Monitor cadence and per-probe response timeout.
+  double probe_interval_ms = 250.0;
+  double probe_timeout_ms = 5000.0;
+  /// How long to wait for a freshly spawned worker's socket.
+  double spawn_wait_ms = 10000.0;
+};
+
+class ClusterFront {
+ public:
+  explicit ClusterFront(ClusterConfig cfg);
+  ~ClusterFront();
+
+  /// Spawn and connect every worker, start the monitor thread. Throws
+  /// std::runtime_error when a worker cannot be brought up.
+  void start();
+
+  /// Serve the client-facing listener until a shutdown request, then
+  /// drain and shut the workers down. Returns 0 on clean shutdown, 1
+  /// when the listener cannot be created. Both call start() when it has
+  /// not run yet.
+  int serve_socket(const std::string& path);
+  int serve_tcp(const std::string& host, std::uint16_t port);
+  std::uint16_t tcp_port() const { return tcp_port_.load(); }
+
+  /// One request line in, one response line out — the routing core
+  /// (exposed for tests; transport executors call exactly this).
+  std::string handle_line(const std::string& line, double queued_ms = 0.0);
+
+  /// Request a draining shutdown (async-signal-safe).
+  void stop() { stop_.store(true); }
+  bool shutdown_requested() const { return stop_.load(); }
+
+  /// Send shutdown to every worker and reap the processes. Idempotent;
+  /// called automatically after the serve loop drains.
+  void shutdown_workers();
+
+  std::size_t workers() const { return workers_.size(); }
+  /// Current pid of worker `i` (-1 when down); test/CI kill legs use it.
+  pid_t worker_pid(std::size_t i) const;
+  /// Total respawns across all workers since start().
+  std::size_t respawns() const { return respawns_.load(); }
+
+ private:
+  struct Worker {
+    std::size_t index = 0;
+    std::string socket_path;
+    /// Guards pid/conn/last_health; held for the full request/response
+    /// round-trip so one worker serves one request at a time per front.
+    std::mutex mutex;
+    pid_t pid = -1;
+    LineConn conn;
+    std::string last_health;  ///< last successful probe response (JSON)
+  };
+
+  bool spawn_locked(Worker& w, std::string& err);
+  void respawn_locked(Worker& w);
+  /// Forward with queue-full retry + died-mid-flight respawn/retry.
+  std::string forward(std::size_t worker, const std::string& line);
+  std::string route_and_forward(const std::string& line);
+  std::string stats_response_line(const std::string& id_json);
+  std::string health_response_line(const std::string& id_json);
+  int serve_listener(int listen_fd);
+  void monitor_loop();
+
+  ClusterConfig cfg_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread monitor_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> workers_down_{false};
+  std::atomic<std::uint16_t> tcp_port_{0};
+  std::atomic<std::size_t> respawns_{0};
+  // Front-side counters (executors run concurrently, hence atomics).
+  std::atomic<std::size_t> requests_{0};
+  std::atomic<std::size_t> ok_{0};
+  std::atomic<std::size_t> errors_{0};
+  std::atomic<std::size_t> expired_{0};
+  std::atomic<std::size_t> transport_rejected_{0};
+  /// Live only while serve_listener runs (health op reads queue depth).
+  std::atomic<LineServer*> server_{nullptr};
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace epg

@@ -1,0 +1,36 @@
+#include "cluster/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "runtime/graph_hash.hpp"
+
+namespace epg {
+
+HashRing::HashRing(std::size_t workers, std::size_t replicas)
+    : workers_(workers) {
+  EPG_REQUIRE(workers > 0, "hash ring needs at least one worker");
+  EPG_REQUIRE(replicas > 0, "hash ring needs at least one replica");
+  points_.reserve(workers * replicas);
+  for (std::size_t w = 0; w < workers; ++w)
+    for (std::size_t r = 0; r < replicas; ++r)
+      points_.emplace_back(HashStream()
+                               .mix(std::uint64_t{0xC1C7})  // ring domain
+                               .mix(static_cast<std::uint64_t>(w))
+                               .mix(static_cast<std::uint64_t>(r))
+                               .digest(),
+                           static_cast<std::uint32_t>(w));
+  // Lexicographic: equal positions (vanishingly rare) tie-break on the
+  // lower worker index, keeping the ring fully deterministic.
+  std::sort(points_.begin(), points_.end());
+}
+
+std::size_t HashRing::route(std::uint64_t key) const {
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(),
+      std::make_pair(key, std::uint32_t{0}));
+  if (it == points_.end()) it = points_.begin();  // wrap past the top
+  return it->second;
+}
+
+}  // namespace epg

@@ -1,0 +1,43 @@
+// Consistent-hash ring for the epgc_cluster front.
+//
+// Each worker owns `replicas` pseudo-random points on a 64-bit ring;
+// a request key (the labelled-graph hash) is routed to the worker owning
+// the first point clockwise from the key. Properties the cluster relies
+// on:
+//
+//   * determinism — the ring is a pure function of (worker count,
+//     replicas), so every front instance, restart, and test routes the
+//     same graph to the same worker;
+//   * locality — equal graphs always land on the same worker, which is
+//     what keeps that worker's in-memory result cache progressing exactly
+//     like a single-process epgc_serve would for those graphs (the byte-
+//     identity differential gate depends on this);
+//   * stability — adding or removing one worker moves only ~1/N of the
+//     key space, the classic consistent-hashing bound (Karger et al.),
+//     same discipline as Katana's per-host ownership directory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace epg {
+
+class HashRing {
+ public:
+  /// Ring over worker indices [0, workers), `replicas` points per worker.
+  HashRing(std::size_t workers, std::size_t replicas = 64);
+
+  std::size_t workers() const { return workers_; }
+
+  /// The worker owning `key`: first ring point at or clockwise-after it.
+  std::size_t route(std::uint64_t key) const;
+
+ private:
+  std::size_t workers_ = 0;
+  /// (ring position, worker index), sorted by position.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
+};
+
+}  // namespace epg

@@ -3,14 +3,21 @@
 namespace epg {
 
 const BuildInfo& build_info() {
-  static const BuildInfo info{"0.4.0", 1};
+  static const BuildInfo info{"0.5.0", 1, 1, 1};
   return info;
+}
+
+std::string proto_string() {
+  const BuildInfo& info = build_info();
+  return std::to_string(info.proto_major) + "." +
+         std::to_string(info.proto_minor);
 }
 
 std::string version_line() {
   const BuildInfo& info = build_info();
   return std::string("epgc ") + info.version + " (result-schema " +
-         std::to_string(info.result_schema) + ")";
+         std::to_string(info.result_schema) + ", proto " + proto_string() +
+         ")";
 }
 
 }  // namespace epg

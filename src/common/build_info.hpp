@@ -15,11 +15,22 @@ namespace epg {
 struct BuildInfo {
   const char* version;  ///< tool-suite version (one per PR train)
   int result_schema;    ///< bump on any stored-result layout/semantic change
+  /// NDJSON wire-protocol revision (docs/service.md). Requests may carry a
+  /// "proto" field; a major the server does not speak is rejected with a
+  /// structured error, a different minor is fine (minors only add fields).
+  /// Bump the major on any incompatible wire change, the minor on
+  /// additive ones.
+  int proto_major;
+  int proto_minor;
 };
 
 const BuildInfo& build_info();
 
-/// "epgc 0.4.0 (result-schema 1)" — what every CLI prints for --version.
+/// "1.1" — the protocol revision every service response advertises.
+std::string proto_string();
+
+/// "epgc 0.5.0 (result-schema 1, proto 1.1)" — what every CLI prints for
+/// --version.
 std::string version_line();
 
 }  // namespace epg

@@ -3,10 +3,10 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "circuit/serialize.hpp"
+#include "common/build_info.hpp"
+#include "common/compile_spec.hpp"
 #include "common/json.hpp"
 #include "common/json_value.hpp"
-#include "io/graph_io.hpp"
 #include "metrics/report.hpp"
 #include "store/result_store.hpp"
 
@@ -14,88 +14,51 @@ namespace epg {
 
 namespace {
 
-HardwareModel hardware_by_name(const std::string& name) {
-  if (name == "quantum_dot" || name == "qd")
-    return HardwareModel::quantum_dot();
-  if (name == "nv") return HardwareModel::nv_center();
-  if (name == "siv") return HardwareModel::siv_center();
-  if (name == "rydberg") return HardwareModel::rydberg();
-  throw std::invalid_argument("unknown hardware model '" + name + "'");
-}
-
-Graph graph_from_spec(const JsonValue& spec) {
-  const JsonValue* g6 = spec.find("graph");
-  const JsonValue* edges = spec.find("edges");
-  if ((g6 != nullptr) == (edges != nullptr))
-    throw std::invalid_argument(
-        "compile spec needs exactly one of \"graph\" (graph6) or "
-        "\"edges\"");
-  if (g6 != nullptr) return read_graph6(g6->as_string());
-  const std::uint64_t n = spec.get_u64("n", 0);
-  if (n == 0)
-    throw std::invalid_argument("\"edges\" needs a vertex count \"n\"");
-  // Same ceiling as the graph6 reader: a client-supplied count must not
-  // be able to drive the long-lived service into a huge allocation.
-  if (n > 258047)
-    throw std::invalid_argument("\"n\" exceeds the 258047-vertex limit");
-  Graph graph(n);
-  for (const JsonValue& e : edges->items()) {
-    if (e.items().size() != 2)
-      throw std::invalid_argument("each edge must be a [u,v] pair");
-    const double u = e.items()[0].as_number();
-    const double v = e.items()[1].as_number();
-    if (u < 0 || v < 0 || u >= static_cast<double>(n) ||
-        v >= static_cast<double>(n) || u == v)
-      throw std::invalid_argument("edge endpoint out of range");
-    graph.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
-  }
-  return graph;
-}
-
-// Mirrors the epgc_compile flag set, defaults included, so a service
-// compile of a graph reproduces the CLI run bit-for-bit.
+// One spec -> one CompileJob through the shared CompileSpec path, so the
+// service can never drift from the epgc_compile / epgc_batch knob set.
 CompileJob job_from_spec(const JsonValue& spec, std::size_t index) {
-  CompileJob job;
-  job.label = spec.get_string("label", "req" + std::to_string(index));
-  job.graph = graph_from_spec(spec);
+  CompileSpec cs;
+  apply_compile_spec_json(cs, spec);
+  return make_compile_job(
+      cs, spec.get_string("label", "req" + std::to_string(index)),
+      graph_from_json_spec(spec));
+}
 
-  const std::string compiler = spec.get_string("compiler", "framework");
-  const HardwareModel hw =
-      hardware_by_name(spec.get_string("hw", "quantum_dot"));
-  const bool verify = spec.get_bool("verify", true);
-  if (compiler == "framework") {
-    job.kind = CompilerKind::framework;
-    job.framework.hw = hw;
-    job.framework.subgraph.hw = hw;
-    job.framework.partition.g_max =
-        static_cast<std::uint32_t>(spec.get_u64("gmax", 7));
-    job.framework.partition.max_lc_ops =
-        static_cast<std::uint32_t>(spec.get_u64("lc", 15));
-    job.framework.partition.time_budget_ms =
-        spec.get_number("budget_ms", 800.0);
-    job.framework.partition.strategy = spec.get_string("strategy", "beam");
-    job.framework.partition.coarsen_floor =
-        spec.get_u64("coarsen_floor", 192);
-    job.framework.partition.multilevel_inner =
-        spec.get_string("multilevel_inner", "beam");
-    job.framework.ne_limit_factor = spec.get_number("ne_factor", 1.5);
-    job.framework.ne_limit_override =
-        static_cast<std::uint32_t>(spec.get_u64("ne", 0));
-    job.framework.seed = spec.get_u64("seed", 1);
-    job.framework.verify_seeds = verify ? 2 : 0;
-  } else if (compiler == "baseline") {
-    job.kind = CompilerKind::baseline;
-    job.baseline.hw = hw;
-    job.baseline.seed = spec.get_u64("seed", 1);
-    job.baseline.num_emitters = spec.get_u64("ne", 0);
-    job.baseline.verify = verify;
-  } else {
-    throw std::invalid_argument("unknown compiler '" + compiler + "'");
-  }
-  return job;
+/// Every response opens with the echoed id and the server's protocol
+/// revision — one renderer so the two can never drift per-op.
+std::string response_head(const std::string& id_json) {
+  return "{\"id\":" + id_json + ",\"proto\":\"" + proto_string() + "\"";
 }
 
 }  // namespace
+
+// "proto" may be a number (major) or a "major[.minor]" string. A missing
+// field means "whatever the server speaks" — the pre-versioning clients.
+void check_request_proto(const JsonValue& v) {
+  const JsonValue* proto = v.find("proto");
+  if (proto == nullptr) return;
+  long major = -1;
+  if (proto->type() == JsonValue::Type::number) {
+    major = static_cast<long>(proto->as_number());
+    if (static_cast<double>(major) != proto->as_number()) major = -1;
+  } else if (proto->type() == JsonValue::Type::string) {
+    const std::string& s = proto->as_string();
+    try {
+      std::size_t used = 0;
+      major = std::stol(s, &used);
+      if (used != s.size() && s[used] != '.') major = -1;
+    } catch (const std::exception&) {
+      major = -1;
+    }
+  }
+  if (major < 0)
+    throw std::invalid_argument(
+        "\"proto\" must be a major number or a \"major.minor\" string");
+  if (major != build_info().proto_major)
+    throw UnsupportedProtoError(
+        "unsupported protocol major " + std::to_string(major) +
+        " (server speaks " + proto_string() + ")");
+}
 
 std::string extract_request_id(const std::string& line) {
   try {
@@ -115,6 +78,7 @@ ServiceRequest parse_service_request(const std::string& line) {
   ServiceRequest req;
   const JsonValue* id = v.find("id");
   req.id_json = id == nullptr ? "null" : id->dump();
+  check_request_proto(v);
   req.deadline_ms = v.get_number("deadline_ms", 0.0);
 
   const std::string op = v.get_string("op", "");
@@ -131,6 +95,8 @@ ServiceRequest parse_service_request(const std::string& line) {
       req.jobs.push_back(job_from_spec(jobs->items()[i], i));
   } else if (op == "stats") {
     req.op = ServiceOp::stats;
+  } else if (op == "health") {
+    req.op = ServiceOp::health;
   } else if (op == "ping") {
     req.op = ServiceOp::ping;
   } else if (op == "shutdown") {
@@ -144,24 +110,25 @@ ServiceRequest parse_service_request(const std::string& line) {
 }
 
 std::string error_response(const std::string& id_json,
+                           const std::string& code,
                            const std::string& message) {
-  return "{\"id\":" + id_json + ",\"ok\":false,\"error\":\"" +
-         json_escape(message) + "\"}";
+  return response_head(id_json) + ",\"ok\":false,\"code\":\"" + code +
+         "\",\"error\":\"" + json_escape(message) + "\"}";
 }
 
 std::string pong_response(const std::string& id_json) {
-  return "{\"id\":" + id_json + ",\"ok\":true,\"op\":\"ping\"}";
+  return response_head(id_json) + ",\"ok\":true,\"op\":\"ping\"}";
 }
 
 std::string shutdown_response(const std::string& id_json) {
-  return "{\"id\":" + id_json + ",\"ok\":true,\"op\":\"shutdown\"}";
+  return response_head(id_json) + ",\"ok\":true,\"op\":\"shutdown\"}";
 }
 
 std::string compile_response(const std::string& id_json, const JobResult& r,
                              const std::string& circuit_text,
                              bool include_wall) {
   std::ostringstream os;
-  os << "{\"id\":" << id_json << ",\"op\":\"compile\",";
+  os << response_head(id_json) << ",\"op\":\"compile\",";
   job_result_json_fields(os, r, include_wall);
   if (!circuit_text.empty())
     os << ",\"circuit\":\"" << json_escape(circuit_text) << '"';
@@ -173,7 +140,7 @@ std::string batch_response(const std::string& id_json,
                            const std::vector<JobResult>& results,
                            const BatchSummary& summary, bool include_wall) {
   std::ostringstream os;
-  os << "{\"id\":" << id_json << ",\"op\":\"batch\",\"ok\":true,"
+  os << response_head(id_json) << ",\"op\":\"batch\",\"ok\":true,"
      << "\"jobs\":" << results.size() << ",\"compiled\":"
      << summary.compiled << ",\"cache_hits\":" << summary.cache_hits
      << ",\"memory_hits\":" << summary.memory_hits << ",\"store_hits\":"
@@ -195,7 +162,7 @@ std::string stats_response(const std::string& id_json,
                            std::size_t parallelism,
                            const StoreStats* store) {
   std::ostringstream os;
-  os << "{\"id\":" << id_json << ",\"op\":\"stats\",\"ok\":true"
+  os << response_head(id_json) << ",\"op\":\"stats\",\"ok\":true"
      << ",\"requests\":" << counters.requests << ",\"ok_count\":"
      << counters.ok << ",\"errors\":" << counters.errors
      << ",\"rejected\":" << counters.rejected << ",\"expired\":"
@@ -213,6 +180,23 @@ std::string stats_response(const std::string& id_json,
        << ",\"entries\":" << store->entries << '}';
   }
   os << '}';
+  return os.str();
+}
+
+std::string health_response(const std::string& id_json,
+                            const ServiceHealth& health) {
+  std::ostringstream os;
+  os << response_head(id_json) << ",\"op\":\"health\",\"ok\":true"
+     << ",\"uptime_ms\":" << health.uptime_ms << ",\"queue_depth\":"
+     << health.queue_depth << ",\"max_queue\":" << health.max_queue
+     << ",\"requests\":" << health.counters.requests << ",\"errors\":"
+     << health.counters.errors << ",\"rejected\":"
+     << health.counters.rejected << ",\"expired\":"
+     << health.counters.expired << ",\"compiled\":"
+     << health.totals.compiled << ",\"memory_hits\":"
+     << health.totals.memory_hits << ",\"store_hits\":"
+     << health.totals.store_hits << ",\"dedup_hits\":"
+     << health.totals.dedup_hits << '}';
   return os.str();
 }
 

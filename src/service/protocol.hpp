@@ -1,4 +1,5 @@
-// NDJSON request/response protocol of the epgc_serve compilation service.
+// NDJSON request/response protocol of the epgc_serve compilation service
+// (and the epgc_cluster front, which speaks the same wire format).
 //
 // One JSON object per line in, one JSON object per line out (spec in
 // docs/service.md). Requests:
@@ -6,17 +7,30 @@
 //   {"op":"compile", "id":1, "graph":"<graph6>", "seed":7, ...}
 //   {"op":"batch",   "id":2, "jobs":[{...compile spec...}, ...]}
 //   {"op":"stats",   "id":3}
-//   {"op":"ping",    "id":4}
-//   {"op":"shutdown","id":5}
+//   {"op":"health",  "id":4}
+//   {"op":"ping",    "id":5}
+//   {"op":"shutdown","id":6}
 //
-// Compile specs accept the same knobs as epgc_compile flags — with the
-// same defaults, so a service response reproduces an epgc_compile run of
-// the same graph bit-for-bit. The graph is a graph6 string ("graph") or
-// an explicit edge list ("n" + "edges":[[u,v],...]).
+// Compile specs are CompileSpec keys (common/compile_spec.hpp) — the same
+// knobs and defaults as epgc_compile flags, so a service response
+// reproduces an epgc_compile run of the same graph bit-for-bit. The graph
+// is a graph6 string ("graph") or an explicit edge list ("n" +
+// "edges":[[u,v],...]).
 //
-// Every response echoes the request's "id" verbatim and carries
-// "ok":true/false; malformed requests produce an error response, never a
-// dropped line or a dead connection.
+// Versioning: every response carries "proto":"<major>.<minor>"
+// (build_info().proto_major/minor). Requests may carry "proto" — a number
+// (major) or a "major[.minor]" string; a major the server does not speak
+// is answered with a structured "unsupported_proto" error instead of a
+// parse failure, so old servers and new clients fail loudly and
+// debuggably. Minors are additive and never rejected.
+//
+// Errors: every failure response carries "ok":false, a stable machine-
+// readable "code" (bad_request, unsupported_proto, queue_full, deadline,
+// worker_failed, oversized_frame) and a human "error" message. The
+// cluster front keys its backpressure handling on "code", never on
+// message text. Every response echoes the request's "id" verbatim;
+// malformed requests produce an error response, never a dropped line or a
+// dead connection.
 #pragma once
 
 #include <string>
@@ -28,7 +42,7 @@ namespace epg {
 
 struct StoreStats;
 
-enum class ServiceOp { compile, batch, stats, ping, shutdown };
+enum class ServiceOp { compile, batch, stats, health, ping, shutdown };
 
 struct ServiceRequest {
   ServiceOp op = ServiceOp::ping;
@@ -38,9 +52,25 @@ struct ServiceRequest {
   double deadline_ms = 0.0;      ///< max queue wait; 0 = no deadline
 };
 
-/// Parse one request line. Throws std::invalid_argument on malformed
-/// JSON, unknown ops/keys of the wrong type, or undecodable graphs.
+/// A request that named a protocol major this build does not speak.
+/// Thrown by parse_service_request; answered with code
+/// "unsupported_proto" (never treated as a parse failure).
+class UnsupportedProtoError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Parse one request line. Throws UnsupportedProtoError on a protocol-
+/// major mismatch and std::invalid_argument on malformed JSON, unknown
+/// ops, keys of the wrong type, or undecodable graphs.
 ServiceRequest parse_service_request(const std::string& line);
+
+class JsonValue;
+
+/// Enforce a parsed request's optional "proto" pin against this build
+/// (same contract as parse_service_request). Exposed for the cluster
+/// front's locally-answered ops; forwarded ops are checked by the worker.
+void check_request_proto(const JsonValue& request);
 
 /// Best-effort id extraction from a (possibly malformed) request line, so
 /// even parse-error responses can echo the id when one is readable.
@@ -48,7 +78,17 @@ std::string extract_request_id(const std::string& line);
 
 // ---- response rendering (single line, no trailing newline) ---------------
 
+// Stable error codes (the wire contract; the cluster front dispatches on
+// these).
+inline constexpr const char* kErrBadRequest = "bad_request";
+inline constexpr const char* kErrUnsupportedProto = "unsupported_proto";
+inline constexpr const char* kErrQueueFull = "queue_full";
+inline constexpr const char* kErrDeadline = "deadline";
+inline constexpr const char* kErrWorkerFailed = "worker_failed";
+inline constexpr const char* kErrOversizedFrame = "oversized_frame";
+
 std::string error_response(const std::string& id_json,
+                           const std::string& code,
                            const std::string& message);
 std::string pong_response(const std::string& id_json);
 std::string shutdown_response(const std::string& id_json);
@@ -75,5 +115,19 @@ std::string stats_response(const std::string& id_json,
                            const ServiceCounters& counters,
                            const BatchSummary& totals,
                            std::size_t parallelism, const StoreStats* store);
+
+/// The `health` snapshot: what a load balancer or the cluster front needs
+/// to probe a worker uniformly — liveness, uptime, queue pressure, and
+/// the per-tier hit breakdown (how warm this worker's caches are).
+struct ServiceHealth {
+  std::uint64_t uptime_ms = 0;
+  std::size_t queue_depth = 0;  ///< admission queue, socket mode (else 0)
+  std::size_t max_queue = 0;
+  ServiceCounters counters;
+  BatchSummary totals;  ///< per-tier hits: compiled/memory/store/dedup
+};
+
+std::string health_response(const std::string& id_json,
+                            const ServiceHealth& health);
 
 }  // namespace epg

@@ -1,20 +1,9 @@
 #include "service/service.hpp"
 
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <chrono>
-#include <condition_variable>
-#include <cstring>
-#include <deque>
 #include <iostream>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
-#include <vector>
 
 #include "circuit/serialize.hpp"
 
@@ -42,21 +31,39 @@ Service::Service(ServiceConfig cfg) : cfg_(std::move(cfg)) {
   batch_ = std::make_unique<BatchCompiler>(cfg_.batch);
 }
 
+ServiceHealth Service::health() const {
+  ServiceHealth h;
+  h.uptime_ms = static_cast<std::uint64_t>(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  h.queue_depth = server_ != nullptr ? server_->queue_depth() : 0;
+  h.max_queue = cfg_.max_queue;
+  h.counters = counters();
+  h.totals = batch_->totals();
+  return h;
+}
+
 std::string Service::handle_line(const std::string& line, double queued_ms) {
   ++counters_.requests;
   ServiceRequest req;
   try {
     req = parse_service_request(line);
+  } catch (const UnsupportedProtoError& e) {
+    ++counters_.errors;
+    return error_response(extract_request_id(line), kErrUnsupportedProto,
+                          e.what());
   } catch (const std::exception& e) {
     ++counters_.errors;
-    return error_response(extract_request_id(line), e.what());
+    return error_response(extract_request_id(line), kErrBadRequest,
+                          e.what());
   }
   const double deadline =
       req.deadline_ms > 0.0 ? req.deadline_ms : cfg_.default_deadline_ms;
   if (deadline > 0.0 && queued_ms > deadline) {
     ++counters_.expired;
     ++counters_.errors;
-    return error_response(req.id_json,
+    return error_response(req.id_json, kErrDeadline,
                           "deadline exceeded: request queued " +
                               std::to_string(queued_ms) + " ms, deadline " +
                               std::to_string(deadline) + " ms");
@@ -83,6 +90,9 @@ std::string Service::handle_request(const ServiceRequest& req,
                             batch_->parallelism(),
                             store_ ? &store_stats : nullptr);
     }
+    case ServiceOp::health:
+      ++counters_.ok;
+      return health_response(req.id_json, health());
     case ServiceOp::compile: {
       const std::vector<JobResult> results = batch_->run(req.jobs);
       const JobResult& r = results.front();
@@ -102,7 +112,7 @@ std::string Service::handle_request(const ServiceRequest& req,
     }
   }
   ++counters_.errors;
-  return error_response(req.id_json, "unhandled op");
+  return error_response(req.id_json, kErrBadRequest, "unhandled op");
 }
 
 int Service::serve_stream(std::istream& in, std::ostream& out) {
@@ -115,193 +125,57 @@ int Service::serve_stream(std::istream& in, std::ostream& out) {
   return 0;
 }
 
-// ---- Unix-socket transport -------------------------------------------------
-
-namespace {
-
-struct Conn {
-  int fd = -1;
-  std::mutex write_mutex;
-
-  explicit Conn(int f) : fd(f) {}
-  ~Conn() {
-    if (fd >= 0) ::close(fd);
-  }
-
-  void write_line(const std::string& response) {
-    std::lock_guard<std::mutex> lock(write_mutex);
-    std::string out = response;
-    out += '\n';
-    std::size_t sent = 0;
-    while (sent < out.size()) {
-      // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the service.
-      const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent,
-                               MSG_NOSIGNAL);
-      if (n <= 0) return;  // peer gone; the response dies with it
-      sent += static_cast<std::size_t>(n);
-    }
-  }
-};
-
-struct Pending {
-  std::shared_ptr<Conn> conn;
-  std::string line;
-  std::chrono::steady_clock::time_point enqueued;
-};
-
-}  // namespace
+int Service::serve_listener(int listen_fd) {
+  LineServerConfig scfg;
+  scfg.max_queue = cfg_.max_queue;
+  scfg.max_frame_bytes = cfg_.max_frame_bytes;
+  scfg.executors = 1;  // one BatchCompiler; ordering = admission order
+  scfg.handler = [this](const std::string& line, double queued_ms) {
+    return handle_line(line, queued_ms);
+  };
+  scfg.reject_response = [this](const std::string& line) {
+    return error_response(extract_request_id(line), kErrQueueFull,
+                          "queue full (" + std::to_string(cfg_.max_queue) +
+                              " pending); retry later");
+  };
+  scfg.oversize_response = [this](const std::string& line) {
+    return error_response(extract_request_id(line), kErrOversizedFrame,
+                          "request line exceeds " +
+                              std::to_string(cfg_.max_frame_bytes) +
+                              " bytes");
+  };
+  LineServer server(scfg);
+  server_ = &server;
+  const int rc = server.serve(listen_fd, stop_);
+  transport_rejected_.fetch_add(server.rejected());
+  server_ = nullptr;
+  return rc;
+}
 
 int Service::serve_socket(const std::string& path) {
-  sockaddr_un addr{};
-  if (path.size() >= sizeof(addr.sun_path)) {
-    std::cerr << "epgc_serve: socket path too long: " << path << '\n';
-    return 1;
-  }
-  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  std::string err;
+  const int listen_fd = listen_unix(path, err);
   if (listen_fd < 0) {
-    std::cerr << "epgc_serve: socket(): " << std::strerror(errno) << '\n';
+    std::cerr << "epgc_serve: " << err << '\n';
     return 1;
   }
-  ::unlink(path.c_str());  // stale socket from a previous run
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listen_fd, 16) < 0) {
-    std::cerr << "epgc_serve: cannot listen on " << path << ": "
-              << std::strerror(errno) << '\n';
-    ::close(listen_fd);
-    return 1;
-  }
-
-  // A single request line can legitimately be large (a batch of graph6
-  // strings), but a stream that never produces a newline is not a
-  // protocol client — cap it so one connection cannot OOM the service.
-  constexpr std::size_t kMaxLineBytes = std::size_t{64} << 20;
-
-  struct ClientSlot {
-    std::shared_ptr<Conn> conn;
-    std::thread thread;
-    std::shared_ptr<std::atomic<bool>> done;
-  };
-
-  std::mutex mutex;  // guards queue, clients
-  std::condition_variable cv;
-  std::deque<Pending> queue;
-  std::vector<ClientSlot> clients;
-
-  // Per-connection reader: split the byte stream into lines and admit
-  // them. A full queue answers immediately with an error — backpressure
-  // the client can see — instead of buffering without bound.
-  auto reader = [&](std::shared_ptr<Conn> conn,
-                    std::shared_ptr<std::atomic<bool>> done) {
-    std::string buffer;
-    char chunk[4096];
-    while (!stop_.load()) {
-      const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
-      if (n <= 0) break;
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      if (buffer.size() > kMaxLineBytes &&
-          buffer.find('\n') == std::string::npos) {
-        conn->write_line(error_response(
-            "null", "request line exceeds " +
-                        std::to_string(kMaxLineBytes) + " bytes"));
-        break;  // cannot resync a lineless stream; drop the connection
-      }
-      std::size_t nl;
-      while ((nl = buffer.find('\n')) != std::string::npos) {
-        std::string line = buffer.substr(0, nl);
-        buffer.erase(0, nl + 1);
-        if (line.empty()) continue;
-        bool rejected = false;
-        {
-          std::lock_guard<std::mutex> lock(mutex);
-          if (queue.size() >= cfg_.max_queue) {
-            rejected_.fetch_add(1);
-            rejected = true;
-          } else {
-            queue.push_back({conn, std::move(line),
-                             std::chrono::steady_clock::now()});
-          }
-        }
-        if (rejected) {
-          conn->write_line(error_response(
-              extract_request_id(line),
-              "queue full (" + std::to_string(cfg_.max_queue) +
-                  " pending); retry later"));
-        } else {
-          cv.notify_one();
-        }
-      }
-    }
-    done->store(true);
-  };
-
-  // Acceptor: poll so the loop can notice shutdown within 200 ms. Also
-  // reaps finished clients each pass, so short-lived connections don't
-  // accumulate fds and unjoined threads for the life of the service.
-  std::thread acceptor([&] {
-    while (!stop_.load()) {
-      {
-        std::lock_guard<std::mutex> lock(mutex);
-        for (auto it = clients.begin(); it != clients.end();) {
-          if (it->done->load()) {
-            it->thread.join();  // reader already exited: join is instant
-            it = clients.erase(it);
-          } else {
-            ++it;
-          }
-        }
-      }
-      pollfd pfd{listen_fd, POLLIN, 0};
-      const int ready = ::poll(&pfd, 1, 200);
-      if (ready <= 0) continue;
-      const int fd = ::accept(listen_fd, nullptr, nullptr);
-      if (fd < 0) continue;
-      auto conn = std::make_shared<Conn>(fd);
-      auto done = std::make_shared<std::atomic<bool>>(false);
-      std::lock_guard<std::mutex> lock(mutex);
-      clients.push_back({conn, std::thread(reader, conn, done), done});
-    }
-  });
-
-  // Executor: the calling thread drains the admission queue one request
-  // at a time; compiles parallelize internally via the batch pool.
-  while (true) {
-    Pending p;
-    {
-      std::unique_lock<std::mutex> lock(mutex);
-      cv.wait_for(lock, std::chrono::milliseconds(200), [&] {
-        return !queue.empty() || stop_.load();
-      });
-      if (queue.empty()) {
-        if (stop_.load()) break;
-        continue;
-      }
-      p = std::move(queue.front());
-      queue.pop_front();
-    }
-    const double queued_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - p.enqueued)
-            .count();
-    p.conn->write_line(handle_line(p.line, queued_ms));
-  }
-
-  // Teardown order matters: join the acceptor FIRST (it observes stop_
-  // within one poll interval), so the client set is final before we
-  // unblock readers — a connection accepted mid-teardown could otherwise
-  // keep a reader parked in recv() forever.
-  acceptor.join();
-  {
-    std::lock_guard<std::mutex> lock(mutex);
-    for (const auto& client : clients) ::shutdown(client.conn->fd, SHUT_RDWR);
-  }
-  for (ClientSlot& client : clients) client.thread.join();
-  clients.clear();
-  ::close(listen_fd);
+  const int rc = serve_listener(listen_fd);
   ::unlink(path.c_str());
-  return 0;
+  return rc;
+}
+
+int Service::serve_tcp(const std::string& host, std::uint16_t port) {
+  std::string err;
+  std::uint16_t bound = 0;
+  const int listen_fd = listen_tcp(host, port, bound, err);
+  if (listen_fd < 0) {
+    std::cerr << "epgc_serve: " << err << '\n';
+    return 1;
+  }
+  tcp_port_.store(bound);
+  // Port 0 binds an ephemeral port; this line is how scripts learn it.
+  std::cerr << "epgc_serve: listening on " << host << ':' << bound << '\n';
+  return serve_listener(listen_fd);
 }
 
 }  // namespace epg

@@ -1,31 +1,40 @@
 // Long-lived compilation service on top of BatchCompiler + the persistent
 // result store.
 //
-// Two transports, one execution path:
+// Three transports, one execution path:
 //   * stream mode — NDJSON requests on an istream, responses on an
 //     ostream, strictly in order. Backpressure is natural: the service
 //     does not read the next line until the current one is answered.
 //   * Unix-socket mode — concurrent clients; per-connection reader
 //     threads feed a bounded admission queue, one executor thread drains
-//     it. A full queue rejects the request immediately with a
-//     "queue full" error (explicit backpressure), and a request whose
-//     `deadline_ms` elapses while it is still queued is answered with a
-//     deadline error instead of being compiled late.
+//     it (service/transport.hpp). A full queue rejects the request
+//     immediately with a structured "queue_full" error (explicit
+//     backpressure), and a request whose `deadline_ms` elapses while it
+//     is still queued is answered with a deadline error instead of being
+//     compiled late.
+//   * TCP mode — the same admission discipline over an AF_INET listener,
+//     for external clients, load balancers, and multi-host fan-out.
 //
 // All compiles go through one BatchCompiler, so the service accumulates a
 // warm in-memory cache across requests, and — when a store directory is
 // configured — a persistent tier shared with the CLIs. In deterministic
 // mode responses carry no wall-clock fields and are bit-identical to what
 // `epgc_compile` prints for the same graph and knobs.
+//
+// `stop()` is async-signal-safe (an atomic store): a SIGTERM handler may
+// call it to request a draining shutdown — the listeners stop accepting,
+// already-admitted requests are answered, then the serve call returns.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <iosfwd>
 #include <memory>
 #include <string>
 
 #include "runtime/batch_compiler.hpp"
 #include "service/protocol.hpp"
+#include "service/transport.hpp"
 #include "store/result_store.hpp"
 
 namespace epg {
@@ -37,8 +46,10 @@ struct ServiceConfig {
   BatchConfig batch;
   /// Persistent tier; an empty dir disables it.
   StoreConfig store;
-  /// Admission-queue capacity in socket mode; a full queue rejects.
+  /// Admission-queue capacity in socket/TCP mode; a full queue rejects.
   std::size_t max_queue = 64;
+  /// Per-frame byte cap on socket/TCP requests (oversized_frame error).
+  std::size_t max_frame_bytes = std::size_t{64} << 20;
   /// Applied to requests that carry no deadline_ms of their own (0 = no
   /// default deadline).
   double default_deadline_ms = 0.0;
@@ -59,30 +70,51 @@ class Service {
   /// on clean shutdown, 1 when the socket cannot be created.
   int serve_socket(const std::string& path);
 
+  /// Listen on TCP host:port (port 0 = ephemeral; read the bound port
+  /// from tcp_port() once it is nonzero). Returns 0 on clean shutdown,
+  /// 1 when the listener cannot be created.
+  int serve_tcp(const std::string& host, std::uint16_t port);
+
+  /// The TCP port actually bound by serve_tcp (0 until bound).
+  std::uint16_t tcp_port() const { return tcp_port_.load(); }
+
   /// One request line in, one response line out (no trailing newline).
   /// `queued_ms` is how long the request waited for admission — the
   /// per-request deadline is charged against it.
   std::string handle_line(const std::string& line, double queued_ms = 0.0);
 
+  /// Request a draining shutdown (async-signal-safe).
+  void stop() { stop_.store(true); }
   bool shutdown_requested() const { return stop_.load(); }
+
   /// Snapshot (rejected is updated from socket reader threads).
   ServiceCounters counters() const {
     ServiceCounters c = counters_;
-    c.rejected = rejected_.load();
+    c.rejected = rejected_.load() + transport_rejected_.load();
     return c;
   }
+  /// The `health` verb's payload: uptime, queue pressure, tier hits.
+  ServiceHealth health() const;
   BatchCompiler& batch() { return *batch_; }
   CompileResultStore* store() { return store_.get(); }
 
  private:
   std::string handle_request(const ServiceRequest& req, double queued_ms);
+  int serve_listener(int listen_fd);
 
   ServiceConfig cfg_;
   std::shared_ptr<CompileResultStore> store_;  ///< null when disabled
   std::unique_ptr<BatchCompiler> batch_;
   ServiceCounters counters_;  ///< executor-thread only, except .rejected
   std::atomic<std::size_t> rejected_{0};
+  std::atomic<std::size_t> transport_rejected_{0};
   std::atomic<bool> stop_{false};
+  std::atomic<std::uint16_t> tcp_port_{0};
+  /// Live only while serve_listener runs; read by the health op (the
+  /// single executor thread), so no lifetime race.
+  LineServer* server_ = nullptr;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace epg

@@ -1,7 +1,9 @@
 // epgc_serve service layer: the strict JSON reader, request parsing,
 // NDJSON responses (malformed input is answered, never fatal), stream
 // serving equivalence with direct compilation, deterministic-mode
-// bit-stability, per-request deadlines, and the Unix-socket transport.
+// bit-stability, per-request deadlines, protocol versioning, the health
+// verb, and the Unix-socket/TCP transports (oversized frames, mid-request
+// disconnects, queue-wait deadline charging, connect/shutdown races).
 #include "service/service.hpp"
 
 #include <gtest/gtest.h>
@@ -15,6 +17,7 @@
 #include <thread>
 
 #include "circuit/serialize.hpp"
+#include "common/build_info.hpp"
 #include "common/json_value.hpp"
 #include "compile/framework.hpp"
 #include "graph/generators.hpp"
@@ -285,6 +288,222 @@ TEST(Service, SocketServesConcurrentClients) {
   request("{\"op\":\"shutdown\",\"id\":3}");
   server.join();
   EXPECT_FALSE(std::filesystem::exists(path)) << "socket unlinked on exit";
+}
+
+// ---- protocol versioning --------------------------------------------------
+
+TEST(Service, AcceptsMatchingProtoPinsAndEchoesRevision) {
+  Service service(test_config());
+  for (const char* line : {R"({"op":"ping","id":1,"proto":1})",
+                           R"({"op":"ping","id":1,"proto":"1"})",
+                           R"({"op":"ping","id":1,"proto":"1.0"})",
+                           R"({"op":"ping","id":1})"}) {
+    const JsonValue v = JsonValue::parse(service.handle_line(line));
+    EXPECT_TRUE(v.get_bool("ok", false)) << line;
+    // Every response states the revision the server actually speaks.
+    EXPECT_EQ(v.get_string("proto", ""), proto_string()) << line;
+  }
+}
+
+TEST(Service, RejectsUnknownProtoMajorStructurally) {
+  Service service(test_config());
+  const JsonValue v = JsonValue::parse(
+      service.handle_line(R"({"op":"ping","id":1,"proto":99})"));
+  EXPECT_FALSE(v.get_bool("ok", true));
+  EXPECT_EQ(v.get_string("code", ""), kErrUnsupportedProto);
+  EXPECT_EQ(v.get_number("id", 0), 1.0) << "id still echoed";
+
+  // A proto field that is not a major at all is a bad request, not an
+  // unsupported version.
+  const JsonValue bad = JsonValue::parse(
+      service.handle_line(R"({"op":"ping","id":1,"proto":true})"));
+  EXPECT_EQ(bad.get_string("code", ""), kErrBadRequest);
+  const JsonValue frac = JsonValue::parse(
+      service.handle_line(R"({"op":"ping","id":1,"proto":1.5})"));
+  EXPECT_EQ(frac.get_string("code", ""), kErrBadRequest);
+}
+
+// ---- health verb ----------------------------------------------------------
+
+TEST(Service, HealthReportsUptimeQueueAndTierHits) {
+  Service service(test_config());
+  const std::string g6 = write_graph6(make_ring(6));
+  service.handle_line("{\"op\":\"compile\",\"id\":1,\"graph\":\"" + g6 +
+                      "\"}");
+  service.handle_line("{\"op\":\"compile\",\"id\":2,\"graph\":\"" + g6 +
+                      "\"}");
+  const JsonValue v =
+      JsonValue::parse(service.handle_line(R"({"op":"health","id":3})"));
+  EXPECT_TRUE(v.get_bool("ok", false));
+  EXPECT_EQ(v.get_string("op", ""), "health");
+  EXPECT_EQ(v.get_u64("max_queue", 0), 64u);
+  EXPECT_EQ(v.get_u64("queue_depth", 9), 0u) << "stream mode has no queue";
+  EXPECT_EQ(v.get_u64("requests", 0), 3u);
+  EXPECT_EQ(v.get_u64("compiled", 9), 1u);
+  EXPECT_EQ(v.get_u64("memory_hits", 9), 1u);
+  ASSERT_NE(v.find("uptime_ms"), nullptr);
+}
+
+// ---- TCP transport --------------------------------------------------------
+
+/// Spin up serve_tcp on an ephemeral port and hand back a connected
+/// LineConn factory. Joins the server on destruction.
+class TcpServiceFixture {
+ public:
+  explicit TcpServiceFixture(ServiceConfig cfg) : service_(cfg) {
+    thread_ = std::thread([this] { service_.serve_tcp("127.0.0.1", 0); });
+    while (service_.tcp_port() == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ~TcpServiceFixture() {
+    service_.stop();
+    // A zero-byte connect unblocks the accept loop so stop is noticed.
+    std::string err;
+    const int fd = connect_tcp("127.0.0.1", service_.tcp_port(), err);
+    if (fd >= 0) ::close(fd);
+    thread_.join();
+  }
+  Service& service() { return service_; }
+  LineConn connect() {
+    std::string err;
+    const int fd = connect_tcp("127.0.0.1", service_.tcp_port(), err);
+    EXPECT_GE(fd, 0) << err;
+    return LineConn(fd);
+  }
+
+ private:
+  Service service_;
+  std::thread thread_;
+};
+
+TEST(ServiceTcp, ServesCompileOverTcp) {
+  TcpServiceFixture fx(test_config());
+  LineConn conn = fx.connect();
+  ASSERT_TRUE(conn.write_line(R"({"op":"ping","id":1})"));
+  std::string resp;
+  ASSERT_TRUE(conn.read_line(resp));
+  EXPECT_TRUE(JsonValue::parse(resp).get_bool("ok", false)) << resp;
+
+  ASSERT_TRUE(conn.write_line(
+      "{\"op\":\"compile\",\"id\":2,\"graph\":\"" +
+      write_graph6(make_ring(6)) + "\"}"));
+  ASSERT_TRUE(conn.read_line(resp));
+  const JsonValue v = JsonValue::parse(resp);
+  EXPECT_TRUE(v.get_bool("ok", false)) << resp;
+  EXPECT_EQ(v.get_string("tier", ""), "compiled");
+}
+
+TEST(ServiceTcp, OversizedFrameIsAnsweredAndConnectionResyncs) {
+  ServiceConfig cfg = test_config();
+  cfg.max_frame_bytes = 256;
+  TcpServiceFixture fx(cfg);
+  LineConn conn = fx.connect();
+
+  // A complete line over the cap: answered with a structured error, then
+  // the connection keeps working at the next newline.
+  ASSERT_TRUE(conn.write_line("{\"op\":\"ping\",\"id\":1,\"pad\":\"" +
+                              std::string(512, 'x') + "\"}"));
+  std::string resp;
+  ASSERT_TRUE(conn.read_line(resp));
+  EXPECT_EQ(JsonValue::parse(resp).get_string("code", ""),
+            kErrOversizedFrame)
+      << resp;
+  ASSERT_TRUE(conn.write_line(R"({"op":"ping","id":2})"));
+  ASSERT_TRUE(conn.read_line(resp));
+  EXPECT_TRUE(JsonValue::parse(resp).get_bool("ok", false))
+      << "connection must resync after an oversized frame: " << resp;
+
+  // A stream that exceeds the cap with no newline at all is answered and
+  // dropped (it is not speaking the protocol). Raw send: no newline.
+  LineConn hog = fx.connect();
+  const std::string lineless(4096, 'y');
+  ASSERT_GT(::send(hog.fd(), lineless.data(), lineless.size(),
+                   MSG_NOSIGNAL),
+            0);
+  ASSERT_TRUE(hog.read_line(resp));
+  EXPECT_EQ(JsonValue::parse(resp).get_string("code", ""),
+            kErrOversizedFrame);
+  EXPECT_FALSE(hog.read_line(resp)) << "lineless hog must be dropped";
+}
+
+TEST(ServiceTcp, MidRequestDisconnectDoesNotKillTheServer) {
+  TcpServiceFixture fx(test_config());
+  {
+    // Half a request, then hang up mid-line.
+    LineConn half = fx.connect();
+    const std::string partial = "{\"op\":\"compile\",\"id\":1,";
+    ASSERT_GE(::send(half.fd(), partial.data(), partial.size(),
+                     MSG_NOSIGNAL),
+              0);
+  }  // closed here
+  {
+    // A full request whose client vanishes before the response lands:
+    // the executor's write hits a dead socket and must not SIGPIPE.
+    LineConn ghost = fx.connect();
+    ASSERT_TRUE(ghost.write_line(
+        "{\"op\":\"compile\",\"id\":2,\"graph\":\"" +
+        write_graph6(make_waxman(10, 3)) + "\"}"));
+  }  // closed before the compile finishes
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  LineConn conn = fx.connect();
+  ASSERT_TRUE(conn.write_line(R"({"op":"ping","id":3})"));
+  std::string resp;
+  ASSERT_TRUE(conn.read_line(resp));
+  EXPECT_TRUE(JsonValue::parse(resp).get_bool("ok", false)) << resp;
+}
+
+TEST(ServiceTcp, DeadlineIsChargedAgainstQueueWait) {
+  TcpServiceFixture fx(test_config());
+  // Pipeline on one connection: the compile occupies the single executor
+  // while the zero-tolerance ping waits in the admission queue — its
+  // deadline is charged against that wait, so it must expire.
+  LineConn conn = fx.connect();
+  ASSERT_TRUE(conn.write_line(
+      "{\"op\":\"compile\",\"id\":1,\"graph\":\"" +
+      write_graph6(make_waxman(24, 9)) + "\"}"));
+  ASSERT_TRUE(
+      conn.write_line(R"({"op":"ping","id":2,"deadline_ms":0.0001})"));
+  std::string resp;
+  ASSERT_TRUE(conn.read_line(resp));
+  EXPECT_TRUE(JsonValue::parse(resp).get_bool("ok", false)) << resp;
+  ASSERT_TRUE(conn.read_line(resp));
+  const JsonValue v = JsonValue::parse(resp);
+  EXPECT_FALSE(v.get_bool("ok", true)) << resp;
+  EXPECT_EQ(v.get_string("code", ""), kErrDeadline) << resp;
+  EXPECT_EQ(fx.service().counters().expired, 1u);
+}
+
+TEST(ServiceTcp, ConcurrentClientsRacingShutdownAllGetAnswersOrEof) {
+  TcpServiceFixture fx(test_config());
+  std::atomic<int> answered{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&fx, &answered, c] {
+      for (int i = 0; i < 20; ++i) {
+        std::string err;
+        const int fd = connect_tcp("127.0.0.1", fx.service().tcp_port(),
+                                   err);
+        if (fd < 0) return;  // listener already gone: fine
+        LineConn conn(fd);
+        if (!conn.write_line("{\"op\":\"ping\",\"id\":" +
+                             std::to_string(c * 100 + i) + "}"))
+          return;
+        std::string resp;
+        // Timeout: a connection accepted but never admitted (it raced the
+        // drain) gets EOF or silence; both just end this client.
+        if (!conn.read_line(resp, 2000)) return;
+        EXPECT_TRUE(JsonValue::parse(resp).get_bool("ok", false)) << resp;
+        answered.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  LineConn killer = fx.connect();
+  killer.write_line(R"({"op":"shutdown","id":"kill"})");
+  for (std::thread& t : clients) t.join();
+  // Every response that did arrive was well-formed; at least the
+  // pre-shutdown ones did.
+  EXPECT_GT(answered.load(), 0);
 }
 
 }  // namespace
