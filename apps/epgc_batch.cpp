@@ -13,6 +13,7 @@
 
 #include "cli_common.hpp"
 #include "common/compile_spec.hpp"
+#include "obs/trace.hpp"
 #include "graph/generators.hpp"
 #include "io/graph_io.hpp"
 #include "metrics/report.hpp"
@@ -68,6 +69,8 @@ options:
   --deterministic   lift wall-clock search budgets (load-independent output)
   --csv FILE        write per-job metrics as CSV
   --json FILE       write per-job metrics + summary as JSON
+  --trace-out FILE  record per-job compile spans across all worker
+                    threads, write Chrome trace JSON
   --quiet           suppress the per-job table (summary only)
 )";
 
@@ -304,6 +307,11 @@ int main(int argc, char** argv) {
   if (!args.has("quiet"))
     std::cout << "batch: " << jobs.size() << " jobs on "
               << batch.parallelism() << " threads\n";
+  // Opt-in tracing; the pool propagates the recorder to worker threads,
+  // so per-job spans land on their actual executing thread's timeline.
+  std::unique_ptr<TraceRecorder> recorder;
+  if (args.has("trace-out")) recorder = std::make_unique<TraceRecorder>();
+  ScopedTraceInstall trace_install(recorder.get());
   const std::vector<JobResult> results = batch.run(jobs);
 
   if (!args.has("quiet")) batch_metrics_table(results).print(std::cout);
@@ -326,6 +334,15 @@ int main(int argc, char** argv) {
     std::ofstream out(args.get("json", ""));
     out << batch_json(results, batch.summary(),
                       cfg.store ? &store_stats : nullptr);
+  }
+  if (recorder) {
+    std::ofstream out(args.get("trace-out", ""));
+    if (!out) {
+      std::cerr << "cannot write trace file '" << args.get("trace-out", "")
+                << "'\n";
+      return 1;
+    }
+    recorder->write_chrome_trace(out);
   }
   return batch.summary().failures == 0 ? 0 : 1;
 }

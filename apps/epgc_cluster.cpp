@@ -24,8 +24,9 @@ constexpr const char* kUsage = R"(usage: epgc_cluster [options]
 Multi-worker compilation cluster speaking the epgc_serve NDJSON protocol
 (docs/service.md). Compile/batch requests are consistent-hashed by
 labelled-graph hash across N supervised epgc_serve workers; responses are
-byte-identical to a single epgc_serve. ping/stats/health/shutdown are
-answered by the front (stats and health aggregate across workers).
+byte-identical to a single epgc_serve. ping/stats/health/metrics/shutdown
+are answered by the front (stats, health, and metrics aggregate across
+workers; metrics sums every worker's counters and merges histograms).
 
 options:
   --workers N       worker processes to spawn (default 3)
@@ -44,6 +45,10 @@ options:
   --inner-threads N intra-compile lanes per job (default 0 = serial)
   --deterministic   lift wall-clock budgets in every worker; responses are
                     then bit-stable and identical to epgc_compile output
+  --trace-dir DIR   workers record per-request span trees and dump Chrome
+                    trace JSON (trace-<trace_id>.json) into DIR
+  --trace-slow-ms X only dump requests whose compute time is >= X ms
+                    (default 0 = dump every traced request)
 )";
 
 epg::ClusterFront* g_front = nullptr;
@@ -84,14 +89,14 @@ int main(int argc, char** argv) {
   cfg.max_queue = args.get_u64("max-queue", 256);
   cfg.default_deadline_ms = args.get_double("deadline-ms", 0.0);
   for (const char* flag : {"store-dir", "store-cap-mb", "jobs",
-                           "inner-threads"}) {
+                           "inner-threads", "trace-dir", "trace-slow-ms"}) {
     if (args.has(flag)) {
       cfg.worker_args.push_back(std::string("--") + flag);
       cfg.worker_args.push_back(args.get(flag, ""));
     }
   }
-  if (args.has("deterministic"))
-    cfg.worker_args.push_back("--deterministic");
+  cfg.deterministic = args.has("deterministic");
+  if (cfg.deterministic) cfg.worker_args.push_back("--deterministic");
 
   try {
     ClusterFront front(cfg);

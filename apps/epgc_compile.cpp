@@ -12,6 +12,7 @@
 
 #include "cli_common.hpp"
 #include "circuit/render.hpp"
+#include "obs/trace.hpp"
 #include "circuit/serialize.hpp"
 #include "common/compile_spec.hpp"
 #include "compile/baseline_compiler.hpp"
@@ -57,6 +58,8 @@ options:
   --qasm FILE             write the circuit as OpenQASM 3
   --epgc FILE             write the circuit in the native text format
   --render                print the ASCII schedule to stdout
+  --trace-out FILE        record pipeline spans, write Chrome trace JSON
+                          (open in chrome://tracing or Perfetto)
   --quiet                 metrics only (suppress the banner)
 )";
 
@@ -136,6 +139,12 @@ int main(int argc, char** argv) {
       args.fail(e.what());
     }
   }
+
+  // Tracing is opt-in: without --trace-out no recorder is installed and
+  // every Span in the pipeline collapses to a null-pointer test.
+  std::unique_ptr<TraceRecorder> recorder;
+  if (args.has("trace-out")) recorder = std::make_unique<TraceRecorder>();
+  ScopedTraceInstall trace_install(recorder.get());
 
   Circuit circuit(0, 0);
   try {
@@ -227,5 +236,14 @@ int main(int argc, char** argv) {
   }
   if (args.has("render"))
     std::cout << render_schedule(circuit, hardware_by_name(spec.hw));
+  if (recorder) {
+    std::ofstream out(args.get("trace-out", ""));
+    if (!out) {
+      std::cerr << "cannot write trace file '" << args.get("trace-out", "")
+                << "'\n";
+      return 1;
+    }
+    recorder->write_chrome_trace(out);
+  }
   return 0;
 }

@@ -24,7 +24,8 @@ Requests arrive one JSON object per line on stdin (or the socket):
   {"op":"compile","id":1,"graph":"<graph6>","seed":7,"circuit":true}
   {"op":"batch","id":2,"jobs":[{"graph":"..."},{"graph":"..."}]}
   {"op":"stats","id":3}   {"op":"health","id":4}
-  {"op":"ping","id":5}    {"op":"shutdown","id":6}
+  {"op":"metrics","id":5,"prometheus":true}
+  {"op":"ping","id":6}    {"op":"shutdown","id":7}
 Compile specs take the epgc_compile knobs (same defaults): compiler, hw,
 gmax, lc, ne_factor, ne, seed, budget_ms, strategy, coarsen_floor,
 multilevel_inner, verify, label, and deadline_ms (max admission wait).
@@ -44,6 +45,10 @@ options:
   --deterministic   lift wall-clock budgets; responses are then bit-stable
                     across runs and identical to epgc_compile output
   --once            stream mode: answer one request, then exit
+  --trace-dir DIR   record per-request span trees and dump Chrome trace
+                    JSON (trace-<trace_id>.json) into DIR
+  --trace-slow-ms X only dump requests whose compute time is >= X ms
+                    (default 0 = dump every traced request)
 )";
 
 epg::Service* g_service = nullptr;
@@ -71,6 +76,11 @@ int main(int argc, char** argv) {
   cfg.max_queue = args.get_u64("max-queue", 64);
   cfg.default_deadline_ms = args.get_double("deadline-ms", 0.0);
   cfg.once = args.has("once");
+  cfg.trace_dir = args.get("trace-dir", "");
+  cfg.trace_slow_ms = args.get_double("trace-slow-ms", 0.0);
+  // The process-global registry: one source for stats/health/metrics.
+  cfg.metrics = std::shared_ptr<MetricsRegistry>(&global_metrics(),
+                                                 [](MetricsRegistry*) {});
   if (args.has("socket") && args.has("tcp"))
     args.fail("--socket and --tcp are mutually exclusive");
   if (cfg.once && (args.has("socket") || args.has("tcp")))

@@ -12,6 +12,10 @@
 //   * emitter_bound — the O(n+m) open-vertex emitter bound over a CSR view
 //   * graphsim_lc_cz— GraphSim local complementations + CZ normalization
 //   * seen_insert   — GraphSeenSet fingerprint dedup inserts
+//   * span_off      — obs::Span with no recorder installed: the disabled
+//                     tracing hot path, which must stay a pointer test
+//   * span_on       — obs::Span against a live TraceRecorder (records +
+//                     timestamps): the enabled-path cost ceiling
 //
 // Every cell carries a deterministic `checksum` of the kernel's output,
 // so the JSON doubles as a behavior pin: ci/check_perf.py compares the
@@ -36,6 +40,7 @@
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"
 #include "graph/metrics.hpp"
+#include "obs/trace.hpp"
 #include "partition/seen_set.hpp"
 #include "stab/graphsim.hpp"
 
@@ -160,6 +165,36 @@ std::uint64_t kernel_seen_insert(const Graph& g, int inner) {
   return h;
 }
 
+std::uint64_t kernel_span_off(const Graph& g, int inner) {
+  // The zero-cost-when-disabled claim, measured: no recorder installed,
+  // so every Span constructor/destructor must collapse to a thread-local
+  // pointer test. The checksum folds loop state so the spans can't be
+  // optimized away wholesale.
+  std::uint64_t h = g.vertex_count();
+  for (int i = 0; i < inner; ++i) {
+    Span span("bench_span", "bench");
+    h = mix(h, static_cast<std::uint64_t>(i));
+  }
+  h = mix(h, current_trace_recorder() == nullptr ? 1 : 0);
+  return h;
+}
+
+std::uint64_t kernel_span_on(const Graph& g, int inner) {
+  // Enabled-path ceiling: every span takes two steady_clock reads and one
+  // per-thread buffer append. `inner` stays below the recorder's event
+  // cap so no span hits the drop path.
+  TraceRecorder recorder;
+  ScopedTraceInstall install(&recorder);
+  std::uint64_t h = g.vertex_count();
+  for (int i = 0; i < inner; ++i) {
+    Span span("bench_span", "bench");
+    h = mix(h, static_cast<std::uint64_t>(i));
+  }
+  h = mix(h, recorder.event_count());
+  h = mix(h, recorder.dropped());
+  return h;
+}
+
 // ---- driver ----------------------------------------------------------------
 
 void write_json(std::ostream& os, const std::vector<Cell>& cells) {
@@ -219,6 +254,8 @@ int main(int argc, char** argv) {
       {"emitter_bound", kernel_emitter_bound, 600, 40, &sparse},
       {"graphsim_lc_cz", kernel_graphsim_lc_cz, 24, 12, &sim_graph},
       {"seen_insert", kernel_seen_insert, 4000, 20000, &lattice},
+      {"span_off", kernel_span_off, 20000000, 40000000, &lattice},
+      {"span_on", kernel_span_on, 100000, 200000, &lattice},
   };
 
   std::vector<Cell> cells;

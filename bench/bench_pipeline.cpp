@@ -8,17 +8,21 @@
 // thread counts (the pipeline's determinism contract), so the JSON doubles
 // as a regression check and as the perf trajectory's data points.
 //
-// usage: bench_pipeline [--json FILE] [--reps N] [--quick]
-//   --json FILE   also write machine-readable results (CI artifact)
-//   --reps N      repetitions per cell, best-of (default 1)
-//   --quick       smallest instances only (smoke mode)
+// usage: bench_pipeline [--json FILE] [--reps N] [--quick] [--trace-out FILE]
+//   --json FILE      also write machine-readable results (CI artifact)
+//   --reps N         repetitions per cell, best-of (default 1)
+//   --quick          smallest instances only (smoke mode)
+//   --trace-out FILE record pipeline spans across every cell, write Chrome
+//                    trace JSON (chrome://tracing / Perfetto)
 #include <algorithm>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "bench_common.hpp"
 #include "common/json.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/trace.hpp"
 #include "partition/partition_strategy.hpp"
 
 namespace {
@@ -79,6 +83,7 @@ void write_json(std::ostream& os, const std::vector<Cell>& cells,
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string trace_path;
   int reps = 1;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
@@ -89,12 +94,20 @@ int main(int argc, char** argv) {
       reps = std::max(1, std::atoi(argv[++i]));
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       std::cerr << "usage: bench_pipeline [--json FILE] [--reps N] "
-                   "[--quick]\n";
+                   "[--quick] [--trace-out FILE]\n";
       return 2;
     }
   }
+
+  // Tracing stays opt-in so wall_ms cells remain comparable with and
+  // without it — the recorder exists only when --trace-out was given.
+  std::unique_ptr<TraceRecorder> recorder;
+  if (!trace_path.empty()) recorder = std::make_unique<TraceRecorder>();
+  ScopedTraceInstall trace_install(recorder.get());
 
   struct Instance {
     std::string label;
@@ -181,6 +194,16 @@ int main(int argc, char** argv) {
     std::ofstream out(json_path);
     write_json(out, cells, hw + 1);
     std::cout << "json written to " << json_path << '\n';
+  }
+  if (recorder) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot write trace file '" << trace_path << "'\n";
+      return 1;
+    }
+    recorder->write_chrome_trace(out);
+    std::cout << "trace written to " << trace_path << " ("
+              << recorder->event_count() << " events)\n";
   }
   return 0;
 }

@@ -2,7 +2,7 @@
 # Differential end-to-end check: epgc_serve must never drift from
 # epgc_compile.
 #
-# Five legs over every corpus entry (.epgc) in CORPUS_DIR:
+# Six legs over every corpus entry (.epgc) in CORPUS_DIR:
 #   * drift: each graph is compiled by epgc_compile (reference metrics +
 #     --epgc circuit) and through the service with DEFAULT budgets — the
 #     two run the exact same effective configuration, so metrics must
@@ -15,7 +15,12 @@
 #   * cluster: the same requests through a 3-worker epgc_cluster must be
 #     byte-identical to the single-process responses (det1.ndjson);
 #   * cluster kill/respawn: same check with one worker SIGKILLed mid-run —
-#     the front must respawn it, redeliver, and still match byte-for-byte.
+#     the front must respawn it, redeliver, and still match byte-for-byte;
+#   * observability: a non-deterministic 3-worker cluster with --trace-dir
+#     must (a) answer the metrics verb on front and worker with monotone,
+#     correctly aggregated counters, (b) report the memory cache tier on a
+#     repeated compile, and (c) dump per-request Chrome trace JSON whose
+#     spans cover all five pipeline stages.
 #
 # Usage: ci/serve_e2e.sh BUILD_DIR CORPUS_DIR
 set -euo pipefail
@@ -146,6 +151,118 @@ EOF
 run_cluster_leg cluster no-kill
 run_cluster_leg cluster-kill kill
 echo "serve-e2e: cluster legs byte-equal (3 workers, incl. kill/respawn)"
+
+# Leg 6 (observability): metrics verb + per-request trace dumps on a
+# NON-deterministic cluster (trace ids and timing fields are live there).
+"$BUILD/epgc_cluster" --workers 3 \
+  --runtime-dir "$WORK/rt-obs" --socket "$WORK/obs.sock" \
+  --trace-dir "$WORK/traces" \
+  2> "$WORK/obs.log" &
+obs_front_pid=$!
+python3 - "$WORK" <<'EOF'
+import json
+import pathlib
+import socket
+import sys
+import time
+
+work = pathlib.Path(sys.argv[1])
+path = work / "obs.sock"
+deadline = time.time() + 30
+while not path.exists():
+    if time.time() > deadline:
+        sys.exit("obs leg: front socket never appeared")
+    time.sleep(0.05)
+conn = socket.socket(socket.AF_UNIX)
+conn.connect(str(path))
+f = conn.makefile("rw")
+
+def ask(obj):
+    f.write(json.dumps(obj) + "\n")
+    f.flush()
+    return json.loads(f.readline())
+
+def check(cond, msg):
+    if not cond:
+        sys.exit(f"obs leg: {msg}")
+
+def agg_requests(resp):
+    check(resp.get("ok") and resp.get("role") == "front",
+          f"bad front metrics envelope: {resp}")
+    workers = resp["workers"]
+    check(len(workers) == 3, "front must report 3 workers")
+    sum_workers = sum(w["metrics"]["counters"]["epgc_requests_total"]
+                      for w in workers)
+    agg = resp["aggregate"]["counters"]["epgc_requests_total"]
+    check(agg == sum_workers,
+          f"aggregate requests {agg} != worker sum {sum_workers}")
+    return agg
+
+g6 = sorted(work.glob("*.g6"))[0].read_text().strip()
+compile_req = {"op": "compile", "id": "obs", "graph": g6,
+               "trace_id": "e2e-obs-compile"}
+
+before = agg_requests(ask({"op": "metrics", "id": "m1"}))
+first = ask(compile_req)
+check(first.get("ok"), f"compile failed: {first}")
+check(first.get("trace_id") == "e2e-obs-compile",
+      "client trace_id not echoed by the cluster")
+check("compute_ms" in first and "queued_ms" in first,
+      "non-deterministic response must carry queued_ms/compute_ms")
+# Same graph, fresh trace_id: the repeat must hit the memory tier, and a
+# distinct id keeps it from overwriting the first (stage-rich) trace dump.
+second = ask({**compile_req, "trace_id": "e2e-obs-repeat"})
+check(second.get("tier") == "memory",
+      f"repeated compile must hit the memory tier, got {second.get('tier')}")
+after = agg_requests(ask({"op": "metrics", "id": "m2"}))
+check(after > before,
+      f"front aggregate requests not monotone: {before} -> {after}")
+
+# prometheus:true propagates through the front's per-worker probe, so the
+# breakdown carries each worker's own Prometheus text exposition.
+worker = ask({"op": "metrics", "id": "m3", "prometheus": True})
+check(worker.get("role") == "front", "metrics is a front-answered op")
+check(all("epgc_requests_total" in w.get("prometheus", "")
+          for w in worker["workers"]),
+      "workers must expose Prometheus text when asked")
+hits = worker["aggregate"]["counters"].get("epgc_cache_hits_total", 0)
+check(hits >= 1, f"memory-tier hit must count as a cache hit, got {hits}")
+
+ask({"op": "shutdown", "id": "__drain__"})
+EOF
+wait "$obs_front_pid" \
+  || { echo "serve-e2e: obs cluster front exited nonzero" >&2;
+       cat "$WORK/obs.log" >&2; exit 1; }
+
+python3 - "$WORK" <<'EOF'
+import json
+import pathlib
+import sys
+
+work = pathlib.Path(sys.argv[1])
+trace = work / "traces" / "trace-e2e-obs-compile.json"
+if not trace.exists():
+    dumped = sorted(p.name for p in (work / "traces").glob("*.json"))
+    sys.exit(f"obs leg: no trace dumped for the compile request; saw {dumped}")
+doc = json.loads(trace.read_text())
+events = doc.get("traceEvents", [])
+names = {e.get("name") for e in events}
+stages = {"partition", "subgraph", "schedule", "correction", "verify"}
+missing = stages - names
+if missing:
+    sys.exit(f"obs leg: trace lacks pipeline stage spans: {sorted(missing)}")
+root = [e for e in events if e.get("name") == "request"]
+if not root:
+    sys.exit("obs leg: trace lacks the root request span")
+r = root[0]
+for e in events:
+    if e.get("tid") == r.get("tid") and e is not r:
+        if not (r["ts"] <= e["ts"] and
+                e["ts"] + e["dur"] <= r["ts"] + r["dur"]):
+            sys.exit(f"obs leg: span {e['name']} escapes the request span")
+print("serve-e2e: metrics verb aggregates correctly; trace dump covers "
+      f"all 5 pipeline stages ({len(events)} events)")
+EOF
 
 python3 - "$WORK" <<'EOF'
 import json

@@ -15,7 +15,9 @@
 #include "common/assert.hpp"
 #include "common/build_info.hpp"
 #include "common/compile_spec.hpp"
+#include "common/json.hpp"
 #include "common/json_value.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/graph_hash.hpp"
 
 namespace epg {
@@ -314,6 +316,8 @@ std::string ClusterFront::handle_line(const std::string& line,
   requests_.fetch_add(1);
   std::string op;
   std::string id_json = "null";
+  std::string trace_id;
+  bool want_prometheus = false;
   double deadline = cfg_.default_deadline_ms;
   std::optional<JsonValue> parsed;
   try {
@@ -326,6 +330,8 @@ std::string ClusterFront::handle_line(const std::string& line,
     if (id != nullptr) id_json = id->dump();
     try {
       op = parsed->get_string("op", "");
+      trace_id = parsed->get_string("trace_id", "");
+      want_prometheus = parsed->get_bool("prometheus", false);
       const double d = parsed->get_number("deadline_ms", 0.0);
       if (d > 0.0) deadline = d;
     } catch (const std::exception&) {
@@ -341,32 +347,53 @@ std::string ClusterFront::handle_line(const std::string& line,
     return error_response(id_json, kErrDeadline,
                           "deadline exceeded: request queued " +
                               std::to_string(queued_ms) + " ms, deadline " +
-                              std::to_string(deadline) + " ms");
+                              std::to_string(deadline) + " ms",
+                          trace_id);
   }
 
-  const bool front_op =
-      op == "ping" || op == "stats" || op == "health" || op == "shutdown";
+  const bool front_op = op == "ping" || op == "stats" || op == "health" ||
+                        op == "metrics" || op == "shutdown";
+  // The front originates a trace_id when the client supplied none —
+  // non-deterministic mode only, since a generated id in the response
+  // would break byte-identity with a single-process run.
+  const bool routable = op == "compile" || op == "batch";
+  if (trace_id.empty() && !cfg_.deterministic && (front_op || routable))
+    trace_id = generate_trace_id(trace_seq_.fetch_add(1));
   if (front_op) {
     try {
       check_request_proto(*parsed);
     } catch (const UnsupportedProtoError& e) {
       errors_.fetch_add(1);
-      return error_response(id_json, kErrUnsupportedProto, e.what());
+      return error_response(id_json, kErrUnsupportedProto, e.what(),
+                            trace_id);
     } catch (const std::exception& e) {
       errors_.fetch_add(1);
-      return error_response(id_json, kErrBadRequest, e.what());
+      return error_response(id_json, kErrBadRequest, e.what(), trace_id);
     }
     ok_.fetch_add(1);
-    if (op == "ping") return pong_response(id_json);
+    if (op == "ping") return pong_response(id_json, trace_id);
     if (op == "shutdown") {
       stop_.store(true);
-      return shutdown_response(id_json);
+      return shutdown_response(id_json, trace_id);
     }
-    if (op == "stats") return stats_response_line(id_json);
-    return health_response_line(id_json);
+    if (op == "stats") return stats_response_line(id_json, trace_id);
+    if (op == "metrics")
+      return metrics_response_line(id_json, want_prometheus, trace_id);
+    return health_response_line(id_json, trace_id);
   }
 
-  const std::string resp = route_and_forward(line);
+  // Propagate a front-generated trace_id to the worker by splicing it
+  // into the forwarded line; the worker echoes it like a client-supplied
+  // one. Client-supplied ids are already in the line (pass-through).
+  std::string forwarded = line;
+  if (routable && !trace_id.empty() && parsed &&
+      parsed->find("trace_id") == nullptr) {
+    const std::size_t close = forwarded.rfind('}');
+    if (close != std::string::npos)
+      forwarded.insert(close,
+                       ",\"trace_id\":\"" + json_escape(trace_id) + "\"");
+  }
+  const std::string resp = route_and_forward(forwarded);
   // A raw '"' cannot occur inside a JSON string value, so this substring
   // test reads the response's actual ok field.
   if (resp.find("\"ok\":false") == std::string::npos)
@@ -378,7 +405,18 @@ std::string ClusterFront::handle_line(const std::string& line,
 
 // ---- aggregated observability ---------------------------------------------
 
-std::string ClusterFront::stats_response_line(const std::string& id_json) {
+namespace {
+
+/// The echoed-correlation fragment all front-rendered envelopes share.
+std::string trace_id_field(const std::string& trace_id) {
+  if (trace_id.empty()) return {};
+  return ",\"trace_id\":\"" + json_escape(trace_id) + "\"";
+}
+
+}  // namespace
+
+std::string ClusterFront::stats_response_line(const std::string& id_json,
+                                              const std::string& trace_id) {
   // Live per-worker snapshots, summed into a cluster view; a worker that
   // cannot answer contributes a failure placeholder instead of stalling
   // the whole snapshot.
@@ -413,8 +451,9 @@ std::string ClusterFront::stats_response_line(const std::string& id_json) {
   }
   LineServer* server = server_.load();
   std::ostringstream os;
-  os << "{\"id\":" << id_json << ",\"proto\":\"" << proto_string()
-     << "\",\"op\":\"stats\",\"ok\":true,\"role\":\"front\""
+  os << "{\"id\":" << id_json << ",\"proto\":\"" << proto_string() << '"'
+     << trace_id_field(trace_id)
+     << ",\"op\":\"stats\",\"ok\":true,\"role\":\"front\""
      << ",\"workers_configured\":" << workers_.size() << ",\"respawns\":"
      << respawns_.load() << ",\"requests\":" << requests_.load()
      << ",\"ok_count\":" << ok_.load() << ",\"errors\":" << errors_.load()
@@ -438,15 +477,17 @@ std::string ClusterFront::stats_response_line(const std::string& id_json) {
   return os.str();
 }
 
-std::string ClusterFront::health_response_line(const std::string& id_json) {
+std::string ClusterFront::health_response_line(const std::string& id_json,
+                                               const std::string& trace_id) {
   const std::uint64_t uptime_ms = static_cast<std::uint64_t>(
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start_)
           .count());
   LineServer* server = server_.load();
   std::ostringstream os;
-  os << "{\"id\":" << id_json << ",\"proto\":\"" << proto_string()
-     << "\",\"op\":\"health\",\"ok\":true,\"role\":\"front\""
+  os << "{\"id\":" << id_json << ",\"proto\":\"" << proto_string() << '"'
+     << trace_id_field(trace_id)
+     << ",\"op\":\"health\",\"ok\":true,\"role\":\"front\""
      << ",\"uptime_ms\":" << uptime_ms << ",\"queue_depth\":"
      << (server != nullptr ? server->queue_depth() : 0) << ",\"max_queue\":"
      << cfg_.max_queue << ",\"respawns\":" << respawns_.load()
@@ -464,6 +505,49 @@ std::string ClusterFront::health_response_line(const std::string& id_json) {
        << (w.pid > 0 ? "true" : "false") << ",\"pid\":" << w.pid;
     if (!w.last_health.empty()) os << ",\"probe\":" << w.last_health;
     os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string ClusterFront::metrics_response_line(const std::string& id_json,
+                                                bool want_prometheus,
+                                                const std::string& trace_id) {
+  // One live snapshot per worker; the aggregate merges the workers'
+  // "metrics" objects (counters/gauges sum, matching histograms merge
+  // bucket-wise). A worker that cannot answer still appears verbatim in
+  // "workers" — as its error response — and contributes nothing to the
+  // aggregate.
+  std::string probe = R"({"op":"metrics","id":"__metrics__")";
+  if (want_prometheus) probe += R"(,"prometheus":true)";
+  probe += "}";
+  std::vector<std::string> per_worker(workers_.size());
+  std::vector<JsonValue> parsed;
+  parsed.reserve(workers_.size());
+  std::vector<const JsonValue*> snaps;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    per_worker[i] = forward(i, probe);
+    try {
+      JsonValue v = JsonValue::parse(per_worker[i]);
+      const JsonValue* m = v.find("metrics");
+      if (m != nullptr && m->type() == JsonValue::Type::object) {
+        parsed.push_back(std::move(v));
+        snaps.push_back(parsed.back().find("metrics"));
+      }
+    } catch (const std::exception&) {
+      // error placeholder stays in per_worker[i]
+    }
+  }
+  std::ostringstream os;
+  os << "{\"id\":" << id_json << ",\"proto\":\"" << proto_string() << '"'
+     << trace_id_field(trace_id)
+     << ",\"op\":\"metrics\",\"ok\":true,\"role\":\"front\""
+     << ",\"workers_configured\":" << workers_.size()
+     << ",\"aggregate\":" << merge_metric_snapshots(snaps)
+     << ",\"workers\":[";
+  for (std::size_t i = 0; i < per_worker.size(); ++i) {
+    if (i) os << ',';
+    os << per_worker[i];
   }
   os << "]}";
   return os.str();

@@ -78,6 +78,11 @@ struct ClusterConfig {
   double probe_timeout_ms = 5000.0;
   /// How long to wait for a freshly spawned worker's socket.
   double spawn_wait_ms = 10000.0;
+  /// Mirrors the workers' --deterministic flag. The front never injects a
+  /// generated trace_id in deterministic mode (responses must stay
+  /// byte-identical to a single-process run); client-supplied trace_ids
+  /// pass through either way, since the workers echo the line verbatim.
+  bool deterministic = false;
 };
 
 class ClusterFront {
@@ -132,8 +137,13 @@ class ClusterFront {
   /// Forward with queue-full retry + died-mid-flight respawn/retry.
   std::string forward(std::size_t worker, const std::string& line);
   std::string route_and_forward(const std::string& line);
-  std::string stats_response_line(const std::string& id_json);
-  std::string health_response_line(const std::string& id_json);
+  std::string stats_response_line(const std::string& id_json,
+                                  const std::string& trace_id);
+  std::string health_response_line(const std::string& id_json,
+                                   const std::string& trace_id);
+  std::string metrics_response_line(const std::string& id_json,
+                                    bool want_prometheus,
+                                    const std::string& trace_id);
   int serve_listener(int listen_fd);
   void monitor_loop();
 
@@ -152,6 +162,7 @@ class ClusterFront {
   std::atomic<std::size_t> errors_{0};
   std::atomic<std::size_t> expired_{0};
   std::atomic<std::size_t> transport_rejected_{0};
+  std::atomic<std::uint64_t> trace_seq_{0};  ///< generated trace_id suffix
   /// Live only while serve_listener runs (health op reads queue depth).
   std::atomic<LineServer*> server_{nullptr};
   std::chrono::steady_clock::time_point start_ =

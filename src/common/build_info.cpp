@@ -3,7 +3,9 @@
 namespace epg {
 
 const BuildInfo& build_info() {
-  static const BuildInfo info{"0.5.0", 1, 1, 1};
+  // proto 1.2: `metrics` verb, `trace_id` echo, queued_ms/compute_ms
+  // response timing (all additive — minors are never rejected).
+  static const BuildInfo info{"0.6.0", 1, 1, 2};
   return info;
 }
 

@@ -34,4 +34,14 @@ inline std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// Render a double as a JSON number: %.12g keeps microsecond-scale
+/// timestamps exact without trailing-zero noise; non-finite values (which
+/// JSON cannot represent) degrade to 0.
+inline std::string json_number(double v) {
+  if (!(v == v) || v > 1e308 || v < -1e308) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
 }  // namespace epg

@@ -245,7 +245,11 @@ class PartitionStage final : public PipelineStage {
     EPG_REQUIRE(strategy != nullptr,
                 "unknown partition strategy '" + pcfg.strategy + "'");
     result.strategy = std::string(strategy->name());
-    result.partition = strategy->run(ctx.target, pcfg, ctx.exec);
+    {
+      Span span("partition_strategy", "pipeline");
+      span.arg("strategy", result.strategy);
+      result.partition = strategy->run(ctx.target, pcfg, ctx.exec);
+    }
     ctx.plan = plan_stems(result.partition);
     result.stem_count = ctx.plan.stem_edges.size();
   }
@@ -263,6 +267,8 @@ class SubgraphStage final : public PipelineStage {
     // the node-count reduction below runs in index order, so the fan-out
     // is bit-identical at any lane count.
     ctx.exec.parallel_for(ctx.plan.parts.size(), [&](std::size_t p) {
+      Span span("part_compile", "pipeline");
+      span.arg("part", static_cast<std::uint64_t>(p));
       ctx.variants[p] =
           cached_compile_variants(ctx.part_cache, ctx.plan.parts[p].spec,
                                   ctx.scfg, ctx.result.ne_limit);
@@ -303,10 +309,16 @@ class ScheduleStage final : public PipelineStage {
           recompile.push_back(p);
         }
         if (recompile.empty()) break;  // nothing left at this level
+        Span round_span("ladder_round", "pipeline");
+        round_span.arg("level", static_cast<std::uint64_t>(level));
+        round_span.arg("recompiled",
+                       static_cast<std::uint64_t>(recompile.size()));
         SubgraphCompileConfig tight = ctx.scfg;
         tight.dangler = ladder[level];
         ctx.exec.parallel_for(recompile.size(), [&](std::size_t i) {
           const std::uint32_t p = recompile[i];
+          Span span("part_recompile", "pipeline");
+          span.arg("part", static_cast<std::uint64_t>(p));
           ctx.variants[p] =
               cached_compile_variants(ctx.part_cache, ctx.plan.parts[p].spec,
                                       tight, result.ne_limit);
@@ -424,8 +436,17 @@ std::vector<std::unique_ptr<PipelineStage>> make_framework_pipeline() {
 FrameworkResult run_pipeline(const Graph& target, const FrameworkConfig& cfg,
                              const Executor& exec) {
   EPG_REQUIRE(target.vertex_count() > 0, "empty target graph");
-  PipelineContext ctx{target, cfg, exec, {}, {}, {}, {}, {}};
+  PipelineContext ctx{target,
+                      cfg,
+                      exec,
+                      {},
+                      {},
+                      {},
+                      {},
+                      {},
+                      current_trace_recorder()};
   for (const auto& stage : make_framework_pipeline()) {
+    Span span(stage->name(), "pipeline");
     Stopwatch watch;
     stage->run(ctx);
     ctx.result.stage_ms.push_back(

@@ -39,6 +39,7 @@
 
 #include "compile/framework.hpp"
 #include "compile/stem.hpp"
+#include "obs/trace.hpp"
 
 namespace epg {
 
@@ -84,6 +85,11 @@ struct PipelineContext {
   std::vector<PartVariants> variants;
   SubgraphCompileConfig scfg;  ///< effective per-part config (hw applied)
   PartCompileCache part_cache;
+  /// The request's trace recorder (null = tracing off). run_pipeline
+  /// captures the caller's installed recorder here; stages and the
+  /// executor fan-out record spans against it through the thread-local
+  /// install, which ThreadPool::parallel_for forwards to its helpers.
+  TraceRecorder* trace = nullptr;
 };
 
 class PipelineStage {

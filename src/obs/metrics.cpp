@@ -1,0 +1,268 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+#include "common/json.hpp"
+#include "common/json_value.hpp"
+
+namespace epg {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::observe(double value) {
+  std::size_t b = 0;
+  while (b < bounds_.size() && value > bounds_[b]) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+const std::vector<double>& default_latency_buckets_ms() {
+  static const std::vector<double> buckets = {
+      0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000};
+  return buckets;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_add(
+    Kind kind, const std::string& name, const std::string& help) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return *it->second;
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  entry->name = name;
+  entry->help = help;
+  Entry* raw = entry.get();
+  entries_.push_back(std::move(entry));
+  by_name_[name] = raw;
+  return *raw;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = find_or_add(Kind::counter, name, help);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = find_or_add(Kind::gauge, name, help);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = find_or_add(Kind::histogram, name, help);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *e.histogram;
+}
+
+namespace {
+
+/// Prometheus family name = the metric name with any baked-in `{label}`
+/// suffix stripped (exposed verbatim on the sample line).
+std::string family_of(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  std::string last_family;
+  for (const auto& e : entries_) {
+    const std::string family = family_of(e->name);
+    if (family != last_family) {
+      if (!e->help.empty())
+        os << "# HELP " << family << ' ' << e->help << '\n';
+      os << "# TYPE " << family << ' '
+         << (e->kind == Kind::counter     ? "counter"
+             : e->kind == Kind::gauge     ? "gauge"
+                                          : "histogram")
+         << '\n';
+      last_family = family;
+    }
+    switch (e->kind) {
+      case Kind::counter:
+        os << e->name << ' ' << e->counter->value() << '\n';
+        break;
+      case Kind::gauge:
+        os << e->name << ' ' << e->gauge->value() << '\n';
+        break;
+      case Kind::histogram: {
+        const Histogram& h = *e->histogram;
+        const std::vector<std::uint64_t> counts = h.bucket_counts();
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+          cumulative += counts[b];
+          os << family << "_bucket{le=\"" << json_number(h.bounds()[b])
+             << "\"} " << cumulative << '\n';
+        }
+        cumulative += counts.back();
+        os << family << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+        os << family << "_sum " << json_number(h.sum()) << '\n';
+        os << family << "_count " << h.count() << '\n';
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream counters, gauges, histograms;
+  bool c0 = true, g0 = true, h0 = true;
+  for (const auto& e : entries_) {
+    switch (e->kind) {
+      case Kind::counter:
+        counters << (c0 ? "" : ",") << '"' << json_escape(e->name)
+                 << "\":" << e->counter->value();
+        c0 = false;
+        break;
+      case Kind::gauge:
+        gauges << (g0 ? "" : ",") << '"' << json_escape(e->name)
+               << "\":" << e->gauge->value();
+        g0 = false;
+        break;
+      case Kind::histogram: {
+        const Histogram& h = *e->histogram;
+        histograms << (h0 ? "" : ",") << '"' << json_escape(e->name)
+                   << "\":{\"le\":[";
+        for (std::size_t b = 0; b < h.bounds().size(); ++b)
+          histograms << (b ? "," : "") << json_number(h.bounds()[b]);
+        histograms << "],\"buckets\":[";
+        const std::vector<std::uint64_t> counts = h.bucket_counts();
+        for (std::size_t b = 0; b < counts.size(); ++b)
+          histograms << (b ? "," : "") << counts[b];
+        histograms << "],\"count\":" << h.count() << ",\"sum\":"
+                   << json_number(h.sum()) << '}';
+        h0 = false;
+        break;
+      }
+    }
+  }
+  return "{\"counters\":{" + counters.str() + "},\"gauges\":{" +
+         gauges.str() + "},\"histograms\":{" + histograms.str() + "}}";
+}
+
+MetricsRegistry& global_metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::string merge_metric_snapshots(
+    const std::vector<const JsonValue*>& snaps) {
+  // Sums keyed by name; orders preserve first-seen order so the merged
+  // snapshot reads like a worker's own (deterministic registration order).
+  std::vector<std::string> counter_order, gauge_order, hist_order;
+  std::unordered_map<std::string, std::uint64_t> counters;
+  std::unordered_map<std::string, std::int64_t> gauges;
+  struct Hist {
+    std::vector<double> le;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::unordered_map<std::string, Hist> hists;
+
+  for (const JsonValue* snap : snaps) {
+    if (snap == nullptr || snap->type() != JsonValue::Type::object) continue;
+    if (const JsonValue* c = snap->find("counters");
+        c != nullptr && c->type() == JsonValue::Type::object) {
+      for (const auto& [name, v] : c->members()) {
+        if (v.type() != JsonValue::Type::number) continue;
+        if (counters.emplace(name, 0).second) counter_order.push_back(name);
+        counters[name] += static_cast<std::uint64_t>(v.as_number());
+      }
+    }
+    if (const JsonValue* g = snap->find("gauges");
+        g != nullptr && g->type() == JsonValue::Type::object) {
+      for (const auto& [name, v] : g->members()) {
+        if (v.type() != JsonValue::Type::number) continue;
+        if (gauges.emplace(name, 0).second) gauge_order.push_back(name);
+        gauges[name] += static_cast<std::int64_t>(v.as_number());
+      }
+    }
+    if (const JsonValue* hs = snap->find("histograms");
+        hs != nullptr && hs->type() == JsonValue::Type::object) {
+      for (const auto& [name, v] : hs->members()) {
+        if (v.type() != JsonValue::Type::object) continue;
+        const JsonValue* le = v.find("le");
+        const JsonValue* buckets = v.find("buckets");
+        if (le == nullptr || buckets == nullptr ||
+            le->type() != JsonValue::Type::array ||
+            buckets->type() != JsonValue::Type::array)
+          continue;
+        Hist incoming;
+        for (const JsonValue& b : le->items())
+          incoming.le.push_back(b.as_number());
+        for (const JsonValue& b : buckets->items())
+          incoming.buckets.push_back(
+              static_cast<std::uint64_t>(b.as_number()));
+        if (incoming.buckets.size() != incoming.le.size() + 1) continue;
+        incoming.count = v.get_u64("count", 0);
+        incoming.sum = v.get_number("sum", 0.0);
+        auto it = hists.find(name);
+        if (it == hists.end()) {
+          hist_order.push_back(name);
+          hists.emplace(name, std::move(incoming));
+          continue;
+        }
+        Hist& agg = it->second;
+        if (agg.le != incoming.le) continue;  // mixed builds: keep first
+        for (std::size_t b = 0; b < agg.buckets.size(); ++b)
+          agg.buckets[b] += incoming.buckets[b];
+        agg.count += incoming.count;
+        agg.sum += incoming.sum;
+      }
+    }
+  }
+
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < counter_order.size(); ++i)
+    os << (i ? "," : "") << '"' << json_escape(counter_order[i]) << "\":"
+       << counters[counter_order[i]];
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauge_order.size(); ++i)
+    os << (i ? "," : "") << '"' << json_escape(gauge_order[i]) << "\":"
+       << gauges[gauge_order[i]];
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < hist_order.size(); ++i) {
+    const Hist& h = hists[hist_order[i]];
+    os << (i ? "," : "") << '"' << json_escape(hist_order[i])
+       << "\":{\"le\":[";
+    for (std::size_t b = 0; b < h.le.size(); ++b)
+      os << (b ? "," : "") << json_number(h.le[b]);
+    os << "],\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b)
+      os << (b ? "," : "") << h.buckets[b];
+    os << "],\"count\":" << h.count << ",\"sum\":" << json_number(h.sum)
+       << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace epg

@@ -1,0 +1,132 @@
+// Process metrics: counters, gauges, and fixed-bucket latency histograms
+// behind one registry, with Prometheus text and JSON expositions.
+//
+// Hot-path contract: inc()/set()/observe() are lock-free (relaxed atomics;
+// a histogram observation is two fetch_adds and one CAS loop for the sum).
+// The registry mutex is taken only at registration and exposition.
+// Registration is idempotent by name and iteration order is registration
+// order, so two processes built from the same binary expose their metrics
+// in the same order — which is what lets the cluster front merge worker
+// snapshots positionally-free but test them deterministically.
+//
+// Naming follows the Prometheus conventions; a label set is baked into the
+// metric name string (e.g. `epgc_tier_hits_total{tier="memory"}`) — the
+// registry itself is label-unaware, which keeps registration O(1) and the
+// exposition a straight dump. The catalog lives in docs/observability.md.
+//
+// Scoping: library code takes a registry (or none); only the apps wire
+// the process-global `global_metrics()` instance. That keeps test binaries
+// (which build many Services per process) free of cross-test pollution.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace epg {
+
+class JsonValue;
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t value) { v_.store(value, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed upper-bound buckets (`value <= bound`, Prometheus `le` semantics)
+/// plus an implicit +Inf overflow bucket, a count, and a sum.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+ private:
+  const std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default request-latency bucket bounds (milliseconds).
+const std::vector<double>& default_latency_buckets_ms();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Idempotent by name: the first call registers, later calls return the
+  /// same instance. Returned references live as long as the registry.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  /// Prometheus text exposition (HELP/TYPE per family, `_bucket{le=...}`
+  /// expansion for histograms), families in registration order.
+  std::string prometheus_text() const;
+
+  /// JSON form — the `metrics` verb payload and the merge input:
+  ///   {"counters":{name:value,...},"gauges":{...},
+  ///    "histograms":{name:{"le":[...],"buckets":[...],"count":N,"sum":S}}}
+  std::string json() const;
+
+ private:
+  enum class Kind { counter, gauge, histogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& find_or_add(Kind kind, const std::string& name,
+                     const std::string& help);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  ///< registration order
+  std::unordered_map<std::string, Entry*> by_name_;
+};
+
+/// The process-global registry. Library code never touches it implicitly;
+/// the serve/cluster/bench apps pass it in explicitly.
+MetricsRegistry& global_metrics();
+
+/// Merge worker metric snapshots (each the parsed `"metrics"` object of a
+/// `metrics` response) into one aggregated snapshot, rendered in the same
+/// JSON form: counters and gauges sum; histograms with identical `le`
+/// arrays merge bucket-wise (mismatched shapes keep the first and skip the
+/// rest — mixed-build clusters degrade, never throw).
+std::string merge_metric_snapshots(const std::vector<const JsonValue*>& snaps);
+
+}  // namespace epg

@@ -1,0 +1,146 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/json.hpp"
+
+namespace epg {
+
+namespace obs_detail {
+thread_local TraceRecorder* tls_recorder = nullptr;
+}  // namespace obs_detail
+
+namespace {
+
+std::uint64_t next_recorder_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Per-thread cache of the last (recorder, buffer) pair, validated by the
+// recorder's unique id so a recorder reusing a freed recorder's address
+// can never be served a stale buffer.
+struct LogCache {
+  std::uint64_t recorder_id = 0;
+  void* log = nullptr;
+};
+thread_local LogCache tls_log_cache;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t max_events)
+    : id_(next_recorder_id()),
+      max_events_(max_events),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceRecorder::ThreadLog& TraceRecorder::log_for_this_thread() {
+  if (tls_log_cache.recorder_id == id_)
+    return *static_cast<ThreadLog*>(tls_log_cache.log);
+  std::lock_guard<std::mutex> lock(mu_);
+  ThreadLog*& slot = by_thread_[std::this_thread::get_id()];
+  if (slot == nullptr) {
+    auto log = std::make_unique<ThreadLog>();
+    log->tid = static_cast<std::uint32_t>(logs_.size());
+    slot = log.get();
+    logs_.push_back(std::move(log));
+  }
+  tls_log_cache = {id_, slot};
+  return *slot;
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  if (recorded_.fetch_add(1, std::memory_order_relaxed) >= max_events_) {
+    recorded_.fetch_sub(1, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ThreadLog& log = log_for_this_thread();
+  event.tid = log.tid;
+  log.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& log : logs_)
+      all.insert(all.end(), log->events.begin(), log->events.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.dur_us > b.dur_us;
+                   });
+  return all;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& log : logs_) n += log->events.size();
+  return n;
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  const std::vector<TraceEvent> all = events();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const TraceEvent& e = all[i];
+    if (i) os << ',';
+    os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << json_escape(e.cat) << "\",\"ph\":\"X\",\"ts\":" << e.ts_us
+       << ",\"dur\":" << e.dur_us << ",\"pid\":1,\"tid\":" << e.tid;
+    if (!e.args_json.empty()) os << ",\"args\":{" << e.args_json << '}';
+    os << '}';
+  }
+  os << "]";
+  if (dropped() > 0) os << ",\"droppedEvents\":" << dropped();
+  os << "}";
+}
+
+void Span::arg(std::string_view key, double value) {
+  if (rec_ == nullptr) return;
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += json_escape(std::string(key));
+  args_ += "\":";
+  args_ += json_number(value);
+}
+
+void Span::arg(std::string_view key, std::uint64_t value) {
+  if (rec_ == nullptr) return;
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += json_escape(std::string(key));
+  args_ += "\":";
+  args_ += std::to_string(value);
+}
+
+void Span::arg(std::string_view key, std::string_view value) {
+  if (rec_ == nullptr) return;
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += json_escape(std::string(key));
+  args_ += "\":\"";
+  args_ += json_escape(std::string(value));
+  args_ += '"';
+}
+
+void Span::finish() {
+  TraceEvent event;
+  event.name.assign(name_.data(), name_.size());
+  event.cat.assign(cat_.data(), cat_.size());
+  event.ts_us = start_us_;
+  event.dur_us = rec_->now_us() - start_us_;
+  event.args_json = std::move(args_);
+  rec_->record(std::move(event));
+}
+
+}  // namespace epg

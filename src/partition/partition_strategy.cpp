@@ -8,6 +8,7 @@
 
 #include "common/assert.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/trace.hpp"
 #include "graph/local_complement.hpp"
 #include "partition/multilevel.hpp"
 #include "partition/seen_set.hpp"
@@ -175,6 +176,9 @@ class PortfolioStrategy final : public PartitionStrategy {
       if (slot >= 2)
         member.seed = derive_seed(cfg.seed, 0x5EEDF0110ULL, slot);
       const PartitionStrategy* engine = slot % 2 == 0 ? beam : anneal;
+      Span span("strategy_attempt", "partition");
+      span.arg("slot", static_cast<std::uint64_t>(slot));
+      span.arg("engine", engine->name());
       outcomes[slot] = engine->run(g, member, Executor::serial());
     });
 

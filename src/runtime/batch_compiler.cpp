@@ -4,6 +4,7 @@
 
 #include "common/build_info.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/trace.hpp"
 #include "runtime/graph_hash.hpp"
 #include "store/result_store.hpp"
 
@@ -129,7 +130,41 @@ BatchCompiler::BatchCompiler(BatchConfig cfg)
       // genuinely serial.
       pool_((cfg.threads == 0 ? ThreadPool::hardware_default()
                               : cfg.threads) -
-            1) {}
+            1),
+      metrics_(cfg.metrics ? cfg.metrics
+                           : std::make_shared<MetricsRegistry>()) {
+  jobs_total_ = &metrics_->counter("epgc_jobs_total",
+                                   "compile jobs submitted across runs");
+  compiled_total_ = &metrics_->counter(
+      "epgc_jobs_compiled_total", "jobs that actually ran a compiler");
+  cache_hits_total_ = &metrics_->counter(
+      "epgc_cache_hits_total", "jobs answered from any cache tier");
+  memory_hits_total_ = &metrics_->counter(
+      "epgc_tier_hits_total{tier=\"memory\"}", "in-memory cache hits");
+  store_hits_total_ = &metrics_->counter(
+      "epgc_tier_hits_total{tier=\"store\"}", "persistent store hits");
+  dedup_hits_total_ = &metrics_->counter(
+      "epgc_tier_hits_total{tier=\"dedup\"}", "within-batch duplicate hits");
+  failures_total_ =
+      &metrics_->counter("epgc_job_failures_total", "failed compile jobs");
+  job_wall_ms_ = &metrics_->histogram("epgc_job_wall_ms",
+                                      default_latency_buckets_ms(),
+                                      "per-job compile wall time (ms)");
+}
+
+BatchSummary BatchCompiler::totals() const {
+  BatchSummary t;
+  t.jobs = jobs_total_->value();
+  t.compiled = compiled_total_->value();
+  t.cache_hits = cache_hits_total_->value();
+  t.memory_hits = memory_hits_total_->value();
+  t.store_hits = store_hits_total_->value();
+  t.dedup_hits = dedup_hits_total_->value();
+  t.failures = failures_total_->value();
+  t.wall_ms = totals_wall_ms_;
+  t.compile_ms = totals_compile_ms_;
+  return t;
+}
 
 std::size_t BatchCompiler::cache_size() const {
   std::size_t total = 0;
@@ -174,6 +209,8 @@ JobResult BatchCompiler::compile_one(const CompileJob& job,
   r.num_qubits = job.graph.vertex_count();
   r.num_edges = job.graph.edge_count();
   StoredResult stored;  // write-back payload, filled on success
+  Span span("compile_job", "batch");
+  span.arg("label", job.label);
   Stopwatch watch;
   try {
     if (job.kind == CompilerKind::framework) {
@@ -422,18 +459,21 @@ std::vector<JobResult> BatchCompiler::run(
     if (r.cache_hit) ++summary_.cache_hits;
     if (!r.ok) ++summary_.failures;
     summary_.compile_ms += r.wall_ms;
+    if (r.tier == ResultTier::compiled) job_wall_ms_->observe(r.wall_ms);
   }
   summary_.compiled = to_compile.size();
   summary_.wall_ms = batch_watch.elapsed_ms();
-  totals_.jobs += summary_.jobs;
-  totals_.compiled += summary_.compiled;
-  totals_.cache_hits += summary_.cache_hits;
-  totals_.memory_hits += summary_.memory_hits;
-  totals_.store_hits += summary_.store_hits;
-  totals_.dedup_hits += summary_.dedup_hits;
-  totals_.failures += summary_.failures;
-  totals_.wall_ms += summary_.wall_ms;
-  totals_.compile_ms += summary_.compile_ms;
+  // Cumulative totals live in the metrics registry (the same counters the
+  // service's health/metrics verbs read); only the ms aggregates stay local.
+  jobs_total_->inc(summary_.jobs);
+  compiled_total_->inc(summary_.compiled);
+  cache_hits_total_->inc(summary_.cache_hits);
+  memory_hits_total_->inc(summary_.memory_hits);
+  store_hits_total_->inc(summary_.store_hits);
+  dedup_hits_total_->inc(summary_.dedup_hits);
+  failures_total_->inc(summary_.failures);
+  totals_wall_ms_ += summary_.wall_ms;
+  totals_compile_ms_ += summary_.compile_ms;
   return results;
 }
 

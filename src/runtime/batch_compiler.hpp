@@ -33,6 +33,7 @@
 
 #include "compile/baseline_compiler.hpp"
 #include "compile/framework.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace epg {
@@ -120,6 +121,12 @@ struct BatchConfig {
   /// (partition internals, stage timings) are empty — the search did not
   /// run. Consumers needing those must compile cold (no store).
   std::shared_ptr<CompileResultStore> store;
+  /// Metrics registry the cumulative job/tier counters live in (the one
+  /// source of truth `totals()` and the service's `health`/`metrics` verbs
+  /// read). Null = the compiler creates a private registry; the serve app
+  /// passes the process-global one. Never fingerprinted — observability
+  /// cannot split the cache.
+  std::shared_ptr<MetricsRegistry> metrics;
 };
 
 struct BatchSummary {
@@ -164,7 +171,12 @@ class BatchCompiler {
   std::vector<JobResult> run(const std::vector<CompileJob>& jobs);
 
   const BatchSummary& summary() const { return summary_; }  ///< last run()
-  const BatchSummary& totals() const { return totals_; }    ///< all runs
+  /// Cumulative totals across every run(), assembled from the metrics
+  /// registry counters (PR 9 rebased the tier counters there so the
+  /// `health`/`metrics` verbs and this summary can never drift).
+  BatchSummary totals() const;
+  /// The registry the cumulative counters live in (shared or private).
+  MetricsRegistry& metrics() { return *metrics_; }
   const BatchConfig& config() const { return cfg_; }
   /// Total concurrency (pool workers + the calling thread).
   std::size_t parallelism() const { return pool_.thread_count() + 1; }
@@ -193,7 +205,19 @@ class BatchCompiler {
   BatchConfig cfg_;
   ThreadPool pool_;
   BatchSummary summary_;
-  BatchSummary totals_;
+  std::shared_ptr<MetricsRegistry> metrics_;
+  /// Cumulative counters (registry-owned; named in docs/observability.md).
+  Counter* jobs_total_ = nullptr;
+  Counter* compiled_total_ = nullptr;
+  Counter* cache_hits_total_ = nullptr;
+  Counter* memory_hits_total_ = nullptr;
+  Counter* store_hits_total_ = nullptr;
+  Counter* dedup_hits_total_ = nullptr;
+  Counter* failures_total_ = nullptr;
+  Histogram* job_wall_ms_ = nullptr;
+  /// Millisecond aggregates stay local doubles (counters are integral).
+  double totals_wall_ms_ = 0.0;
+  double totals_compile_ms_ = 0.0;
   std::unordered_map<std::uint64_t, std::vector<CacheEntry>> cache_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace epg {
 
 Executor::Executor(ThreadPool& pool, std::size_t max_lanes)
@@ -36,6 +38,9 @@ void Executor::parallel_for(
   pool_->parallel_for(lanes, [&](std::size_t lane) {
     const std::size_t begin = lane * count / lanes;
     const std::size_t end = (lane + 1) * count / lanes;
+    Span span("executor_chunk", "executor");
+    span.arg("lane", static_cast<std::uint64_t>(lane));
+    span.arg("indices", static_cast<std::uint64_t>(end - begin));
     for (std::size_t i = begin; i < end; ++i) fn(i);
   });
 }

@@ -2,6 +2,8 @@
 
 #include <exception>
 
+#include "obs/trace.hpp"
+
 namespace epg {
 
 namespace {
@@ -126,11 +128,17 @@ void ThreadPool::parallel_for(std::size_t count,
     std::exception_ptr error;
   };
   auto state = std::make_shared<State>();
+  // The submitting thread's trace recorder rides along so spans opened
+  // inside pool tasks land in the same per-request trace; a null recorder
+  // install is free and keeps helpers from inheriting a stale one.
+  TraceRecorder* const trace = current_trace_recorder();
   // The caller waits for all *indices* to complete, never for the helper
   // tasks themselves: a helper that only gets scheduled later (e.g. when
   // the caller is itself the sole worker) finds `next >= count` and exits
   // without touching `fn`, whose lifetime ends with this call.
-  auto drain = [state, count, &fn] {
+  auto drain = [state, count, trace, &fn] {
+    ScopedTraceInstall install(trace);
+    Span task_span("pool_drain", "executor");
     std::size_t i;
     while ((i = state->next.fetch_add(1, std::memory_order_relaxed)) <
            count) {

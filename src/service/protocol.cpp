@@ -1,5 +1,9 @@
 #include "service/protocol.hpp"
 
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -25,9 +29,21 @@ CompileJob job_from_spec(const JsonValue& spec, std::size_t index) {
 }
 
 /// Every response opens with the echoed id and the server's protocol
-/// revision — one renderer so the two can never drift per-op.
-std::string response_head(const std::string& id_json) {
-  return "{\"id\":" + id_json + ",\"proto\":\"" + proto_string() + "\"";
+/// revision — one renderer so the two can never drift per-op. A non-empty
+/// trace_id rides in the head so every op echoes it identically.
+std::string response_head(const std::string& id_json,
+                          const std::string& trace_id = {}) {
+  std::string head =
+      "{\"id\":" + id_json + ",\"proto\":\"" + proto_string() + "\"";
+  if (!trace_id.empty())
+    head += ",\"trace_id\":\"" + json_escape(trace_id) + "\"";
+  return head;
+}
+
+void timing_fields(std::ostringstream& os, const ResponseTiming* timing) {
+  if (timing == nullptr) return;
+  os << ",\"queued_ms\":" << json_number(timing->queued_ms)
+     << ",\"compute_ms\":" << json_number(timing->compute_ms);
 }
 
 }  // namespace
@@ -60,6 +76,21 @@ void check_request_proto(const JsonValue& v) {
         " (server speaks " + proto_string() + ")");
 }
 
+std::string generate_trace_id(std::uint64_t seq) {
+  std::uint64_t z = static_cast<std::uint64_t>(
+                        std::chrono::steady_clock::now()
+                            .time_since_epoch()
+                            .count()) +
+                    0x9e3779b97f4a7c15ULL * (seq + 1) +
+                    static_cast<std::uint64_t>(::getpid());
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "t%016llx",
+                static_cast<unsigned long long>(z ^ (z >> 31)));
+  return buf;
+}
+
 std::string extract_request_id(const std::string& line) {
   try {
     const JsonValue v = JsonValue::parse(line);
@@ -80,6 +111,7 @@ ServiceRequest parse_service_request(const std::string& line) {
   req.id_json = id == nullptr ? "null" : id->dump();
   check_request_proto(v);
   req.deadline_ms = v.get_number("deadline_ms", 0.0);
+  req.trace_id = v.get_string("trace_id", "");
 
   const std::string op = v.get_string("op", "");
   if (op == "compile") {
@@ -97,6 +129,9 @@ ServiceRequest parse_service_request(const std::string& line) {
     req.op = ServiceOp::stats;
   } else if (op == "health") {
     req.op = ServiceOp::health;
+  } else if (op == "metrics") {
+    req.op = ServiceOp::metrics;
+    req.want_prometheus = v.get_bool("prometheus", false);
   } else if (op == "ping") {
     req.op = ServiceOp::ping;
   } else if (op == "shutdown") {
@@ -111,25 +146,31 @@ ServiceRequest parse_service_request(const std::string& line) {
 
 std::string error_response(const std::string& id_json,
                            const std::string& code,
-                           const std::string& message) {
-  return response_head(id_json) + ",\"ok\":false,\"code\":\"" + code +
-         "\",\"error\":\"" + json_escape(message) + "\"}";
+                           const std::string& message,
+                           const std::string& trace_id) {
+  return response_head(id_json, trace_id) + ",\"ok\":false,\"code\":\"" +
+         code + "\",\"error\":\"" + json_escape(message) + "\"}";
 }
 
-std::string pong_response(const std::string& id_json) {
-  return response_head(id_json) + ",\"ok\":true,\"op\":\"ping\"}";
+std::string pong_response(const std::string& id_json,
+                          const std::string& trace_id) {
+  return response_head(id_json, trace_id) + ",\"ok\":true,\"op\":\"ping\"}";
 }
 
-std::string shutdown_response(const std::string& id_json) {
-  return response_head(id_json) + ",\"ok\":true,\"op\":\"shutdown\"}";
+std::string shutdown_response(const std::string& id_json,
+                              const std::string& trace_id) {
+  return response_head(id_json, trace_id) +
+         ",\"ok\":true,\"op\":\"shutdown\"}";
 }
 
 std::string compile_response(const std::string& id_json, const JobResult& r,
                              const std::string& circuit_text,
-                             bool include_wall) {
+                             bool include_wall, const std::string& trace_id,
+                             const ResponseTiming* timing) {
   std::ostringstream os;
-  os << response_head(id_json) << ",\"op\":\"compile\",";
+  os << response_head(id_json, trace_id) << ",\"op\":\"compile\",";
   job_result_json_fields(os, r, include_wall);
+  timing_fields(os, timing);
   if (!circuit_text.empty())
     os << ",\"circuit\":\"" << json_escape(circuit_text) << '"';
   os << '}';
@@ -138,14 +179,18 @@ std::string compile_response(const std::string& id_json, const JobResult& r,
 
 std::string batch_response(const std::string& id_json,
                            const std::vector<JobResult>& results,
-                           const BatchSummary& summary, bool include_wall) {
+                           const BatchSummary& summary, bool include_wall,
+                           const std::string& trace_id,
+                           const ResponseTiming* timing) {
   std::ostringstream os;
-  os << response_head(id_json) << ",\"op\":\"batch\",\"ok\":true,"
+  os << response_head(id_json, trace_id) << ",\"op\":\"batch\",\"ok\":true,"
      << "\"jobs\":" << results.size() << ",\"compiled\":"
      << summary.compiled << ",\"cache_hits\":" << summary.cache_hits
      << ",\"memory_hits\":" << summary.memory_hits << ",\"store_hits\":"
      << summary.store_hits << ",\"dedup_hits\":" << summary.dedup_hits
-     << ",\"failures\":" << summary.failures << ",\"results\":[";
+     << ",\"failures\":" << summary.failures;
+  timing_fields(os, timing);
+  os << ",\"results\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {
     if (i) os << ',';
     os << '{';
@@ -198,6 +243,19 @@ std::string health_response(const std::string& id_json,
      << health.totals.store_hits << ",\"dedup_hits\":"
      << health.totals.dedup_hits << '}';
   return os.str();
+}
+
+std::string metrics_response(const std::string& id_json,
+                             const std::string& metrics_json,
+                             const std::string& prometheus,
+                             const std::string& trace_id) {
+  std::string out = response_head(id_json, trace_id) +
+                    ",\"op\":\"metrics\",\"ok\":true,\"metrics\":" +
+                    metrics_json;
+  if (!prometheus.empty())
+    out += ",\"prometheus\":\"" + json_escape(prometheus) + "\"";
+  out += "}";
+  return out;
 }
 
 }  // namespace epg

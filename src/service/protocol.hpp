@@ -8,8 +8,13 @@
 //   {"op":"batch",   "id":2, "jobs":[{...compile spec...}, ...]}
 //   {"op":"stats",   "id":3}
 //   {"op":"health",  "id":4}
-//   {"op":"ping",    "id":5}
-//   {"op":"shutdown","id":6}
+//   {"op":"metrics", "id":5, "prometheus":true}
+//   {"op":"ping",    "id":6}
+//   {"op":"shutdown","id":7}
+//
+// Any request may carry "trace_id" (a client-chosen correlation string);
+// the response echoes it. Servers started with --trace-dir additionally
+// self-generate one per request in non-deterministic mode.
 //
 // Compile specs are CompileSpec keys (common/compile_spec.hpp) — the same
 // knobs and defaults as epgc_compile flags, so a service response
@@ -42,7 +47,7 @@ namespace epg {
 
 struct StoreStats;
 
-enum class ServiceOp { compile, batch, stats, health, ping, shutdown };
+enum class ServiceOp { compile, batch, stats, health, metrics, ping, shutdown };
 
 struct ServiceRequest {
   ServiceOp op = ServiceOp::ping;
@@ -50,6 +55,12 @@ struct ServiceRequest {
   std::vector<CompileJob> jobs;  ///< compile: exactly one; batch: many
   bool want_circuit = false;     ///< compile only: embed the epgc text
   double deadline_ms = 0.0;      ///< max queue wait; 0 = no deadline
+  /// Request "trace_id", echoed in the response; empty = none supplied
+  /// (the service generates one only in non-deterministic mode, so
+  /// deterministic responses stay bit-stable).
+  std::string trace_id;
+  /// metrics op: also embed the Prometheus text exposition.
+  bool want_prometheus = false;
 };
 
 /// A request that named a protocol major this build does not speak.
@@ -76,6 +87,12 @@ void check_request_proto(const JsonValue& request);
 /// even parse-error responses can echo the id when one is readable.
 std::string extract_request_id(const std::string& line);
 
+/// Fresh request correlation id ("t" + 16 hex digits), mixed from the
+/// clock, the pid, and a caller-provided sequence number. Both the serve
+/// worker and the cluster front use it — only in non-deterministic mode,
+/// since a generated id in the response would break bit-stable replay.
+std::string generate_trace_id(std::uint64_t seq);
+
 // ---- response rendering (single line, no trailing newline) ---------------
 
 // Stable error codes (the wire contract; the cluster front dispatches on
@@ -87,21 +104,48 @@ inline constexpr const char* kErrDeadline = "deadline";
 inline constexpr const char* kErrWorkerFailed = "worker_failed";
 inline constexpr const char* kErrOversizedFrame = "oversized_frame";
 
+/// Queue-wait vs compute split for a served request (milliseconds).
+/// Rendered only when the renderer gets a non-null pointer — the service
+/// passes one exactly when `include_wall` (i.e. never in deterministic
+/// mode, where responses must be bit-stable).
+struct ResponseTiming {
+  double queued_ms = 0.0;   ///< admission-queue wait before work started
+  double compute_ms = 0.0;  ///< parse + compile + render
+};
+
+// Every renderer takes an optional trailing `trace_id`; non-empty emits
+// `"trace_id":"..."` in the response head so clients can correlate a
+// response with a dumped trace file.
 std::string error_response(const std::string& id_json,
                            const std::string& code,
-                           const std::string& message);
-std::string pong_response(const std::string& id_json);
-std::string shutdown_response(const std::string& id_json);
+                           const std::string& message,
+                           const std::string& trace_id = {});
+std::string pong_response(const std::string& id_json,
+                          const std::string& trace_id = {});
+std::string shutdown_response(const std::string& id_json,
+                              const std::string& trace_id = {});
 
 /// `include_wall` = false keeps deterministic-mode responses bit-stable
 /// across service restarts. `circuit_text` non-empty embeds the compiled
 /// circuit in the native epgc format.
 std::string compile_response(const std::string& id_json, const JobResult& r,
                              const std::string& circuit_text,
-                             bool include_wall);
+                             bool include_wall,
+                             const std::string& trace_id = {},
+                             const ResponseTiming* timing = nullptr);
 std::string batch_response(const std::string& id_json,
                            const std::vector<JobResult>& results,
-                           const BatchSummary& summary, bool include_wall);
+                           const BatchSummary& summary, bool include_wall,
+                           const std::string& trace_id = {},
+                           const ResponseTiming* timing = nullptr);
+
+/// The `metrics` verb payload: `metrics_json` is a registry (or merged)
+/// JSON snapshot embedded verbatim; a non-empty `prometheus` adds the text
+/// exposition as an escaped string field.
+std::string metrics_response(const std::string& id_json,
+                             const std::string& metrics_json,
+                             const std::string& prometheus = {},
+                             const std::string& trace_id = {});
 
 struct ServiceCounters {
   std::size_t requests = 0;  ///< lines received (including malformed)

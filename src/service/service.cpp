@@ -2,10 +2,16 @@
 
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 
 #include "circuit/serialize.hpp"
+#include "obs/trace.hpp"
 
 namespace epg {
 
@@ -18,6 +24,31 @@ std::string circuit_text_of(const JobResult& r) {
   return {};
 }
 
+const char* op_name(ServiceOp op) {
+  switch (op) {
+    case ServiceOp::compile: return "compile";
+    case ServiceOp::batch: return "batch";
+    case ServiceOp::stats: return "stats";
+    case ServiceOp::health: return "health";
+    case ServiceOp::metrics: return "metrics";
+    case ServiceOp::ping: return "ping";
+    case ServiceOp::shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+/// trace_ids become file names; anything outside [A-Za-z0-9_-] flattens
+/// to '_' so a hostile id cannot escape the trace dir.
+std::string sanitize_trace_id(const std::string& id) {
+  std::string out = id.substr(0, 80);
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out.empty() ? "anon" : out;
+}
+
 }  // namespace
 
 Service::Service(ServiceConfig cfg) : cfg_(std::move(cfg)) {
@@ -28,7 +59,45 @@ Service::Service(ServiceConfig cfg) : cfg_(std::move(cfg)) {
   if (!cfg_.store.dir.empty())
     store_ = std::make_shared<CompileResultStore>(cfg_.store);
   cfg_.batch.store = store_;
+  // One registry spans the service's request counters and the compiler's
+  // job/tier counters — the stats/health/metrics verbs all read from it.
+  metrics_ =
+      cfg_.metrics ? cfg_.metrics : std::make_shared<MetricsRegistry>();
+  cfg_.batch.metrics = metrics_;
   batch_ = std::make_unique<BatchCompiler>(cfg_.batch);
+  requests_ = &metrics_->counter("epgc_requests_total",
+                                 "request lines received (incl. malformed)");
+  ok_ = &metrics_->counter("epgc_requests_ok_total",
+                           "requests answered ok");
+  errors_ = &metrics_->counter("epgc_requests_error_total",
+                               "malformed or failed requests");
+  rejected_ = &metrics_->counter("epgc_requests_rejected_total",
+                                 "admission-queue overflow rejections");
+  expired_ = &metrics_->counter("epgc_requests_expired_total",
+                                "deadline exceeded while queued");
+  latency_ms_ = &metrics_->histogram("epgc_request_latency_ms",
+                                     default_latency_buckets_ms(),
+                                     "per-request compute time (ms)");
+  queue_wait_ms_ = &metrics_->histogram("epgc_queue_wait_ms",
+                                        default_latency_buckets_ms(),
+                                        "admission-queue wait (ms)");
+  if (!cfg_.trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cfg_.trace_dir, ec);
+    if (ec)
+      std::cerr << "epgc_serve: cannot create trace dir '" << cfg_.trace_dir
+                << "': " << ec.message() << '\n';
+  }
+}
+
+std::string Service::resolve_trace_id(const ServiceRequest& req) {
+  // A client-supplied id is always echoed (it is part of the request, so
+  // deterministic-mode responses stay reproducible). Self-generated ids
+  // exist only in non-deterministic mode — they would otherwise break
+  // bit-identical response replay.
+  if (!req.trace_id.empty()) return req.trace_id;
+  if (cfg_.batch.deterministic) return {};
+  return generate_trace_id(trace_seq_.fetch_add(1));
 }
 
 ServiceHealth Service::health() const {
@@ -45,45 +114,79 @@ ServiceHealth Service::health() const {
 }
 
 std::string Service::handle_line(const std::string& line, double queued_ms) {
-  ++counters_.requests;
+  requests_->inc();
+  queue_wait_ms_->observe(queued_ms);
+  const Stopwatch compute_watch;
+  // Per-request recorder: requests on one executor thread never share
+  // span buffers, and an untraced service keeps the null-recorder fast
+  // path everywhere below.
+  std::unique_ptr<TraceRecorder> recorder;
+  if (!cfg_.trace_dir.empty())
+    recorder = std::make_unique<TraceRecorder>();
+  ScopedTraceInstall install(recorder.get());
+
   ServiceRequest req;
   try {
     req = parse_service_request(line);
   } catch (const UnsupportedProtoError& e) {
-    ++counters_.errors;
+    errors_->inc();
     return error_response(extract_request_id(line), kErrUnsupportedProto,
                           e.what());
   } catch (const std::exception& e) {
-    ++counters_.errors;
+    errors_->inc();
     return error_response(extract_request_id(line), kErrBadRequest,
                           e.what());
   }
+  const std::string trace_id = resolve_trace_id(req);
   const double deadline =
       req.deadline_ms > 0.0 ? req.deadline_ms : cfg_.default_deadline_ms;
   if (deadline > 0.0 && queued_ms > deadline) {
-    ++counters_.expired;
-    ++counters_.errors;
+    expired_->inc();
+    errors_->inc();
     return error_response(req.id_json, kErrDeadline,
                           "deadline exceeded: request queued " +
                               std::to_string(queued_ms) + " ms, deadline " +
-                              std::to_string(deadline) + " ms");
+                              std::to_string(deadline) + " ms",
+                          trace_id);
   }
-  return handle_request(req, queued_ms);
+  std::string response;
+  {
+    Span root("request", "service");
+    root.arg("op", op_name(req.op));
+    if (!trace_id.empty()) root.arg("trace_id", trace_id);
+    response = handle_request(req, trace_id, queued_ms, compute_watch);
+  }
+  const double compute_ms = compute_watch.elapsed_ms();
+  latency_ms_->observe(compute_ms);
+  if (recorder && compute_ms >= cfg_.trace_slow_ms &&
+      recorder->event_count() > 0) {
+    const std::string path = cfg_.trace_dir + "/trace-" +
+                             sanitize_trace_id(trace_id) + ".json";
+    std::ofstream out(path);
+    if (out) recorder->write_chrome_trace(out);
+  }
+  return response;
 }
 
 std::string Service::handle_request(const ServiceRequest& req,
-                                    double /*queued_ms*/) {
+                                    const std::string& trace_id,
+                                    double queued_ms,
+                                    const Stopwatch& compute_watch) {
   const bool include_wall = !cfg_.batch.deterministic;
+  // Render-time timing split; passed to the compile/batch renderers only
+  // when wall-clock fields are allowed at all.
+  ResponseTiming timing;
+  timing.queued_ms = queued_ms;
   switch (req.op) {
     case ServiceOp::ping:
-      ++counters_.ok;
-      return pong_response(req.id_json);
+      ok_->inc();
+      return pong_response(req.id_json, trace_id);
     case ServiceOp::shutdown:
-      ++counters_.ok;
+      ok_->inc();
       stop_.store(true);
-      return shutdown_response(req.id_json);
+      return shutdown_response(req.id_json, trace_id);
     case ServiceOp::stats: {
-      ++counters_.ok;
+      ok_->inc();
       StoreStats store_stats;
       if (store_) store_stats = store_->stats();
       return stats_response(req.id_json, counters(), batch_->totals(),
@@ -91,28 +194,38 @@ std::string Service::handle_request(const ServiceRequest& req,
                             store_ ? &store_stats : nullptr);
     }
     case ServiceOp::health:
-      ++counters_.ok;
+      ok_->inc();
       return health_response(req.id_json, health());
+    case ServiceOp::metrics:
+      ok_->inc();
+      return metrics_response(
+          req.id_json, metrics_->json(),
+          req.want_prometheus ? metrics_->prometheus_text() : std::string(),
+          trace_id);
     case ServiceOp::compile: {
       const std::vector<JobResult> results = batch_->run(req.jobs);
       const JobResult& r = results.front();
-      if (r.ok) ++counters_.ok;
-      else ++counters_.errors;
+      if (r.ok) ok_->inc();
+      else errors_->inc();
+      timing.compute_ms = compute_watch.elapsed_ms();
       return compile_response(
           req.id_json, r,
           req.want_circuit && r.ok ? circuit_text_of(r) : std::string(),
-          include_wall);
+          include_wall, trace_id, include_wall ? &timing : nullptr);
     }
     case ServiceOp::batch: {
       const std::vector<JobResult> results = batch_->run(req.jobs);
       const BatchSummary summary = batch_->summary();
-      if (summary.failures == 0) ++counters_.ok;
-      else ++counters_.errors;
-      return batch_response(req.id_json, results, summary, include_wall);
+      if (summary.failures == 0) ok_->inc();
+      else errors_->inc();
+      timing.compute_ms = compute_watch.elapsed_ms();
+      return batch_response(req.id_json, results, summary, include_wall,
+                            trace_id, include_wall ? &timing : nullptr);
     }
   }
-  ++counters_.errors;
-  return error_response(req.id_json, kErrBadRequest, "unhandled op");
+  errors_->inc();
+  return error_response(req.id_json, kErrBadRequest, "unhandled op",
+                        trace_id);
 }
 
 int Service::serve_stream(std::istream& in, std::ostream& out) {
@@ -134,6 +247,7 @@ int Service::serve_listener(int listen_fd) {
     return handle_line(line, queued_ms);
   };
   scfg.reject_response = [this](const std::string& line) {
+    rejected_->inc();  // called once per overflow, from reader threads
     return error_response(extract_request_id(line), kErrQueueFull,
                           "queue full (" + std::to_string(cfg_.max_queue) +
                               " pending); retry later");
@@ -147,7 +261,6 @@ int Service::serve_listener(int listen_fd) {
   LineServer server(scfg);
   server_ = &server;
   const int rc = server.serve(listen_fd, stop_);
-  transport_rejected_.fetch_add(server.rejected());
   server_ = nullptr;
   return rc;
 }

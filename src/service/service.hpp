@@ -32,6 +32,7 @@
 #include <memory>
 #include <string>
 
+#include "common/stopwatch.hpp"
 #include "runtime/batch_compiler.hpp"
 #include "service/protocol.hpp"
 #include "service/transport.hpp"
@@ -55,6 +56,15 @@ struct ServiceConfig {
   double default_deadline_ms = 0.0;
   /// Stream mode: answer exactly one request, then return.
   bool once = false;
+  /// Registry the request counters/histograms live in, shared with the
+  /// BatchCompiler's job counters. Null = the service creates a private
+  /// one (what tests want); the apps pass `global_metrics()`.
+  std::shared_ptr<MetricsRegistry> metrics;
+  /// Record a span tree per request and dump Chrome trace JSON here
+  /// (trace-<id>.json) for requests whose compute time reaches
+  /// trace_slow_ms. Empty = tracing off (zero-cost hot path).
+  std::string trace_dir;
+  double trace_slow_ms = 0.0;
 };
 
 class Service {
@@ -87,27 +97,44 @@ class Service {
   void stop() { stop_.store(true); }
   bool shutdown_requested() const { return stop_.load(); }
 
-  /// Snapshot (rejected is updated from socket reader threads).
+  /// Snapshot, assembled from the metrics registry (one source of truth
+  /// for the stats/health/metrics verbs; counters are thread-safe).
   ServiceCounters counters() const {
-    ServiceCounters c = counters_;
-    c.rejected = rejected_.load() + transport_rejected_.load();
+    ServiceCounters c;
+    c.requests = requests_->value();
+    c.ok = ok_->value();
+    c.errors = errors_->value();
+    c.rejected = rejected_->value();
+    c.expired = expired_->value();
     return c;
   }
   /// The `health` verb's payload: uptime, queue pressure, tier hits.
   ServiceHealth health() const;
   BatchCompiler& batch() { return *batch_; }
   CompileResultStore* store() { return store_.get(); }
+  MetricsRegistry& metrics() { return *metrics_; }
 
  private:
-  std::string handle_request(const ServiceRequest& req, double queued_ms);
+  std::string handle_request(const ServiceRequest& req,
+                             const std::string& trace_id, double queued_ms,
+                             const Stopwatch& compute_watch);
   int serve_listener(int listen_fd);
+  /// Non-empty only when this request should be traced/correlated.
+  std::string resolve_trace_id(const ServiceRequest& req);
 
   ServiceConfig cfg_;
   std::shared_ptr<CompileResultStore> store_;  ///< null when disabled
+  std::shared_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<BatchCompiler> batch_;
-  ServiceCounters counters_;  ///< executor-thread only, except .rejected
-  std::atomic<std::size_t> rejected_{0};
-  std::atomic<std::size_t> transport_rejected_{0};
+  /// Request counters (registry-owned; catalog in docs/observability.md).
+  Counter* requests_ = nullptr;
+  Counter* ok_ = nullptr;
+  Counter* errors_ = nullptr;
+  Counter* rejected_ = nullptr;  ///< inc'd live from reader threads
+  Counter* expired_ = nullptr;
+  Histogram* latency_ms_ = nullptr;    ///< per-request compute time
+  Histogram* queue_wait_ms_ = nullptr; ///< admission-queue wait
+  std::atomic<std::uint64_t> trace_seq_{0};  ///< generated trace_id suffix
   std::atomic<bool> stop_{false};
   std::atomic<std::uint16_t> tcp_port_{0};
   /// Live only while serve_listener runs; read by the health op (the

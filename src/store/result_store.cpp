@@ -16,6 +16,7 @@
 #include "circuit/serialize.hpp"
 #include "common/build_info.hpp"
 #include "io/graph_io.hpp"
+#include "obs/trace.hpp"
 #include "runtime/batch_compiler.hpp"
 #include "runtime/graph_hash.hpp"
 
@@ -352,6 +353,7 @@ void CompileResultStore::evict_to_cap_locked() {
 std::optional<StoredResult> CompileResultStore::get(
     const Graph& graph, std::uint64_t config_hash, CompilerKind kind,
     bool with_circuit) {
+  Span span("store_get", "store");
   std::lock_guard<std::mutex> lock(mutex_);
   const std::string name = key_name(graph, config_hash, kind);
   const fs::path path = fs::path(cfg_.dir) / name;
@@ -402,6 +404,7 @@ std::optional<StoredResult> CompileResultStore::get(
 
 void CompileResultStore::put(const Graph& graph, std::uint64_t config_hash,
                              CompilerKind kind, const StoredResult& result) {
+  Span span("store_put", "store");
   StoreEntryData entry;
   entry.schema = build_info().result_schema;
   entry.is_framework = kind == CompilerKind::framework;

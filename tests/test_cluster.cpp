@@ -91,6 +91,10 @@ ClusterConfig test_cluster_config(const std::string& tag) {
   cfg.worker_bin = kWorkerBin;
   cfg.runtime_dir = fresh_runtime_dir(tag);
   cfg.worker_args = {"--deterministic"};
+  // Mirrors the worker flag, exactly as the epgc_cluster app wires it:
+  // the front must not inject generated trace_ids into deterministic
+  // responses (byte-identity with single-process is the contract here).
+  cfg.deterministic = true;
   return cfg;
 }
 
