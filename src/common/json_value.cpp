@@ -1,5 +1,6 @@
 #include "common/json_value.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -219,7 +220,11 @@ class JsonParser {
 
   JsonValue number() {
     const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
+    bool integral = true;  // plain digits only: no sign/fraction/exponent
+    if (peek() == '-') {
+      ++pos_;
+      integral = false;
+    }
     auto digits = [&] {
       std::size_t n = 0;
       while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
@@ -233,10 +238,12 @@ class JsonParser {
     else if (digits() == 0) fail_at(pos_, "bad number");
     if (pos_ < text_.size() && text_[pos_] == '.') {
       ++pos_;
+      integral = false;
       if (digits() == 0) fail_at(pos_, "bad number");
     }
     if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
       ++pos_;
+      integral = false;
       if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
         ++pos_;
       if (digits() == 0) fail_at(pos_, "bad number");
@@ -244,6 +251,17 @@ class JsonParser {
     JsonValue v;
     v.type_ = JsonValue::Type::number;
     v.number_ = std::strtod(text_.c_str() + start, nullptr);
+    if (integral) {
+      // Keep the exact value alongside the double: 64-bit counters in
+      // metric snapshots exceed 2^53 and must merge without rounding.
+      errno = 0;
+      const unsigned long long u =
+          std::strtoull(text_.c_str() + start, nullptr, 10);
+      if (errno == 0) {
+        v.has_u64_ = true;
+        v.u64_ = static_cast<std::uint64_t>(u);
+      }
+    }
     return v;
   }
 };
@@ -266,6 +284,11 @@ bool JsonValue::as_bool() const {
 double JsonValue::as_number() const {
   if (type_ != Type::number) type_error("a number");
   return number_;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (!is_u64()) type_error("an exact uint64");
+  return u64_;
 }
 
 const std::string& JsonValue::as_string() const {
@@ -300,6 +323,7 @@ std::uint64_t JsonValue::get_u64(const std::string& key,
                                  std::uint64_t fallback) const {
   const JsonValue* v = find(key);
   if (v == nullptr) return fallback;
+  if (v->is_u64()) return v->as_u64();  // exact, even past 2^53
   const double d = v->as_number();
   // 2^53 bounds the integers a double carries exactly; beyond it the
   // value already lost precision in transit (and the cast below would be
@@ -329,6 +353,7 @@ std::string JsonValue::dump() const {
     case Type::null: return "null";
     case Type::boolean: return bool_ ? "true" : "false";
     case Type::number: {
+      if (has_u64_) return std::to_string(u64_);  // exact round-trip
       if (number_ == std::floor(number_) && std::abs(number_) < 1e15) {
         char buf[32];
         std::snprintf(buf, sizeof buf, "%.0f", number_);

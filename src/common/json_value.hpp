@@ -3,10 +3,12 @@
 // Full RFC 8259 value grammar: objects (member order preserved), arrays,
 // strings with every escape (\uXXXX including surrogate pairs, re-encoded
 // as UTF-8), numbers, booleans, null. Parsing is strict — malformed input,
-// lone surrogates, control characters inside strings, and trailing garbage
+// lone surrogates, control characters in strings, and trailing garbage
 // all throw std::invalid_argument with the byte offset, the same contract
-// as the .epgc corpus parser. Numbers are held as double (plenty for the
-// protocol's ids, seeds and budgets; 53-bit integers round-trip exactly).
+// as the .epgc corpus parser. Numbers are held as double; a non-negative
+// integer literal that fits uint64 additionally keeps its exact value
+// (is_u64/as_u64), so 64-bit counters survive a parse round-trip even
+// past 2^53 where the double alone would lose precision.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +31,10 @@ class JsonValue {
   /// Typed accessors throw std::invalid_argument on a type mismatch.
   bool as_bool() const;
   double as_number() const;
+  /// True when the source literal was a non-negative integer that fits
+  /// uint64 — as_u64() then returns it exactly (no double round-trip).
+  bool is_u64() const { return type_ == Type::number && has_u64_; }
+  std::uint64_t as_u64() const;
   const std::string& as_string() const;
   const std::vector<JsonValue>& items() const;  ///< array elements
   const std::vector<std::pair<std::string, JsonValue>>& members() const;
@@ -51,6 +57,8 @@ class JsonValue {
   Type type_ = Type::null;
   bool bool_ = false;
   double number_ = 0.0;
+  bool has_u64_ = false;        ///< number_ came from an exact u64 literal
+  std::uint64_t u64_ = 0;       ///< that exact value (valid iff has_u64_)
   std::string string_;
   std::vector<JsonValue> items_;
   std::vector<std::pair<std::string, JsonValue>> members_;

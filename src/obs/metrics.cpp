@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <sstream>
+#include <unordered_set>
 
 #include "common/json.hpp"
 #include "common/json_value.hpp"
@@ -89,10 +90,13 @@ std::string family_of(const std::string& name) {
 std::string MetricsRegistry::prometheus_text() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
-  std::string last_family;
+  // HELP/TYPE must appear at most once per family even when the members
+  // of a labeled family were registered non-contiguously — strict
+  // Prometheus parsers reject duplicate TYPE lines.
+  std::unordered_set<std::string> emitted_families;
   for (const auto& e : entries_) {
     const std::string family = family_of(e->name);
-    if (family != last_family) {
+    if (emitted_families.insert(family).second) {
       if (!e->help.empty())
         os << "# HELP " << family << ' ' << e->help << '\n';
       os << "# TYPE " << family << ' '
@@ -100,7 +104,6 @@ std::string MetricsRegistry::prometheus_text() const {
              : e->kind == Kind::gauge     ? "gauge"
                                           : "histogram")
          << '\n';
-      last_family = family;
     }
     switch (e->kind) {
       case Kind::counter:
@@ -191,9 +194,12 @@ std::string merge_metric_snapshots(
     if (const JsonValue* c = snap->find("counters");
         c != nullptr && c->type() == JsonValue::Type::object) {
       for (const auto& [name, v] : c->members()) {
-        if (v.type() != JsonValue::Type::number) continue;
+        // Counters are exact uint64s on the wire; is_u64 keeps values
+        // past 2^53 precise and rejects (skips) fractional or negative
+        // junk instead of silently truncating it.
+        if (!v.is_u64()) continue;
         if (counters.emplace(name, 0).second) counter_order.push_back(name);
-        counters[name] += static_cast<std::uint64_t>(v.as_number());
+        counters[name] += v.as_u64();
       }
     }
     if (const JsonValue* g = snap->find("gauges");
@@ -215,12 +221,24 @@ std::string merge_metric_snapshots(
             buckets->type() != JsonValue::Type::array)
           continue;
         Hist incoming;
-        for (const JsonValue& b : le->items())
+        bool well_formed = true;
+        for (const JsonValue& b : le->items()) {
+          if (b.type() != JsonValue::Type::number) {
+            well_formed = false;
+            break;
+          }
           incoming.le.push_back(b.as_number());
-        for (const JsonValue& b : buckets->items())
-          incoming.buckets.push_back(
-              static_cast<std::uint64_t>(b.as_number()));
-        if (incoming.buckets.size() != incoming.le.size() + 1) continue;
+        }
+        for (const JsonValue& b : buckets->items()) {
+          if (!b.is_u64()) {  // bucket counts are exact uint64s too
+            well_formed = false;
+            break;
+          }
+          incoming.buckets.push_back(b.as_u64());
+        }
+        if (!well_formed ||
+            incoming.buckets.size() != incoming.le.size() + 1)
+          continue;
         incoming.count = v.get_u64("count", 0);
         incoming.sum = v.get_number("sum", 0.0);
         auto it = hists.find(name);

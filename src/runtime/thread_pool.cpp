@@ -129,30 +129,40 @@ void ThreadPool::parallel_for(std::size_t count,
   };
   auto state = std::make_shared<State>();
   // The submitting thread's trace recorder rides along so spans opened
-  // inside pool tasks land in the same per-request trace; a null recorder
-  // install is free and keeps helpers from inheriting a stale one.
+  // inside pool tasks land in the same per-request trace. The recorder is
+  // owned by the caller and may be destroyed as soon as parallel_for
+  // returns, so the drain below is careful about lifetimes:
+  //   * a helper that never wins an index exits without dereferencing the
+  //     recorder (or `fn`) at all — late-scheduled helpers are harmless;
+  //   * a helper that does win indices closes its span and uninstalls the
+  //     recorder BEFORE publishing its completions, so by the time the
+  //     caller's wait observes `completed == count` every recorder access
+  //     happens-before the return (release on the fetch_add, acquire in
+  //     the wait predicate).
   TraceRecorder* const trace = current_trace_recorder();
-  // The caller waits for all *indices* to complete, never for the helper
-  // tasks themselves: a helper that only gets scheduled later (e.g. when
-  // the caller is itself the sole worker) finds `next >= count` and exits
-  // without touching `fn`, whose lifetime ends with this call.
   auto drain = [state, count, trace, &fn] {
-    ScopedTraceInstall install(trace);
-    Span task_span("pool_drain", "executor");
-    std::size_t i;
-    while ((i = state->next.fetch_add(1, std::memory_order_relaxed)) <
-           count) {
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        if (!state->error) state->error = std::current_exception();
-      }
-      if (state->completed.fetch_add(1, std::memory_order_acq_rel) ==
-          count - 1) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->done.notify_all();
-      }
+    std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    std::size_t claimed = 0;
+    {
+      ScopedTraceInstall install(trace);
+      Span task_span("pool_drain", "executor");
+      do {
+        ++claimed;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->mu);
+          if (!state->error) state->error = std::current_exception();
+        }
+      } while ((i = state->next.fetch_add(1, std::memory_order_relaxed)) <
+               count);
+    }
+    if (state->completed.fetch_add(claimed, std::memory_order_acq_rel) +
+            claimed ==
+        count) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->done.notify_all();
     }
   };
   const std::size_t helpers = std::min(thread_count(), count - 1);

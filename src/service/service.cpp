@@ -160,8 +160,17 @@ std::string Service::handle_line(const std::string& line, double queued_ms) {
   latency_ms_->observe(compute_ms);
   if (recorder && compute_ms >= cfg_.trace_slow_ms &&
       recorder->event_count() > 0) {
-    const std::string path = cfg_.trace_dir + "/trace-" +
-                             sanitize_trace_id(trace_id) + ".json";
+    // Deterministic mode suppresses self-generated trace_ids on the wire,
+    // but dump files still need distinct names — otherwise every slow
+    // anonymous request would overwrite (and race on) trace-anon.json.
+    // The sequence is process-local and never leaves this machine, so it
+    // cannot break response reproducibility.
+    const std::string file_id =
+        trace_id.empty()
+            ? "local-" + std::to_string(trace_seq_.fetch_add(1))
+            : sanitize_trace_id(trace_id);
+    const std::string path =
+        cfg_.trace_dir + "/trace-" + file_id + ".json";
     std::ofstream out(path);
     if (out) recorder->write_chrome_trace(out);
   }

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "graph/generators.hpp"
 #include "io/graph_io.hpp"
 #include "runtime/executor.hpp"
+#include "service/service.hpp"
 
 namespace epg {
 namespace {
@@ -103,6 +105,28 @@ TEST(Trace, SpansNestUnderMultiThreadedExecutor) {
           << a.name << " and " << b.name << " partially overlap on tid "
           << a.tid;
     }
+}
+
+// Regression: Service::handle_line destroys its per-request recorder as
+// soon as the request is answered, while the shared pool may still hold
+// late-scheduled helper tasks from a parallel_for inside that request.
+// Those helpers must never dereference the dead recorder — the drain
+// closes its span and uninstalls the recorder before publishing the
+// completions that release the caller (ASan catches the old
+// use-after-free here).
+TEST(Trace, RecorderMayBeDestroyedImmediatelyAfterParallelFor) {
+  Executor ex(8);
+  for (int iter = 0; iter < 200; ++iter) {
+    TraceRecorder rec;
+    {
+      ScopedTraceInstall install(&rec);
+      // count << helper fan-out: most submitted helpers lose the race
+      // for an index and run (harmlessly) after this iteration's
+      // recorder is gone.
+      ex.parallel_for(3, [](std::size_t) { Span s("work", "test"); });
+    }
+    EXPECT_GE(rec.event_count(), 3u);
+  }
 }
 
 TEST(Trace, RecorderDropsPastTheCapInsteadOfGrowing) {
@@ -228,6 +252,46 @@ TEST(Metrics, MergedSnapshotsSumAcrossRegistries) {
   EXPECT_EQ(mismatch->find("le")->items().size(), 1u);  // first copy wins
 }
 
+TEST(Metrics, MergeKeepsCountersExactPast2To53AndSkipsJunk) {
+  // 2^53 + 1 is the first uint64 a double cannot represent; summing via
+  // as_number would silently round. Fractional / negative "counters" are
+  // malformed and must be skipped, not truncated into the sum.
+  const JsonValue s1 = JsonValue::parse(
+      R"({"counters":{"epgc_big_total":9007199254740993,)"
+      R"("epgc_frac_total":1.5,"epgc_neg_total":-2},)"
+      R"("gauges":{},"histograms":{}})");
+  const JsonValue s2 = JsonValue::parse(
+      R"({"counters":{"epgc_big_total":2},"gauges":{},"histograms":{}})");
+  const JsonValue merged =
+      JsonValue::parse(merge_metric_snapshots({&s1, &s2}));
+  const JsonValue* counters = merged.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->get_u64("epgc_big_total", 0), 9007199254740995u);
+  EXPECT_EQ(counters->find("epgc_frac_total"), nullptr);
+  EXPECT_EQ(counters->find("epgc_neg_total"), nullptr);
+}
+
+TEST(Metrics, PrometheusTypeLinesAreUniquePerFamily) {
+  // Members of a labeled family registered NON-contiguously (another
+  // metric in between) must still yield exactly one TYPE line — strict
+  // Prometheus parsers reject duplicates.
+  MetricsRegistry reg;
+  reg.counter("epgc_tier_hits_total{tier=\"memory\"}", "tier hits").inc(1);
+  reg.counter("epgc_other_total", "other").inc(2);
+  reg.counter("epgc_tier_hits_total{tier=\"store\"}").inc(3);
+  const std::string text = reg.prometheus_text();
+  const std::string type_line = "# TYPE epgc_tier_hits_total counter";
+  const std::size_t first = text.find(type_line);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find(type_line, first + 1), std::string::npos)
+      << "duplicate TYPE line for a non-contiguous family:\n" << text;
+  // Both samples still present.
+  EXPECT_NE(text.find("epgc_tier_hits_total{tier=\"memory\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("epgc_tier_hits_total{tier=\"store\"} 3"),
+            std::string::npos);
+}
+
 TEST(Metrics, PrometheusTextExposesEveryFamily) {
   MetricsRegistry reg;
   reg.counter("epgc_a_total", "a help").inc(1);
@@ -240,6 +304,40 @@ TEST(Metrics, PrometheusTextExposesEveryFamily) {
   EXPECT_NE(text.find("# TYPE epgc_c_ms histogram"), std::string::npos);
   EXPECT_NE(text.find("epgc_c_ms_bucket{le=\"+Inf\"} 1"), std::string::npos);
   EXPECT_NE(text.find("epgc_c_ms_count 1"), std::string::npos);
+}
+
+// ---- trace dumps -----------------------------------------------------------
+
+TEST(ServiceTraceDump, DeterministicSlowTracesGetDistinctFileNames) {
+  ServiceConfig cfg;
+  cfg.batch.threads = 1;
+  cfg.batch.deterministic = true;
+  cfg.trace_dir = (std::filesystem::temp_directory_path() /
+                   ("epgc-obs-tracedir-" + std::to_string(::getpid())))
+                      .string();
+  std::filesystem::remove_all(cfg.trace_dir);
+  Service service(cfg);
+  // Deterministic mode suppresses trace_ids on the wire, but each slow
+  // anonymous request must still dump to its own file — a shared
+  // trace-anon.json would overwrite (and race with) earlier dumps.
+  const JsonValue a =
+      JsonValue::parse(service.handle_line(R"({"op":"ping","id":1})"));
+  const JsonValue b =
+      JsonValue::parse(service.handle_line(R"({"op":"ping","id":2})"));
+  EXPECT_EQ(a.find("trace_id"), nullptr);
+  EXPECT_EQ(b.find("trace_id"), nullptr);
+  std::size_t dumps = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(cfg.trace_dir)) {
+    ++dumps;
+    std::ifstream in(entry.path());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const JsonValue doc = JsonValue::parse(ss.str());  // well-formed dump
+    EXPECT_NE(doc.find("traceEvents"), nullptr);
+  }
+  EXPECT_EQ(dumps, 2u);
+  std::filesystem::remove_all(cfg.trace_dir);
 }
 
 // ---- cluster trace_id round-trip -------------------------------------------

@@ -51,6 +51,24 @@ TEST(JsonValue, ParsesEscapesIncludingSurrogatePairs) {
             "\xf0\x9f\x98\x80");
 }
 
+TEST(JsonValue, KeepsIntegerLiteralsExactPast2To53) {
+  // A plain-digit literal keeps its exact uint64 value alongside the
+  // double, so 64-bit counters survive parse → get_u64/dump round-trips.
+  const JsonValue v = JsonValue::parse(
+      R"({"big": 18446744073709551615, "odd": 9007199254740993,)"
+      R"( "frac": 1.5, "exp": 1e3, "neg": -4})");
+  ASSERT_TRUE(v.find("big")->is_u64());
+  EXPECT_EQ(v.find("big")->as_u64(), 18446744073709551615ull);
+  EXPECT_EQ(v.get_u64("big", 0), 18446744073709551615ull);
+  EXPECT_EQ(v.find("big")->dump(), "18446744073709551615");
+  EXPECT_EQ(v.get_u64("odd", 0), 9007199254740993ull);  // 2^53 + 1
+  EXPECT_FALSE(v.find("frac")->is_u64());
+  EXPECT_FALSE(v.find("exp")->is_u64());  // exponent form: double only
+  EXPECT_EQ(v.get_u64("exp", 0), 1000u);  // ...but still integral-valued
+  EXPECT_FALSE(v.find("neg")->is_u64());
+  EXPECT_THROW(v.find("frac")->as_u64(), std::invalid_argument);
+}
+
 TEST(JsonValue, RejectsMalformedInput) {
   for (const char* bad :
        {"", "{", "[1,", "{\"a\":}", "{\"a\":1,}", "tru", "01", "1.",
